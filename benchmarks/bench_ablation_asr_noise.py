@@ -1,0 +1,95 @@
+"""Ablation — how ASR noise attenuates the Table III associations.
+
+The paper runs its analysis on ASR transcripts at ~45% WER and still
+reports a crisp 63/32 split.  This ablation quantifies what our
+pipeline loses when the same corpus flows through the simulated
+recogniser instead of reference transcripts: intent-cue detection drops
+(multi-token patterns break) and the detected-subset conditional rates
+attenuate toward each other, while the *direction* of every insight
+survives.
+"""
+
+import pytest
+
+from repro.core import BIVoCConfig, run_insight_analysis
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+from repro.util.tabletext import format_table
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_car_rental(
+        CarRentalConfig(
+            n_agents=30,
+            n_days=4,
+            calls_per_agent_per_day=5,
+            n_customers=350,
+            seed=5,
+        )
+    )
+
+
+def test_asr_noise_attenuation(benchmark, corpus):
+    clean_study = run_insight_analysis(
+        corpus, BIVoCConfig(use_asr=False, link_mode="content")
+    )
+
+    asr_study = benchmark.pedantic(
+        lambda: run_insight_analysis(
+            corpus, BIVoCConfig(use_asr=True, link_mode="content")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    def row(study, label):
+        shares = study.intent_shares()
+        detected = study.analysis.stats["intent_detected"]
+        total = study.analysis.stats["total"]
+        return [
+            label,
+            f"{detected}/{total}",
+            f"{shares.get('strong', {}).get('reservation', 0.0):.1%}",
+            f"{shares.get('weak', {}).get('reservation', 0.0):.1%}",
+            f"{study.analysis.linked_fraction:.1%}",
+        ]
+
+    print()
+    print(
+        format_table(
+            ["input", "intent detected", "P(book|strong)",
+             "P(book|weak)", "linked"],
+            [
+                row(clean_study, "reference transcripts"),
+                row(asr_study, "ASR output (~45% WER)"),
+                ["paper", "n/a", "63%", "32%", "n/a"],
+            ],
+            title="Ablation — Table III under ASR noise",
+        )
+    )
+
+    clean_shares = clean_study.intent_shares()
+    asr_shares = asr_study.intent_shares()
+    clean_gap = (
+        clean_shares["strong"]["reservation"]
+        - clean_shares["weak"]["reservation"]
+    )
+    asr_gap = (
+        asr_shares["strong"]["reservation"]
+        - asr_shares["weak"]["reservation"]
+    )
+    print(
+        f"strong-weak booking gap: clean {clean_gap:+.3f}, "
+        f"ASR {asr_gap:+.3f}"
+    )
+
+    # Direction survives ASR noise ...
+    assert asr_gap > 0.1
+    # ... but fewer calls carry a detectable intent cue.
+    assert (
+        asr_study.analysis.stats["intent_detected"]
+        < clean_study.analysis.stats["intent_detected"]
+    )
+    # Linking stays robust thanks to agent/day blocking + combined
+    # identity evidence.
+    assert asr_study.analysis.linked_fraction > 0.8

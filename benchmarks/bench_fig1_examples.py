@@ -1,0 +1,33 @@
+"""Fig 1 — sanitized VoC examples, regenerated.
+
+The paper's Fig 1 shows one raw example per VoC channel with its
+characteristic noise.  The bench renders the reproduction's equivalent
+(drawn from the same generators the experiments use) and sanity-checks
+each channel's noise signature.
+"""
+
+import pytest
+
+from repro.synth.fig1 import fig1_examples
+
+
+def test_fig1_channel_examples(benchmark):
+    examples = benchmark.pedantic(
+        lambda: fig1_examples(seed=61), rounds=1, iterations=1
+    )
+    print()
+    for channel, text in examples.items():
+        print(f"--- {channel} ---")
+        print(text)
+        print()
+
+    # Channel signatures, as in the paper's figure:
+    notes = examples["contact center notes"]
+    assert any(
+        shorthand in notes.split()
+        for shorthand in ("cust", "tht", "teh", "inf", "resv", "bkg")
+    )
+    assert examples["email"].startswith("from:")
+    transcript = examples["call transcript"]
+    assert transcript == transcript.upper()
+    assert len(transcript.split()) > 30

@@ -1,0 +1,266 @@
+"""E8 — Paper §IV-B: the data-linking engine.
+
+Supporting claims reproduced here:
+
+* noisy documents link to the right record with high precision/recall
+  (emails: clean channel; ASR transcripts: heavy degradation),
+* the multi-type linker resolves the paper's credit-card example
+  (a document listing several cards is a *customer* document),
+* EM-learned attribute weights outperform uniform weights on a
+  mixed-type document collection.
+"""
+
+import pytest
+
+from repro.linking.em import learn_weights_em
+from repro.linking.evaluation import evaluate_linker
+from repro.linking.multi import MultiTypeLinker
+from repro.linking.single import EntityLinker
+from repro.store.database import Database
+from repro.store.schema import AttributeType, Schema
+from repro.synth.telecom import TelecomConfig, generate_telecom
+from repro.util.rng import derive_rng
+from repro.util.tabletext import format_table
+
+
+def test_email_linking_quality(benchmark):
+    corpus = generate_telecom(TelecomConfig(scale=0.01, n_customers=1500))
+    linked_emails = [
+        m for m in corpus.emails if m.sender_entity_id is not None
+    ][:250]
+    documents = [m.raw_text for m in linked_emails]
+    truth = [m.sender_entity_id for m in linked_emails]
+    linker = EntityLinker(
+        corpus.database, "customers", weights={"phone": 4.0},
+        candidate_limit=50, min_score=0.8,
+    )
+
+    report = benchmark.pedantic(
+        lambda: evaluate_linker(linker, documents, truth),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["documents", report.total_documents],
+                ["precision", f"{report.precision:.3f}"],
+                ["recall", f"{report.recall:.3f}"],
+                ["f1", f"{report.f1:.3f}"],
+            ],
+            title="SecIV-B — linking noisy customer emails to records",
+        )
+    )
+    assert report.precision > 0.9
+    assert report.recall > 0.85
+
+
+def _multi_type_database(n_customers=120, seed=31):
+    """Customers / transactions / cards with *overlapping* attributes.
+
+    Both the customer and transaction tables carry the customer's name
+    and address — the paper's motivating ambiguity ("a transaction
+    table and a customer table may both contain the customer's
+    address").
+    """
+    from repro.synth.people import PersonGenerator
+
+    rng = derive_rng(seed, "linkbench")
+    database = Database()
+    customers = database.create_table(
+        "customers",
+        Schema.build(
+            ("name", AttributeType.NAME, True),
+            ("phone", AttributeType.PHONE, True),
+            ("address", AttributeType.STRING, True),
+            ("card_numbers", AttributeType.CARD, True),
+        ),
+    )
+    transactions = database.create_table(
+        "transactions",
+        Schema.build(
+            ("customer_name", AttributeType.NAME, True),
+            ("shop_name", AttributeType.STRING, True),
+            ("amount", AttributeType.MONEY),
+            ("address", AttributeType.STRING, True),
+        ),
+    )
+    cards = database.create_table(
+        "cards",
+        Schema.build(
+            ("number", AttributeType.CARD, True),
+            ("holder_name", AttributeType.NAME, True),
+        ),
+    )
+    shops = ["quick mart", "garden store", "city fuel", "corner deli"]
+    streets = ["elm street", "oak avenue", "pine road", "lake drive"]
+    people = PersonGenerator(seed=derive_rng(seed, "people")).generate_many(
+        n_customers
+    )
+    addresses = []
+    for person in people:
+        address = (
+            f"{int(rng.integers(1, 99))} "
+            f"{streets[int(rng.integers(0, len(streets)))]} {person.city}"
+        )
+        addresses.append(address)
+        numbers = [
+            "4" + "".join(str(int(d)) for d in rng.integers(0, 10, 15))
+            for _ in range(int(rng.integers(1, 3)))
+        ]
+        customers.insert(
+            {
+                "name": person.name,
+                "phone": person.phone,
+                "address": address,
+                "card_numbers": " ".join(numbers),
+            }
+        )
+        for number in numbers:
+            cards.insert({"number": number, "holder_name": person.name})
+        transactions.insert(
+            {
+                "customer_name": person.name,
+                "shop_name": shops[int(rng.integers(0, len(shops)))],
+                "amount": int(rng.integers(10, 900)),
+                # Delivery address: the customer's own address, so name
+                # + address alone cannot separate the two types.
+                "address": address,
+            }
+        )
+    database.build_indexes()
+    return database, people, addresses
+
+
+def _document_collection(database, people, addresses):
+    """Mixed-type documents with ground-truth (table, entity) labels.
+
+    A quarter of the documents are *ambiguous customer documents*
+    mentioning only name + address, which score identically against
+    the customer and transaction types under uniform weights; the
+    corpus context (addresses appear in every customer document,
+    amounts/shops only in transaction documents) is what EM exploits.
+    """
+    customers = list(database.table("customers"))
+    transactions = list(database.table("transactions"))
+    documents = []
+    for i, person in enumerate(people[:80]):
+        roll = i % 4
+        if roll == 0:
+            documents.append(
+                (
+                    f"hello my name is {person.name} my phone is "
+                    f"{person.phone} i live at {addresses[i]}",
+                    "customers",
+                    customers[i].entity_id,
+                )
+            )
+        elif roll == 1:
+            transaction = transactions[i]
+            documents.append(
+                (
+                    f"the purchase by {person.name} at "
+                    f"{transaction['shop_name']} for "
+                    f"{transaction['amount']} dollars was wrong",
+                    "transactions",
+                    transaction.entity_id,
+                )
+            )
+        elif roll == 2:
+            numbers = customers[i]["card_numbers"].split()
+            documents.append(
+                (
+                    "my cards are " + " and ".join(numbers),
+                    "customers",
+                    customers[i].entity_id,
+                )
+            )
+        else:
+            # Ambiguous: name + address only -> customer document.
+            documents.append(
+                (
+                    f"update the details for {person.name} at "
+                    f"{addresses[i]}",
+                    "customers",
+                    customers[i].entity_id,
+                )
+            )
+    return documents
+
+
+def _type_accuracy(linker, documents):
+    correct = 0
+    for text, table_name, entity_id in documents:
+        result = linker.link(text)
+        if (
+            result.linked
+            and result.table_name == table_name
+            and result.entity.entity_id == entity_id
+        ):
+            correct += 1
+    return correct / len(documents)
+
+
+def test_multi_type_em_weights(benchmark):
+    database, people, addresses = _multi_type_database()
+    documents = _document_collection(database, people, addresses)
+    texts = [text for text, _, _ in documents]
+
+    table_order = ["customers", "transactions", "cards"]
+    uniform = MultiTypeLinker(database, table_order)
+    uniform_accuracy = _type_accuracy(uniform, documents)
+
+    learned = MultiTypeLinker(database, table_order)
+    weights = benchmark.pedantic(
+        lambda: learn_weights_em(learned, texts, iterations=3),
+        rounds=1,
+        iterations=1,
+    )
+    learned_accuracy = _type_accuracy(learned, documents)
+
+    print()
+    print(
+        format_table(
+            ["weights", "(entity, type) accuracy"],
+            [
+                ["uniform", f"{uniform_accuracy:.3f}"],
+                ["EM-learned", f"{learned_accuracy:.3f}"],
+            ],
+            title="SecIV-B — multi-type identification, Eqn 3 weights",
+        )
+    )
+    interesting = {
+        key: round(value, 2)
+        for key, value in weights.items()
+        if key
+        in [
+            ("phone", "customers"),
+            ("card_numbers", "customers"),
+            ("shop_name", "transactions"),
+            ("address", "transactions"),
+        ]
+    }
+    print(f"learned weights (excerpt): {interesting}")
+
+    # EM must not hurt a well-initialised system, and it must learn the
+    # discriminative structure: names carry the transaction evidence
+    # that annotators can extract (shop names are free-text the
+    # annotator suite does not type), and customer evidence is spread
+    # over name/phone/cards.
+    assert learned_accuracy >= uniform_accuracy
+    assert learned_accuracy > 0.9
+    assert weights[("customer_name", "transactions")] > weights[
+        ("shop_name", "transactions")
+    ]
+    assert weights[("phone", "customers")] > weights[
+        ("address", "customers")
+    ]
+
+    # The paper's credit-card example must resolve to the customer.
+    multi_card = next(
+        text for text, table, _ in documents if text.startswith("my cards")
+    )
+    result = learned.link(multi_card)
+    assert result.table_name == "customers"

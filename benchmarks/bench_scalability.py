@@ -1,0 +1,107 @@
+"""E14 — §III challenge 3 / §IV-D: volume and reporting latency.
+
+"The third challenge in using VoC for BI is in storing and processing
+large volumes of data" and "[indexing] allows quick reporting to be
+done on datasets containing even millions of documents."
+
+The bench builds a concept index over 200k synthetic documents and
+measures (a) indexing throughput and (b) the latency of the reporting
+primitives (marginal counts, pair counts, a full association table) —
+the operations behind the paper's interactive drill-down view.
+"""
+
+import time
+
+import pytest
+
+from repro.mining.assoc2d import associate
+from repro.mining.index import ConceptIndex, field_key
+from repro.util.rng import derive_rng
+from repro.util.tabletext import format_table
+
+N_DOCS = 200_000
+
+
+def _bulk_documents(n_docs=N_DOCS, seed=5):
+    rng = derive_rng(seed, "scalability")
+    places = [f"city{i}" for i in range(40)]
+    vehicles = [f"vehicle{i}" for i in range(12)]
+    outcomes = ["reservation", "unbooked", "service"]
+    place_idx = rng.integers(0, len(places), size=n_docs)
+    vehicle_idx = rng.integers(0, len(vehicles), size=n_docs)
+    outcome_idx = rng.integers(0, len(outcomes), size=n_docs)
+    day = rng.integers(0, 60, size=n_docs)
+    return [
+        {
+            "place": places[place_idx[i]],
+            "vehicle": vehicles[vehicle_idx[i]],
+            "outcome": outcomes[outcome_idx[i]],
+            "day": int(day[i]),
+        }
+        for i in range(n_docs)
+    ]
+
+
+@pytest.fixture(scope="module")
+def bulk_index():
+    index = ConceptIndex()
+    for doc_id, fields in enumerate(_bulk_documents()):
+        day = fields.pop("day")
+        index.add(doc_id, fields=fields, timestamp=day)
+    return index
+
+
+def test_indexing_throughput(benchmark):
+    documents = _bulk_documents(n_docs=50_000)
+
+    def build():
+        index = ConceptIndex()
+        for doc_id, fields in enumerate(documents):
+            index.add(doc_id, fields=dict(fields))
+        return index
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(index) == 50_000
+
+
+def test_reporting_latency_at_200k_documents(benchmark, bulk_index):
+    index = bulk_index
+    assert len(index) == N_DOCS
+
+    timings = {}
+
+    start = time.perf_counter()
+    count = index.count(field_key("place", "city3"))
+    timings["marginal count"] = time.perf_counter() - start
+    assert count > 0
+
+    start = time.perf_counter()
+    pair = index.count_pair(
+        field_key("place", "city3"), field_key("outcome", "reservation")
+    )
+    timings["pair count"] = time.perf_counter() - start
+    assert pair > 0
+
+    table = benchmark.pedantic(
+        lambda: associate(
+            index, ("field", "place"), ("field", "vehicle")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(table.cells()) == 40 * 12
+
+    print()
+    print(
+        format_table(
+            ["operation", "latency"],
+            [
+                [name, f"{seconds * 1000:.2f} ms"]
+                for name, seconds in timings.items()
+            ],
+            title=f"E14 — reporting primitives over {N_DOCS:,} documents",
+        )
+    )
+    # Interactive-grade latency for the point lookups.
+    assert timings["marginal count"] < 0.05
+    assert timings["pair count"] < 0.25

@@ -1,0 +1,83 @@
+"""E6 — Paper §V-C: measuring improvements in agent productivity.
+
+Paper: 20 of 90 agents were trained on the mined insights; over the
+following two months their booking ratio was higher than the 70-agent
+control group by ~3%, with a t-test p-value of 0.0675 ("close to the
+standard t-test alpha = 0.05").
+
+The bench runs the controlled experiment at two-month scale for three
+seeds: the training effect's *expected* lift is solved to 3 points from
+the calibrated outcome model; what is printed is the realised lift and
+its significance — like the paper's single engagement, each seed is one
+draw around a marginally-significant ~3-point effect.
+"""
+
+import pytest
+
+from repro.core.usecases.agent_productivity import run_training_experiment
+from repro.synth.carrental import CarRentalConfig
+from repro.util.tabletext import format_table
+
+SEEDS = (17, 23, 41)
+
+
+def _experiment(seed):
+    return run_training_experiment(
+        CarRentalConfig(
+            n_agents=90,
+            n_days=44,
+            calls_per_agent_per_day=20,
+            n_customers=3000,
+            seed=seed,
+            agent_logit_sigma=0.26,
+            build_transcripts=False,
+        )
+    )[0]
+
+
+def test_sec5c_training_intervention(benchmark):
+    outcomes = {}
+
+    def run_all():
+        for seed in SEEDS:
+            outcomes[seed] = _experiment(seed)
+        return outcomes
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for seed, outcome in outcomes.items():
+        rows.append(
+            [
+                f"seed {seed}",
+                f"{outcome.pre_gap:+.4f}",
+                f"{outcome.improvement:+.4f}",
+                f"{outcome.ttest.p_value:.4f}",
+            ]
+        )
+    rows.append(["paper", "~0", "+0.03", "0.0675"])
+    print()
+    print(
+        format_table(
+            ["run", "pre-gap", "improvement", "t-test p"],
+            rows,
+            title=(
+                "SecV-C — trained (20) vs control (70) booking ratio "
+                "over two months"
+            ),
+        )
+    )
+
+    improvements = [o.improvement for o in outcomes.values()]
+    mean_improvement = sum(improvements) / len(improvements)
+    print(f"mean improvement across seeds: {mean_improvement:+.4f}")
+
+    # The planted effect is +3 points; each seed draws around it.
+    assert mean_improvement == pytest.approx(0.03, abs=0.015)
+    for outcome in outcomes.values():
+        # Groups were comparable before training.
+        assert abs(outcome.pre_gap) < 0.03
+        # Training never hurts.
+        assert outcome.improvement > 0.0
+    # At least one seed reaches the paper's marginal-significance zone.
+    assert min(o.ttest.p_value for o in outcomes.values()) < 0.10

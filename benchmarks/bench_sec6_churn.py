@@ -1,0 +1,128 @@
+"""E7 — Paper §VI: churn prediction from emails and SMS.
+
+Paper corpus characteristics and result:
+
+* 47,460 emails analysed, 3% from churners,
+* 289,314 SMS analysed, 7.6% from churners,
+* ~18% of emails could not be linked (mostly non-customers),
+* 53.6% of churners detected correctly using emails.
+
+The bench runs the full study (clean -> link -> features -> NB ->
+customer-level detection) on a corpus at 8% of the paper's volume and
+prints measured vs paper for every number.
+"""
+
+import pytest
+
+from repro.core.usecases.churn import run_churn_study
+from repro.util.tabletext import format_table
+
+
+def test_sec6_churn_email_study(benchmark, telecom_corpus):
+    result = benchmark.pedantic(
+        lambda: run_churn_study(telecom_corpus, channel="email"),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [
+            "emails analysed",
+            "47,460",
+            f"{result.total_messages:,} (8% scale)",
+        ],
+        [
+            "churner share of linked emails",
+            "3%",
+            f"{result.train_churner_fraction:.1%}",
+        ],
+        [
+            "emails unlinkable",
+            "18%",
+            f"{result.unlinked_fraction:.1%}",
+        ],
+        [
+            "churner detection rate",
+            "53.6%",
+            f"{result.detection_rate:.1%}",
+        ],
+    ]
+    print()
+    print(
+        format_table(
+            ["metric", "paper", "measured"],
+            rows,
+            title="SecVI — churn prediction from emails",
+        )
+    )
+    print(
+        f"message-level: precision {result.message_report.precision:.2f}, "
+        f"fpr {result.message_report.false_positive_rate:.2f}, "
+        f"test churners {len(result.test_churners)}"
+    )
+
+    assert result.unlinked_fraction == pytest.approx(0.18, abs=0.06)
+    assert result.train_churner_fraction == pytest.approx(0.03, abs=0.02)
+    # Detection in the paper's neighbourhood; the headline claim is
+    # "about half of churners detectable from email text alone".
+    assert 0.35 <= result.detection_rate <= 0.80
+
+
+def test_sec6_churn_driver_prevalence(benchmark, telecom_corpus):
+    """SecVI's qualitative driver list, made quantitative: every agreed
+    churn driver is over-represented in churner messages."""
+    from repro.core.usecases.churn import analyse_churn_drivers
+
+    analysis = benchmark.pedantic(
+        lambda: analyse_churn_drivers(telecom_corpus),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [driver, f"{churner:.2f}", f"{other:.2f}", f"{lift:.2f}"]
+        for driver, (churner, other, lift) in analysis.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["churn driver", "churner rate", "other rate", "lift"],
+            rows,
+            title="SecVI — churn-driver prevalence in VoC",
+        )
+    )
+    for driver, (_, _, lift) in analysis.items():
+        assert lift > 1.2, driver
+
+
+def test_sec6_churn_sms_study(benchmark, telecom_corpus):
+    result = benchmark.pedantic(
+        lambda: run_churn_study(telecom_corpus, channel="sms"),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["metric", "paper", "measured"],
+            [
+                [
+                    "sms analysed",
+                    "289,314",
+                    f"{result.total_messages:,} (8% scale)",
+                ],
+                [
+                    "churner share of linked sms",
+                    "7.6%",
+                    f"{result.train_churner_fraction:.1%}",
+                ],
+                [
+                    "churner detection rate",
+                    "(not reported)",
+                    f"{result.detection_rate:.1%}",
+                ],
+            ],
+            title="SecVI — churn signals from SMS",
+        )
+    )
+    assert result.train_churner_fraction == pytest.approx(0.076, abs=0.03)
+    assert result.detection_rate > 0.2

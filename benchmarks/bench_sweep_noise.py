@@ -1,0 +1,153 @@
+"""Parameter sweep — acoustic noise level vs pipeline quality.
+
+Sweeps the channel's score-noise sigmas from clean to 1.5x the
+calibrated operating point and measures, at each level: WER, transcript
+linking accuracy and intent-detection rate.  The shape is the
+deliverable: linking stays near-perfect far beyond the WER where
+multi-token intent cues have collapsed — combined identity evidence +
+metadata blocking degrade gracefully, phrase patterns do not.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.annotation.domains import (
+    INTENT_CATEGORY,
+    STRONG_START,
+    WEAK_START,
+    build_car_rental_engine,
+)
+from repro.asr.system import ASRSystem
+from repro.asr.wer import WERBreakdown
+from repro.core.pipeline import CallRecordLinker
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+from repro.util.tabletext import format_table
+
+NOISE_MULTIPLIERS = (0.0, 0.5, 1.0, 1.5)
+
+
+@pytest.fixture(scope="module")
+def sweep_corpus():
+    return generate_car_rental(
+        CarRentalConfig(
+            n_agents=12,
+            n_days=3,
+            calls_per_agent_per_day=5,
+            n_customers=150,
+            seed=47,
+        )
+    )
+
+
+def _run_level(corpus, multiplier):
+    system = ASRSystem.build_default(
+        extra_sentences=[t.text for t in corpus.transcripts[:20]]
+    )
+    base = system.channel.config
+    system.channel.config = dataclasses.replace(
+        base,
+        sigma_general=base.sigma_general * multiplier,
+        sigma_name=base.sigma_name * multiplier,
+        sigma_number=base.sigma_number * multiplier,
+        deletion_rate=base.deletion_rate * multiplier,
+        insertion_rate=base.insertion_rate * multiplier,
+    )
+    system.channel.reset(404)
+    engine = build_car_rental_engine()
+    linker = CallRecordLinker(corpus.database)
+    wer = WERBreakdown()
+    linked_correct = 0
+    intents_detected = 0
+    sales = 0
+    transcripts = corpus.transcripts[20:120]
+    for transcript in transcripts:
+        truth = corpus.truths[transcript.call_id]
+        customer_parts = []
+        for speaker, text in transcript.turns:
+            transcription = system.transcribe(text)
+            wer.add(
+                transcription.reference_tokens,
+                transcription.hypothesis_tokens,
+                transcription.reference_classes,
+            )
+            if speaker == "customer":
+                customer_parts.append(
+                    " ".join(transcription.hypothesis_tokens)
+                )
+        customer_text = " ".join(customer_parts)
+        record = linker.link(
+            customer_text, transcript.agent_name, transcript.day
+        )
+        if (
+            record is not None
+            and record["customer_ref"] == truth.customer_entity_id
+        ):
+            linked_correct += 1
+        if truth.intent != "service":
+            sales += 1
+            opening = " ".join(customer_parts[:2])
+            intents = {
+                concept.canonical
+                for concept in engine.annotate(opening).concepts_in(
+                    INTENT_CATEGORY
+                )
+            }
+            if intents in ({STRONG_START}, {WEAK_START}):
+                intents_detected += 1
+    return {
+        "wer": wer.wer(),
+        "link_accuracy": linked_correct / len(transcripts),
+        "intent_rate": intents_detected / sales,
+    }
+
+
+def test_noise_sweep_degradation_shape(benchmark, sweep_corpus):
+    results = benchmark.pedantic(
+        lambda: {
+            multiplier: _run_level(sweep_corpus, multiplier)
+            for multiplier in NOISE_MULTIPLIERS
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [
+            f"x{multiplier}",
+            f"{level['wer']:.1%}",
+            f"{level['link_accuracy']:.1%}",
+            f"{level['intent_rate']:.1%}",
+        ]
+        for multiplier, level in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["noise", "WER", "link accuracy", "intent detected"],
+            rows,
+            title="Sweep — channel noise vs pipeline quality "
+            "(x1.0 = Table I operating point)",
+        )
+    )
+
+    # WER rises monotonically with noise.
+    wers = [results[m]["wer"] for m in NOISE_MULTIPLIERS]
+    assert all(a <= b + 0.02 for a, b in zip(wers, wers[1:]))
+    # Near-clean channel: the residual ~5% WER is the language model
+    # overriding acoustically-close words (a real ASR failure mode —
+    # strong LMs flip rare-but-correct words), which already clips some
+    # multi-token intent cues.
+    assert results[0.0]["wer"] < 0.10
+    assert results[0.0]["link_accuracy"] > 0.9
+    assert results[0.0]["intent_rate"] > 0.6
+    # Intent detection decays monotonically with noise.
+    intents = [results[m]["intent_rate"] for m in NOISE_MULTIPLIERS]
+    assert all(a >= b - 0.05 for a, b in zip(intents, intents[1:]))
+    # At the calibrated operating point linking still works while
+    # intent patterns have collapsed — the graceful/brittle contrast.
+    assert results[1.0]["link_accuracy"] > 0.75
+    assert results[1.0]["intent_rate"] < 0.6
+    assert (
+        results[1.0]["link_accuracy"] > results[1.0]["intent_rate"]
+    )

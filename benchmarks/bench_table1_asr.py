@@ -1,0 +1,80 @@
+"""E1 — Paper Table I: ASR word error rates.
+
+Paper reports, on car-booking + banking conversational speech:
+
+    Entire Speech  45%
+    Names          65%
+    Numbers        45%
+
+The bench transcribes a mixed test set through the calibrated channel
+and prints the measured per-class WER.
+"""
+
+import pytest
+
+from repro.asr.calibrate import measure_wer
+from repro.asr.system import ASRSystem
+from repro.asr.vocabulary import NAME_CLASS, NUMBER_CLASS
+from repro.synth.banking import generate_banking_calls
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+from repro.util.tabletext import format_table
+
+PAPER = {"overall": 0.45, "names": 0.65, "numbers": 0.45}
+
+
+@pytest.fixture(scope="module")
+def asr_setup():
+    corpus = generate_car_rental(
+        CarRentalConfig(
+            n_agents=15,
+            n_days=3,
+            calls_per_agent_per_day=5,
+            n_customers=200,
+            seed=3,
+        )
+    )
+    system = ASRSystem.build_default(
+        extra_sentences=[t.text for t in corpus.transcripts[:30]]
+    )
+    test_set = [t.text for t in corpus.transcripts[30:130]] + [
+        c.text for c in generate_banking_calls(40, seed=5)
+    ]
+    return system, test_set
+
+
+def test_table1_asr_wer(benchmark, asr_setup):
+    system, test_set = asr_setup
+
+    breakdown = benchmark.pedantic(
+        lambda: measure_wer(system, test_set, reset_seed=1234),
+        rounds=1,
+        iterations=1,
+    )
+
+    measured = {
+        "overall": breakdown.wer(),
+        "names": breakdown.wer(NAME_CLASS),
+        "numbers": breakdown.wer(NUMBER_CLASS),
+    }
+    rows = [
+        ["Entire Speech", f"{PAPER['overall']:.0%}",
+         f"{measured['overall']:.1%}"],
+        ["Names", f"{PAPER['names']:.0%}", f"{measured['names']:.1%}"],
+        ["Numbers", f"{PAPER['numbers']:.0%}",
+         f"{measured['numbers']:.1%}"],
+    ]
+    print()
+    print(
+        format_table(
+            ["Entity", "WER (paper)", "WER (measured)"],
+            rows,
+            title="Table I — ASR performance",
+        )
+    )
+
+    # Shape assertions: names are the hardest class; rates are in the
+    # paper's neighbourhood.
+    assert measured["names"] > measured["overall"]
+    assert measured["overall"] == pytest.approx(0.45, abs=0.10)
+    assert measured["names"] == pytest.approx(0.65, abs=0.15)
+    assert measured["numbers"] == pytest.approx(0.45, abs=0.12)

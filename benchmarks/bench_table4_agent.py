@@ -1,0 +1,107 @@
+"""E5 — Paper Table IV: agent utterance vs customer objection result.
+
+    Value selling:  59% reservation / 41% unbooked
+    Discount:       72% reservation / 28% unbooked
+
+Also reproduces the paper's companion finding that successful agents
+convert weak starts by offering discounts (relative-frequency analysis
+over weak-start reservations).
+"""
+
+import pytest
+
+from repro.mining.index import field_key
+from repro.mining.relfreq import relative_frequency
+from repro.mining.reports import outcome_percentage_table
+
+PAPER = {"value_selling": 0.59, "discount": 0.72}
+
+
+def test_table4_agent_utterance_vs_outcome(benchmark, clean_study):
+    study = clean_study
+
+    def shares():
+        return study.utterance_shares()
+
+    measured = benchmark.pedantic(shares, rounds=1, iterations=1)
+
+    print()
+    for name, table in study.utterance_tables.items():
+        print(
+            outcome_percentage_table(
+                table,
+                title=f"Table IV — agent utterance ({name}) vs result",
+                col_order=["reservation", "unbooked"],
+            )
+        )
+        print()
+    value_selling = measured["value_selling"]["True"]["reservation"]
+    discount = measured["discount"]["True"]["reservation"]
+    print(
+        f"paper: value selling 59%/41%, discount 72%/28%; "
+        f"measured: value selling {value_selling:.1%}, "
+        f"discount {discount:.1%}"
+    )
+
+    assert value_selling == pytest.approx(
+        PAPER["value_selling"], abs=0.06
+    )
+    assert discount == pytest.approx(PAPER["discount"], abs=0.06)
+    # Discount is the stronger lever and both beat the base rate.
+    base = measured["value_selling"]["False"]["reservation"]
+    assert discount > value_selling > base
+
+
+def test_weak_start_conversions_driven_by_discounts(
+    benchmark, clean_study
+):
+    """Paper §V-B: "by analyzing the Weak start calls that were
+    successful, we found that in these calls agents were offering more
+    discounts"."""
+    index = clean_study.analysis.index
+    results = benchmark.pedantic(
+        lambda: relative_frequency(
+            index,
+            [
+                field_key("detected_intent", "weak"),
+                field_key("call_type", "reservation"),
+            ],
+            ("field", "agent_discount"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_value = {result.key[2]: result for result in results}
+    print()
+    print(
+        "discount rate among successful weak starts vs population: "
+        f"relative frequency {by_value['True'].relative_frequency:.2f}"
+    )
+    # Discounts are over-represented among converted weak starts.
+    assert by_value["True"].relative_frequency > 1.3
+
+
+def test_good_agents_use_value_selling_more(benchmark, clean_study,
+                                            car_corpus):
+    """SecV-B: "good agents in general used value selling phrases more
+    often resulting in more bookings" — the mined per-agent conduct
+    must correlate positively with the warehouse booking ratio."""
+    from repro.core.usecases.agent_productivity import (
+        conduct_outcome_correlation,
+        mine_agent_conduct,
+    )
+
+    conduct = benchmark.pedantic(
+        lambda: mine_agent_conduct(
+            clean_study.analysis, car_corpus.database
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    correlation = conduct_outcome_correlation(conduct)
+    print()
+    print(
+        f"corr(mined value-selling rate, booking ratio) over "
+        f"{len(conduct)} agents: {correlation:+.3f}"
+    )
+    assert correlation > 0.05

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Benches print the regenerated paper tables; run them with
+
+    pytest benchmarks/ --benchmark-only -s
+
+The session-scoped corpus and pipeline results are shared across bench
+files so the expensive steps (corpus generation, the clean analysis
+pass) run once.
+"""
+
+import pytest
+
+from repro.core import BIVoCConfig, run_insight_analysis
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+from repro.synth.telecom import TelecomConfig, generate_telecom
+
+BENCH_CAR_CONFIG = CarRentalConfig(
+    n_agents=90,
+    n_days=8,
+    calls_per_agent_per_day=4,
+    n_customers=1200,
+    seed=29,
+)
+
+BENCH_TELECOM_CONFIG = TelecomConfig(scale=0.08, n_customers=3000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def car_corpus():
+    """~2900-call car-rental corpus used by Tables II-IV benches."""
+    return generate_car_rental(BENCH_CAR_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def clean_study(car_corpus):
+    """Pipeline output on reference transcripts (headline tables)."""
+    return run_insight_analysis(
+        car_corpus, BIVoCConfig(use_asr=False, link_mode="content")
+    )
+
+
+@pytest.fixture(scope="session")
+def telecom_corpus():
+    """Telecom corpus at 8% of the paper's volume (~3800 emails)."""
+    return generate_telecom(BENCH_TELECOM_CONFIG)

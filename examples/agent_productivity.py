@@ -1,0 +1,83 @@
+"""Paper Section V: the agent-productivity engagement, end to end.
+
+1. Analyse two weeks of calls: which customer openings and which agent
+   utterances drive bookings (Tables III and IV)?
+2. Turn the insights into a training programme for 20 of 90 agents
+   (offer discounts to weak starts, use value-selling phrases), run a
+   two-month A/B period, and t-test the booking ratios — the paper saw
+   a 3% lift at p = 0.0675.
+
+Run:  python examples/agent_productivity.py
+"""
+
+from repro.core import BIVoCConfig, run_insight_analysis
+from repro.core.usecases.agent_productivity import run_training_experiment
+from repro.mining.reports import outcome_percentage_table
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+
+
+def main():
+    print("=== Phase 1: mine insights from recorded calls ===\n")
+    corpus = generate_car_rental(
+        CarRentalConfig(
+            n_agents=30,
+            n_days=5,
+            calls_per_agent_per_day=8,
+            n_customers=400,
+            seed=11,
+        )
+    )
+    study = run_insight_analysis(
+        corpus, BIVoCConfig(use_asr=False, link_mode="content")
+    )
+    print(
+        outcome_percentage_table(
+            study.intent_table,
+            title="Table III: customer intention vs outcome",
+            col_order=["reservation", "unbooked"],
+        )
+    )
+    print()
+    for name, table in study.utterance_tables.items():
+        print(
+            outcome_percentage_table(
+                table,
+                title=f"Table IV ({name}) vs outcome",
+                col_order=["reservation", "unbooked"],
+            )
+        )
+        print()
+
+    print("Actionable insights (as in the paper):")
+    print("  * weak-start customers rarely book unless offered discounts")
+    print("  * value-selling phrases lift booking odds\n")
+
+    print("=== Phase 2: train 20 of 90 agents, A/B over two months ===\n")
+    outcome, _ = run_training_experiment(
+        CarRentalConfig(
+            n_agents=90,
+            n_days=44,
+            calls_per_agent_per_day=20,
+            n_customers=3000,
+            seed=23,
+            agent_logit_sigma=0.26,
+            build_transcripts=False,
+        )
+    )
+    print(
+        f"pre-period group gap:     {outcome.pre_gap:+.4f} "
+        f"(p = {outcome.pre_ttest.p_value:.3f}; groups comparable)"
+    )
+    print(
+        f"post-period improvement:  {outcome.improvement:+.4f} "
+        f"(p = {outcome.ttest.p_value:.4f})"
+    )
+    print(
+        f"trained mean booking ratio {outcome.ttest.mean_a:.3f} vs "
+        f"control {outcome.ttest.mean_b:.3f}"
+    )
+    print("\nPaper reports: +3% booking ratio, t-test p = 0.0675.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Paper Section IV-A: the ASR engine and two-pass entity-constrained
+recognition.
+
+Transcribes synthetic calls through the calibrated acoustic channel
+(Table I operating point: WER ~45% overall, ~65% on names), retrieves
+top-N candidate identities from the reservation warehouse using the
+partially recognised entities, and re-decodes name slots constrained to
+those identities — the paper gained ~10% absolute on names.
+
+Run:  python examples/asr_linking_demo.py
+"""
+
+from repro.asr.system import ASRSystem
+from repro.asr.twopass import two_pass_transcribe
+from repro.asr.vocabulary import NAME_CLASS, NUMBER_CLASS
+from repro.asr.wer import WERBreakdown
+from repro.linking.single import EntityLinker
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+from repro.util.tabletext import format_table
+
+
+def main():
+    corpus = generate_car_rental(
+        CarRentalConfig(
+            n_agents=12,
+            n_days=3,
+            calls_per_agent_per_day=5,
+            n_customers=150,
+            seed=3,
+        )
+    )
+    system = ASRSystem.build_default(
+        extra_sentences=[t.text for t in corpus.transcripts[:25]]
+    )
+    system.channel.reset(777)
+
+    print("One utterance through the channel:")
+    reference = corpus.transcripts[30].turns[1][1]
+    transcription = system.transcribe(reference)
+    print(f"  REF: {reference}")
+    print(f"  HYP: {transcription.text}\n")
+
+    linker = EntityLinker(corpus.database, "customers")
+    agent_words = set()
+    for agent in corpus.agents:
+        agent_words.update(agent.name.split())
+
+    first = WERBreakdown()
+    second = WERBreakdown()
+    system.channel.reset(555)
+    for transcript in corpus.transcripts[25:105]:
+        transcription = system.transcribe(transcript.text)
+        top5 = linker.top_identities(transcription.lower_text, n=5)
+        result = two_pass_transcribe(
+            system.decoder, transcription, top5, extra_allowed=agent_words
+        )
+        first.add(
+            transcription.reference_tokens,
+            result.first_pass,
+            transcription.reference_classes,
+        )
+        second.add(
+            transcription.reference_tokens,
+            result.second_pass,
+            transcription.reference_classes,
+        )
+
+    rows = [
+        ["Entire Speech", f"{first.wer():.0%}", f"{second.wer():.0%}"],
+        [
+            "Names",
+            f"{first.wer(NAME_CLASS):.0%}",
+            f"{second.wer(NAME_CLASS):.0%}",
+        ],
+        [
+            "Numbers",
+            f"{first.wer(NUMBER_CLASS):.0%}",
+            f"{second.wer(NUMBER_CLASS):.0%}",
+        ],
+    ]
+    print(
+        format_table(
+            ["Entity", "WER (1st pass)", "WER (2-pass)"],
+            rows,
+            title="ASR performance (paper Table I: 45% / 65% / 45%; "
+            "two-pass names ~10 points better)",
+        )
+    )
+    improvement = first.wer(NAME_CLASS) - second.wer(NAME_CLASS)
+    print(f"\nName WER improvement: {improvement:+.1%} absolute")
+
+
+if __name__ == "__main__":
+    main()

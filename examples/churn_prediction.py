@@ -1,0 +1,60 @@
+"""Paper Section VI: churn prediction from emails and SMS.
+
+Cleans a noisy telecom VoC corpus (spam, SMS lingo, multilingual
+fragments), links messages to customer records with the data-linking
+engine, trains a naive-Bayes churn classifier on imbalanced history,
+and measures the churner detection rate on a held-out month — the
+paper detected 53.6% of churners from emails.
+
+Run:  python examples/churn_prediction.py
+"""
+
+from repro.core.usecases.churn import run_churn_study
+from repro.synth.telecom import TelecomConfig, generate_telecom
+
+
+def main():
+    print("Generating telecom VoC corpus ...")
+    corpus = generate_telecom(TelecomConfig(scale=0.05, n_customers=2500))
+    print(
+        f"  {len(corpus.emails)} emails, {len(corpus.sms)} sms, "
+        f"{len(corpus.customers)} customers\n"
+    )
+
+    print("A raw SMS and a raw email snippet:")
+    sms = next(m for m in corpus.sms if m.sender_entity_id is not None)
+    print(f"  SMS:   {sms.raw_text[:90]}")
+    email = next(
+        m for m in corpus.emails if m.sender_entity_id is not None
+    )
+    print(f"  Email: {email.raw_text.splitlines()[0][:90]}\n")
+
+    for channel in ("email", "sms"):
+        print(f"=== Churn study over {channel} ===")
+        result = run_churn_study(corpus, channel=channel)
+        stats = result.cleaning_stats
+        print(
+            f"  cleaning: kept {stats.kept}/{stats.total} "
+            f"(spam {stats.spam}, non-english {stats.non_english})"
+        )
+        print(
+            f"  linking: {result.unlinked_fraction:.1%} unlinkable "
+            f"(paper: ~18% for emails)"
+        )
+        print(
+            f"  training: {result.train_messages} messages, "
+            f"{result.train_churner_fraction:.1%} from churners"
+        )
+        print(
+            f"  churner detection rate: {result.detection_rate:.1%} "
+            f"(paper, email: 53.6%)"
+        )
+        print(
+            f"  message-level precision {result.message_report.precision:.2f}"
+            f", false-positive rate "
+            f"{result.message_report.false_positive_rate:.2f}\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

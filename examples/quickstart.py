@@ -1,0 +1,75 @@
+"""BIVoC quickstart: from raw VoC to a business-insight table.
+
+Generates a small synthetic car-rental corpus (structured reservation
+warehouse + call transcripts), runs the full BIVoC pipeline — link each
+transcript to its warehouse record, annotate concepts, index — and
+prints the customer-intention association table the paper's Section V
+derives (Table III), plus a drill-down into one cell.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import BIVoCConfig, run_insight_analysis
+from repro.mining.reports import outcome_percentage_table
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+
+
+def main():
+    print("Generating synthetic car-rental corpus ...")
+    corpus = generate_car_rental(
+        CarRentalConfig(
+            n_agents=20,
+            n_days=4,
+            calls_per_agent_per_day=6,
+            n_customers=250,
+            seed=7,
+        )
+    )
+    print(
+        f"  {len(corpus.transcripts)} calls, "
+        f"{len(corpus.database.table('customers'))} customers\n"
+    )
+
+    print("A sample conversation:")
+    for speaker, text in corpus.transcripts[0].turns[:5]:
+        print(f"  [{speaker:8s}] {text}")
+    print()
+
+    print("Running the BIVoC pipeline (link -> annotate -> index) ...")
+    study = run_insight_analysis(
+        corpus, BIVoCConfig(use_asr=False, link_mode="content")
+    )
+    analysis = study.analysis
+    print(
+        f"  linked {analysis.link_successes}/{analysis.link_attempts} "
+        f"transcripts to warehouse records\n"
+    )
+
+    print(
+        outcome_percentage_table(
+            study.intent_table,
+            title="Customer intention vs call outcome (paper Table III)",
+            col_order=["reservation", "unbooked"],
+        )
+    )
+    print("\nPaper reports: strong start 63%/37%, weak start 32%/68%.\n")
+
+    strongest = study.location_vehicle_table.strongest(3, min_count=3)
+    print("Strongest location<->vehicle associations (paper Table II):")
+    for cell in strongest:
+        print(
+            f"  {cell.row_value:14s} x {cell.col_value:12s} "
+            f"count={cell.count:3d} strength={cell.strength:.2f}"
+        )
+    top = strongest[0]
+    docs = study.location_vehicle_table.documents(
+        top.row_value, top.col_value
+    )
+    print(
+        f"\nDrill-down (Fig 4): cell ({top.row_value}, {top.col_value}) "
+        f"is backed by calls {docs[:8]} ..."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Explore a VoC corpus with the mining toolkit.
+
+Shows the analysis functions of paper Section IV-D on the telecom
+corpus: relative-frequency relevancy analysis ("what do churn-intent
+customers talk about?"), topic trends over months, and a two-dimensional
+association between churn drivers and customer region.
+
+Run:  python examples/voc_explorer.py
+"""
+
+from repro.annotation.domains import build_telecom_engine
+from repro.cleaning.pipeline import CleaningPipeline
+from repro.mining.assoc2d import associate
+from repro.mining.index import ConceptIndex, concept_key
+from repro.mining.relfreq import relative_frequency
+from repro.mining.reports import render_association, render_relevancy
+from repro.mining.trends import trend_series, trend_slope
+from repro.synth.telecom import TelecomConfig, generate_telecom
+
+
+def main():
+    corpus = generate_telecom(TelecomConfig(scale=0.02, n_customers=1200))
+    engine = build_telecom_engine()
+    pipeline = CleaningPipeline(spell_correct=False)
+    customers = corpus.database.table("customers")
+
+    print("Cleaning, annotating and indexing messages ...")
+    index = ConceptIndex()
+    for message in corpus.messages:
+        cleaned = pipeline.clean(message.raw_text, channel=message.channel)
+        if cleaned.discarded:
+            continue
+        annotated = engine.annotate(cleaned.text)
+        fields = {"channel": message.channel}
+        if message.sender_entity_id is not None:
+            customer = customers.get(message.sender_entity_id)
+            fields["region"] = customer["region"]
+            fields["plan_type"] = customer["plan_type"]
+        index.add(
+            message.message_id,
+            annotated=annotated,
+            fields=fields,
+            timestamp=message.month,
+        )
+    print(f"  indexed {len(index)} messages\n")
+
+    print("Relevancy analysis: concepts over-represented in messages")
+    print("that express churn intent:\n")
+    results = relative_frequency(
+        index,
+        [concept_key("churn intent", "churn intent")],
+        ("concept", "billing_issue"),
+    )
+    results += relative_frequency(
+        index,
+        [concept_key("churn intent", "churn intent")],
+        ("concept", "competitor_tariff"),
+    )
+    print(render_relevancy(results, title="vs churn intent"))
+    print()
+
+    print("Trend of billing complaints by month:")
+    series = trend_series(
+        index,
+        concept_key("billing_issue", "billing_issue"),
+        buckets=list(range(corpus.config.n_months)),
+    )
+    for month, count in series:
+        print(f"  month {month}: {'#' * (count // 5)} {count}")
+    print(f"  slope: {trend_slope(series):+.2f} per month\n")
+
+    print("Churn-driver mentions by region (2-D association):")
+    table = associate(index, ("field", "region"), ("concept", "churn intent"))
+    print(render_association(table, value="count"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: offline environments lack the ``wheel`` package
+that PEP 660 editable installs require, so ``python setup.py develop``
+(or ``pip install -e . --no-build-isolation``) uses this instead."""
+
+from setuptools import setup
+
+setup()

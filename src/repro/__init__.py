@@ -1,0 +1,28 @@
+"""BIVoC: a reproduction of "Business Intelligence from Voice of
+Customer" (Subramaniam et al., IEEE ICDE 2009).
+
+Subpackages implement the paper's architecture (Fig 3):
+
+* :mod:`repro.asr` — automatic speech recognition (simulated acoustics,
+  real n-gram decoding, two-pass entity constraints).
+* :mod:`repro.cleaning` — spam/language filtering, email segmentation,
+  SMS normalisation and spell correction.
+* :mod:`repro.linking` — fuzzy linking of noisy documents to
+  structured records (Eqns 2-3, Fagin merge, EM weights).
+* :mod:`repro.annotation` — domain dictionaries and token patterns
+  producing semantic concepts.
+* :mod:`repro.mining` — concept indexing, relative frequency and the
+  interval-bounded two-dimensional association analysis (Eqn 4).
+* :mod:`repro.churn` — churn classifiers over VoC features.
+* :mod:`repro.core` — the assembled pipeline plus the paper's two
+  use-case studies (agent productivity, churn).
+* :mod:`repro.synth` — calibrated synthetic substitutes for the
+  paper's proprietary corpora.
+* :mod:`repro.store` / :mod:`repro.util` — warehouse and utility
+  substrates.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "0.1.0"

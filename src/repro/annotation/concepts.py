@@ -1,0 +1,65 @@
+"""Concept and annotated-document data types.
+
+A *concept* is "a representation of the textual content ... to
+distinguish it from a simple keyword with the surface expression"
+(paper Section IV-C): the canonical form plus a semantic category.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Concept:
+    """One extracted concept occurrence."""
+
+    canonical: str  # canonical representation ("new york", "credit card")
+    category: str  # semantic category ("place", "payment methods")
+    surface: str  # the matched surface text
+    start: int  # token span [start, end) in the source document
+    end: int
+    source: str = "dictionary"  # "dictionary" | "pattern"
+
+    def __post_init__(self):
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError("concept span must be non-empty and ordered")
+
+
+@dataclass
+class AnnotatedDocument:
+    """A document plus its extracted concepts."""
+
+    doc_id: object
+    text: str
+    tokens: list
+    concepts: list = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def categories(self):
+        """Set of categories present in the document."""
+        return {concept.category for concept in self.concepts}
+
+    def canonicals(self):
+        """Set of canonical concept forms present."""
+        return {concept.canonical for concept in self.concepts}
+
+    def has_category(self, category):
+        """True when any concept carries the category."""
+        return any(
+            concept.category == category for concept in self.concepts
+        )
+
+    def has_concept(self, canonical, category=None):
+        """True when the canonical form (optionally in a category) occurs."""
+        return any(
+            concept.canonical == canonical
+            and (category is None or concept.category == category)
+            for concept in self.concepts
+        )
+
+    def concepts_in(self, category):
+        """Concepts of one semantic category, in document order."""
+        return [
+            concept
+            for concept in self.concepts
+            if concept.category == category
+        ]

@@ -1,0 +1,107 @@
+"""The domain dictionary: surface form → canonical form + category.
+
+Paper Section IV-C: "This dictionary consists of entries with surface
+representations, parts of speech (PoS), canonical representations, and
+semantic categories", e.g.::
+
+    child seat [noun]   -> child seat [vehicle feature]
+    NY [proper noun]    -> New York [place]
+    master card [noun]  -> credit card [payment methods]
+
+Lookup is longest-match over the token stream, so multi-word surfaces
+win over their single-word prefixes.
+"""
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.annotation.concepts import Concept
+
+
+@dataclass(frozen=True)
+class DictionaryEntry:
+    """One dictionary row."""
+
+    surface: str  # space-separated lower-case surface form
+    canonical: str
+    category: str
+    pos: str = "noun"  # informational, as in the paper's examples
+
+    def __post_init__(self):
+        if not self.surface.strip():
+            raise ValueError("surface form must be non-empty")
+        object.__setattr__(self, "surface", self.surface.lower().strip())
+
+    @property
+    def surface_tokens(self):
+        """The surface form split into tokens."""
+        return tuple(self.surface.split())
+
+
+class DomainDictionary:
+    """Longest-match dictionary over token streams."""
+
+    def __init__(self, entries=()):
+        self._by_first_token = defaultdict(list)
+        self._entries = []
+        for entry in entries:
+            self.add(entry)
+
+    def add(self, entry, canonical=None, category=None, pos="noun"):
+        """Add an entry (or build one from surface/canonical/category)."""
+        if not isinstance(entry, DictionaryEntry):
+            if canonical is None or category is None:
+                raise ValueError(
+                    "provide a DictionaryEntry or surface+canonical+category"
+                )
+            entry = DictionaryEntry(entry, canonical, category, pos)
+        self._entries.append(entry)
+        bucket = self._by_first_token[entry.surface_tokens[0]]
+        bucket.append(entry)
+        # Keep longest surfaces first so matching is longest-first.
+        bucket.sort(key=lambda e: -len(e.surface_tokens))
+        return self
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def entries_for_category(self, category):
+        """All entries whose semantic category matches."""
+        return [e for e in self._entries if e.category == category]
+
+    def match(self, tokens):
+        """All dictionary concepts in ``tokens`` (longest match wins).
+
+        Returns :class:`~repro.annotation.concepts.Concept` objects in
+        document order; overlapping matches are resolved left-to-right,
+        longest-first (a matched span is consumed).
+        """
+        tokens = [token.lower() for token in tokens]
+        concepts = []
+        i = 0
+        while i < len(tokens):
+            matched = None
+            for entry in self._by_first_token.get(tokens[i], ()):
+                span = entry.surface_tokens
+                if tuple(tokens[i : i + len(span)]) == span:
+                    matched = entry
+                    break  # longest-first ordering makes this greedy
+            if matched is None:
+                i += 1
+                continue
+            width = len(matched.surface_tokens)
+            concepts.append(
+                Concept(
+                    canonical=matched.canonical,
+                    category=matched.category,
+                    surface=" ".join(tokens[i : i + width]),
+                    start=i,
+                    end=i + width,
+                    source="dictionary",
+                )
+            )
+            i += width
+        return concepts

@@ -1,0 +1,207 @@
+"""Shipped domain assets: car-rental and telecom dictionaries/patterns.
+
+The paper has domain experts curate these from frequency-sorted word
+lists; here they are versioned library assets covering the published
+examples plus the semantic categories the two use cases need:
+
+Car rental (Section V-A):
+* ``intent`` — strong start / weak start cues from the customer's
+  opening utterances,
+* ``discount`` — discount-relating phrases ("corporate program", "motor
+  club", "buying club", ...),
+* ``value selling`` — mentions of good rate / good vehicle,
+* ``vehicle type`` / ``place`` — surfaces feeding the two-dimensional
+  association analysis of Table II.
+
+Telecom (Section VI): one category per churn driver plus explicit churn
+intent.
+"""
+
+from repro.annotation.dictionary import DictionaryEntry, DomainDictionary
+from repro.annotation.matcher import AnnotationEngine
+from repro.annotation.patterns import parse_pattern
+from repro.synth.lexicon import CITIES, CITY_VARIANTS, VEHICLE_SURFACES
+
+INTENT_CATEGORY = "intent"
+STRONG_START = "strong start"
+WEAK_START = "weak start"
+DISCOUNT_CATEGORY = "discount"
+VALUE_SELLING_CATEGORY = "value selling"
+VEHICLE_CATEGORY = "vehicle type"
+PLACE_CATEGORY = "place"
+REQUEST_CATEGORY = "request"
+COMPLAINT_CATEGORY = "complaint"
+COMMENDATION_CATEGORY = "commendation"
+QUESTION_CATEGORY = "question"
+CHURN_INTENT_CATEGORY = "churn intent"
+
+_STRONG_START_PATTERNS = [
+    "like to make",
+    "make a booking",
+    "want to make",
+    "need to pick",
+    "want to book",
+    "need to rent",
+    "like to reserve",
+    "reserve a car",
+    "book a car",
+    "right away",
+]
+
+_WEAK_START_PATTERNS = [
+    "know the rates",
+    "the rates for",
+    "what are your",
+    "your rates",
+    "how much",
+    "checking the prices",
+    "tell me the",
+    "daily rate",
+    "cost to rent",
+    "hoping for",
+]
+
+_VALUE_SELLING_PATTERNS = [
+    ("wonderful + rate", "mention of good rate"),
+    ("wonderful + price", "mention of good rate"),
+    ("good + rate", "mention of good rate"),
+    ("just + NUMERIC + * + dollars", "mention of good rate"),
+    ("just + NUMERIC + dollars", "mention of good rate"),
+    ("save + money", "mention of good rate"),
+    ("low + amount", "mention of good rate"),
+    ("really + good + rate", "mention of good rate"),
+    ("good + car", "mention of good vehicle"),
+    ("fantastic + car", "mention of good vehicle"),
+    ("latest + model", "mention of good vehicle"),
+    ("comfortable + vehicle", "mention of good vehicle"),
+]
+
+_DISCOUNT_SURFACES = [
+    "discount",
+    "discounts",
+    "corporate program",
+    "motor club",
+    "buying club",
+    "promotional discount",
+    "corporate discount",
+]
+
+
+def build_car_rental_dictionary():
+    """Vehicle-type, place and discount dictionary for car rental."""
+    dictionary = DomainDictionary()
+    for vehicle_type, surfaces in VEHICLE_SURFACES.items():
+        for surface in surfaces:
+            dictionary.add(
+                DictionaryEntry(surface, vehicle_type, VEHICLE_CATEGORY)
+            )
+    for city in CITIES:
+        dictionary.add(DictionaryEntry(city, city, PLACE_CATEGORY,
+                                       pos="proper noun"))
+        for variant in CITY_VARIANTS.get(city, ()):
+            dictionary.add(
+                DictionaryEntry(variant, city, PLACE_CATEGORY,
+                                pos="proper noun")
+            )
+    for surface in _DISCOUNT_SURFACES:
+        dictionary.add(
+            DictionaryEntry(surface, "discount", DISCOUNT_CATEGORY)
+        )
+    # Published examples from the paper.
+    dictionary.add(DictionaryEntry("child seat", "child seat",
+                                   "vehicle feature"))
+    dictionary.add(DictionaryEntry("master card", "credit card",
+                                   "payment methods"))
+    return dictionary
+
+
+def build_car_rental_patterns():
+    """Intent, value-selling and communicative-intention patterns."""
+    patterns = []
+    for expression in _STRONG_START_PATTERNS:
+        patterns.append(
+            parse_pattern(expression, STRONG_START, INTENT_CATEGORY)
+        )
+    for expression in _WEAK_START_PATTERNS:
+        patterns.append(
+            parse_pattern(expression, WEAK_START, INTENT_CATEGORY)
+        )
+    for expression, canonical in _VALUE_SELLING_PATTERNS:
+        patterns.append(
+            parse_pattern(expression, canonical, VALUE_SELLING_CATEGORY)
+        )
+    # The paper's illustrative communicative-intention patterns.
+    patterns.append(
+        parse_pattern("please + VERB", "request", REQUEST_CATEGORY,
+                      capture="VERB")
+    )
+    patterns.append(
+        parse_pattern("was + rude", "rude", COMPLAINT_CATEGORY)
+    )
+    patterns.append(
+        parse_pattern("was + NEG + rude", "not rude",
+                      COMMENDATION_CATEGORY)
+    )
+    patterns.append(
+        parse_pattern("was + * + rude + ?", "rude", QUESTION_CATEGORY)
+    )
+    return patterns
+
+
+def build_car_rental_engine():
+    """The full car-rental annotation engine."""
+    return AnnotationEngine(
+        dictionary=build_car_rental_dictionary(),
+        patterns=build_car_rental_patterns(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Telecom churn domain.
+# ---------------------------------------------------------------------------
+
+CHURN_DRIVER_SURFACES = {
+    "competitor_tariff": [
+        "competitor", "competitors", "rival", "other operators",
+        "better tariff", "cheaper plan", "tariff",
+    ],
+    "problem_resolution": [
+        "not been resolved", "not resolved", "nobody called",
+        "still not fixed", "nothing happened", "complaint",
+    ],
+    "service_issue": [
+        "gprs", "network", "no signal", "signal", "dropping",
+        "unable to connect", "not able to access",
+    ],
+    "billing_issue": [
+        "bill is too high", "charged", "robbed", "wrong charges",
+        "charges on my account", "bill",
+    ],
+    "low_awareness": [
+        "did not know", "nobody told", "never asked",
+        "deduction", "not explained", "nobody explained",
+    ],
+}
+
+_CHURN_INTENT_SURFACES = [
+    "disconnect", "deactivate my number", "switching", "port my number",
+    "have to leave", "not like to accept", "another operator",
+]
+
+
+def build_telecom_dictionary():
+    """Churn-driver and churn-intent dictionary."""
+    dictionary = DomainDictionary()
+    for driver, surfaces in CHURN_DRIVER_SURFACES.items():
+        for surface in surfaces:
+            dictionary.add(DictionaryEntry(surface, driver, driver))
+    for surface in _CHURN_INTENT_SURFACES:
+        dictionary.add(
+            DictionaryEntry(surface, "churn intent", CHURN_INTENT_CATEGORY)
+        )
+    return dictionary
+
+
+def build_telecom_engine():
+    """The telecom annotation engine (dictionary-driven)."""
+    return AnnotationEngine(dictionary=build_telecom_dictionary())

@@ -1,0 +1,67 @@
+"""The annotation engine: dictionary pass + pattern pass.
+
+"The previous dictionary look up process assigns semantic categories to
+each word without considering any features around the target word.
+The pattern extraction phase extracts groups of words or phrases and
+assigns them labels such as value selling and complaint."
+(paper Section IV-C)
+"""
+
+from repro.annotation.concepts import AnnotatedDocument
+from repro.annotation.dictionary import DomainDictionary
+from repro.annotation.pos import PosTagger
+from repro.util.tokenize import tokenize
+
+
+class AnnotationEngine:
+    """Applies a domain dictionary and pattern set to documents."""
+
+    def __init__(self, dictionary=None, patterns=(), tagger=None):
+        self.dictionary = dictionary or DomainDictionary()
+        self.patterns = list(patterns)
+        self.tagger = tagger or PosTagger()
+
+    def add_pattern(self, pattern):
+        """Register one more pattern; returns self for chaining."""
+        self.patterns.append(pattern)
+        return self
+
+    def annotate(self, text, doc_id=None, metadata=None):
+        """Annotate one document; returns an :class:`AnnotatedDocument`."""
+        tokens = tokenize(text, lower=True)
+        pos_tags = self.tagger.tag(tokens)
+        dictionary_concepts = self.dictionary.match(tokens)
+        categories_by_position = [set() for _ in tokens]
+        for concept in dictionary_concepts:
+            for position in range(concept.start, concept.end):
+                categories_by_position[position].add(concept.category)
+        pattern_concepts = []
+        for pattern in self.patterns:
+            pattern_concepts.extend(
+                pattern.match(tokens, pos_tags, categories_by_position)
+            )
+        concepts = sorted(
+            dictionary_concepts + pattern_concepts,
+            key=lambda c: (c.start, c.end),
+        )
+        return AnnotatedDocument(
+            doc_id=doc_id,
+            text=text,
+            tokens=tokens,
+            concepts=concepts,
+            metadata=dict(metadata or {}),
+        )
+
+    def annotate_many(self, texts, ids=None):
+        """Annotate an iterable of documents."""
+        if ids is None:
+            ids = range(len(texts)) if hasattr(texts, "__len__") else None
+        if ids is None:
+            return [
+                self.annotate(text, doc_id=index)
+                for index, text in enumerate(texts)
+            ]
+        return [
+            self.annotate(text, doc_id=doc_id)
+            for text, doc_id in zip(texts, ids)
+        ]

@@ -1,0 +1,136 @@
+"""The user-defined pattern language (paper Section IV-C).
+
+"Users are allowed to define patterns of grammatical forms, surface
+forms and/or domain dictionary terms", e.g.::
+
+    please + VERB              -> VERB[request]
+    just + NUMERIC + dollars   -> mention of good rate[value selling]
+    wonderful + rate           -> mention of good rate[value selling]
+
+A pattern is a ``+``-separated sequence of elements; each element is
+
+* a lower-case literal word (``please``),
+* an UPPER-CASE part-of-speech class (``VERB``, ``NUMERIC``, ``NEG``),
+* ``<category>`` — any token span the domain dictionary tagged with
+  that semantic category,
+* ``*`` — exactly one arbitrary token, or
+* ``a|b|c`` — alternation of literal words.
+
+On match, the pattern emits a concept with its ``canonical`` label and
+``category``.  ``capture="pos:VERB"``-style outputs (the paper's
+"VERB[request]") replace the canonical with the matched token of that
+element.
+"""
+
+from dataclasses import dataclass
+
+from repro.annotation.concepts import Concept
+
+
+@dataclass(frozen=True)
+class _Element:
+    kind: str  # "literal" | "pos" | "category" | "wildcard" | "alt"
+    value: object
+
+    def matches(self, token, pos_tag, token_categories):
+        """True when this element matches the token at one position."""
+        if self.kind == "literal":
+            return token == self.value
+        if self.kind == "pos":
+            return pos_tag == self.value
+        if self.kind == "category":
+            return self.value in token_categories
+        if self.kind == "alt":
+            return token in self.value
+        return True  # wildcard
+
+
+def _parse_element(raw):
+    raw = raw.strip()
+    if not raw:
+        raise ValueError("empty pattern element")
+    if raw == "*":
+        return _Element("wildcard", None)
+    if raw.startswith("<") and raw.endswith(">"):
+        return _Element("category", raw[1:-1])
+    if "|" in raw:
+        return _Element("alt", frozenset(raw.lower().split("|")))
+    if raw.isupper():
+        return _Element("pos", raw)
+    return _Element("literal", raw.lower())
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A compiled pattern with its output concept."""
+
+    expression: str
+    canonical: str
+    category: str
+    elements: tuple
+    capture_index: int = -1  # element whose token becomes the canonical
+
+    def match(self, tokens, pos_tags, categories_by_position):
+        """All matches over the token stream.
+
+        ``categories_by_position[i]`` is the set of dictionary
+        categories covering token ``i``.  Returns Concept objects.
+        """
+        width = len(self.elements)
+        concepts = []
+        for start in range(0, len(tokens) - width + 1):
+            if all(
+                element.matches(
+                    tokens[start + offset],
+                    pos_tags[start + offset],
+                    categories_by_position[start + offset],
+                )
+                for offset, element in enumerate(self.elements)
+            ):
+                canonical = self.canonical
+                if self.capture_index >= 0:
+                    canonical = tokens[start + self.capture_index]
+                concepts.append(
+                    Concept(
+                        canonical=canonical,
+                        category=self.category,
+                        surface=" ".join(tokens[start : start + width]),
+                        start=start,
+                        end=start + width,
+                        source="pattern",
+                    )
+                )
+        return concepts
+
+
+def parse_pattern(expression, canonical, category, capture=None):
+    """Compile a ``+``-separated pattern expression.
+
+    ``capture`` names a PoS class whose matched token should become the
+    concept's canonical form (the paper's "please + VERB ->
+    VERB[request]": the verb itself is the concept).
+    """
+    elements = tuple(
+        _parse_element(part)
+        for chunk in expression.split("+")
+        for part in chunk.split()
+    )
+    if not elements:
+        raise ValueError("pattern must have at least one element")
+    capture_index = -1
+    if capture is not None:
+        for index, element in enumerate(elements):
+            if element.kind == "pos" and element.value == capture:
+                capture_index = index
+                break
+        if capture_index < 0:
+            raise ValueError(
+                f"capture class {capture!r} not present in {expression!r}"
+            )
+    return Pattern(
+        expression=expression,
+        canonical=canonical,
+        category=category,
+        elements=elements,
+        capture_index=capture_index,
+    )

@@ -1,0 +1,94 @@
+"""Frequency-sorted term lists for dictionary building.
+
+Paper §IV-C: "we make a list of words extracted from call
+transcriptions sorted by their frequency and ask domain experts to
+assign semantic categories to words that they consider important."
+This module produces that expert-review artefact: ranked unigrams and
+bigrams with counts, stopwords removed, plus coverage accounting so the
+expert knows how much of the corpus each prefix of the list explains.
+"""
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.util.tokenize import words as tokenize_words
+
+_DEFAULT_STOPWORDS = frozenset(
+    "i you he she it we they me him her us them my your his its our "
+    "their a an the this that these those is am are was were be been "
+    "being have has had do does did will would can could may might "
+    "shall should to of in on at for with by from and or but not no "
+    "yes so if then than as how what which who when where why all any "
+    "some each every one two there here please thank thanks".split()
+)
+
+
+@dataclass(frozen=True)
+class TermEntry:
+    """One row of the expert-review list."""
+
+    term: str
+    count: int
+    coverage: float  # cumulative share of counted tokens up to here
+
+
+def frequency_term_list(texts, stopwords=None, min_count=2,
+                        include_bigrams=True, limit=None):
+    """Ranked term list over a corpus, most frequent first.
+
+    ``stopwords`` defaults to a closed-class English list; numbers are
+    dropped (they are entities, not concepts).  Bigrams are counted
+    over stopword-filtered token streams, so "corporate program"
+    surfaces even when "a corporate … program" variants occur.
+    """
+    stopwords = (
+        _DEFAULT_STOPWORDS if stopwords is None else frozenset(
+            word.lower() for word in stopwords
+        )
+    )
+    counts = Counter()
+    for text in texts:
+        tokens = [
+            token
+            for token in tokenize_words(text, lower=True)
+            if token not in stopwords and not token.isdigit()
+        ]
+        counts.update(tokens)
+        if include_bigrams:
+            counts.update(
+                f"{first} {second}"
+                for first, second in zip(tokens, tokens[1:])
+            )
+    ranked = [
+        (term, count)
+        for term, count in counts.most_common()
+        if count >= min_count
+    ]
+    if limit is not None:
+        ranked = ranked[:limit]
+    total = sum(count for _, count in ranked)
+    entries = []
+    running = 0
+    for term, count in ranked:
+        running += count
+        entries.append(
+            TermEntry(
+                term=term,
+                count=count,
+                coverage=running / total if total else 0.0,
+            )
+        )
+    return entries
+
+
+def uncovered_terms(entries, dictionary):
+    """Terms of the ranked list the domain dictionary does not know.
+
+    The expert-workflow helper: after a dictionary pass, what frequent
+    vocabulary still lacks semantic categories?
+    """
+    known = set()
+    for entry in dictionary:
+        known.add(entry.surface)
+        known.update(entry.surface_tokens)
+    return [item for item in entries if item.term not in known]

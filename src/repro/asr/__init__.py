@@ -1,0 +1,43 @@
+"""Simulated automatic speech recognition (paper Section IV-A).
+
+The paper's ASR is an HMM LVCSR system over real audio.  Without audio,
+this package keeps the *decoding* side real — an interpolated n-gram
+language model and a Viterbi decoder over per-word confusion networks —
+and simulates the *acoustic* side: a channel that expands each spoken
+word into phonetically confusable candidates with noisy acoustic
+scores, plus insertion/deletion events.  The channel's class-dependent
+noise is calibrated to the paper's Table I operating point (WER 45%
+overall, 65% on names, 45% on numbers), and the two-pass
+entity-constrained decoding of Section IV-A is implemented on top.
+"""
+
+from repro.asr.lm import NGramLM, build_interpolated_lm
+from repro.asr.acoustic import (
+    AcousticChannel,
+    ChannelConfig,
+    ConfusionNetwork,
+    Slot,
+)
+from repro.asr.decoder import Decoder
+from repro.asr.vocabulary import TokenClassifier, build_vocabulary
+from repro.asr.wer import WERBreakdown, word_error_rate
+from repro.asr.system import ASRSystem, Transcription
+from repro.asr.twopass import TwoPassResult, two_pass_transcribe
+
+__all__ = [
+    "NGramLM",
+    "build_interpolated_lm",
+    "AcousticChannel",
+    "ChannelConfig",
+    "ConfusionNetwork",
+    "Slot",
+    "Decoder",
+    "TokenClassifier",
+    "build_vocabulary",
+    "WERBreakdown",
+    "word_error_rate",
+    "ASRSystem",
+    "Transcription",
+    "TwoPassResult",
+    "two_pass_transcribe",
+]

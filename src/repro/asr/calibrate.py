@@ -1,0 +1,90 @@
+"""Channel calibration against Table I's WER operating point.
+
+The acoustic channel's per-class score-noise sigmas are free
+parameters; this module measures WER on a calibration corpus and
+searches each sigma (bisection on the monotone sigma→WER response) so
+the measured rates land on the paper's targets:
+
+    entire speech 45%, names 65%, numbers 45%.
+"""
+
+from dataclasses import dataclass
+
+from repro.asr.vocabulary import GENERAL_CLASS, NAME_CLASS, NUMBER_CLASS
+from repro.asr.wer import WERBreakdown
+
+
+@dataclass(frozen=True)
+class WERTargets:
+    """Table I targets."""
+
+    overall: float = 0.45
+    names: float = 0.65
+    numbers: float = 0.45
+
+
+def measure_wer(system, sentences, reset_seed=1234):
+    """Transcribe ``sentences`` and return the :class:`WERBreakdown`.
+
+    The channel is re-seeded first so measurement is reproducible and
+    independent of prior use of the system.
+    """
+    system.channel.reset(reset_seed)
+    breakdown = WERBreakdown()
+    for sentence in sentences:
+        transcription = system.transcribe(sentence)
+        breakdown.add(
+            transcription.reference_tokens,
+            transcription.hypothesis_tokens,
+            transcription.reference_classes,
+        )
+    return breakdown
+
+
+def _search_sigma(system, sentences, token_class, target, lo=0.1, hi=6.0,
+                  iterations=12):
+    """Bisection on one class sigma toward its target WER."""
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        _apply_sigma(system, token_class, mid)
+        measured = measure_wer(system, sentences).wer(
+            None if token_class == "overall" else token_class
+        )
+        if measured < target:
+            lo = mid
+        else:
+            hi = mid
+    final = (lo + hi) / 2.0
+    _apply_sigma(system, token_class, final)
+    return final
+
+
+def _apply_sigma(system, token_class, value):
+    config = system.channel.config
+    if token_class in ("overall", GENERAL_CLASS):
+        system.channel.config = config.with_sigmas(general=value)
+    elif token_class == NAME_CLASS:
+        system.channel.config = config.with_sigmas(name=value)
+    elif token_class == NUMBER_CLASS:
+        system.channel.config = config.with_sigmas(number=value)
+    else:
+        raise ValueError(f"unknown token class {token_class!r}")
+
+
+def calibrate_channel(system, sentences, targets=None):
+    """Tune the channel's sigmas to the Table I operating point.
+
+    Mutates ``system.channel.config`` and returns the final measured
+    :class:`WERBreakdown`.  The general sigma is searched against the
+    *overall* WER target (general tokens dominate the mix), then the
+    name and number sigmas against their class targets.
+    """
+    targets = targets or WERTargets()
+    _search_sigma(system, sentences, NAME_CLASS, targets.names)
+    _search_sigma(system, sentences, NUMBER_CLASS, targets.numbers)
+    _search_sigma(system, sentences, "overall", targets.overall)
+    # One refinement round: the overall search shifted the mix, so
+    # re-touch the class sigmas.
+    _search_sigma(system, sentences, NAME_CLASS, targets.names)
+    _search_sigma(system, sentences, NUMBER_CLASS, targets.numbers)
+    return measure_wer(system, sentences)

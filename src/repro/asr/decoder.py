@@ -1,0 +1,131 @@
+"""Viterbi decoding over confusion networks.
+
+The decoder combines the channel's acoustic scores with the
+interpolated n-gram LM using a bigram Viterbi pass:
+
+    path_score = sum_i acoustic(w_i) + lm_weight * log P(w_i | w_{i-1})
+
+Constraints (used by the two-pass scheme of paper Section IV-A) can
+restrict or re-weight a slot's candidate set before search.
+"""
+
+
+class Decoder:
+    """Bigram Viterbi decoder with optional per-slot constraints."""
+
+    def __init__(self, lm, lm_weight=1.0):
+        self.lm = lm
+        self.lm_weight = lm_weight
+
+    def _slot_candidates(self, slot, constraint):
+        candidates = slot.candidates
+        if constraint is not None:
+            adjusted = constraint(slot)
+            if adjusted is not None:
+                candidates = adjusted
+        return candidates
+
+    def decode(self, network, constraint=None):
+        """Best word sequence through ``network``.
+
+        ``constraint(slot)`` may return a replacement candidate list
+        (``[(word, acoustic_score), ...]``) or ``None`` to leave the
+        slot untouched.  Returns a list of words.
+        """
+        best_words = []
+        # Viterbi over slot candidates with a bigram LM.
+        previous = {None: (0.0, [])}  # last_word -> (score, path)
+        for slot in network.slots:
+            candidates = self._slot_candidates(slot, constraint)
+            if not candidates:
+                continue
+            current = {}
+            for word, acoustic in candidates:
+                best_score = None
+                best_path = None
+                for last_word, (score, path) in previous.items():
+                    context = (last_word,) if last_word else ()
+                    total = (
+                        score
+                        + acoustic
+                        + self.lm_weight * self.lm.logprob(word, context)
+                    )
+                    if best_score is None or total > best_score:
+                        best_score = total
+                        best_path = path
+                existing = current.get(word)
+                if existing is None or best_score > existing[0]:
+                    current[word] = (best_score, best_path + [word])
+            previous = current
+        if previous:
+            _, best_words = max(previous.values(), key=lambda sp: sp[0])
+        return best_words
+
+    def slot_posteriors(self, network, constraint=None):
+        """Per-slot candidate posteriors (word confidence scores).
+
+        Approximates P(word | slot) by a softmax over each slot's
+        combined acoustic + unigram-LM scores.  Cheap (no lattice
+        forward-backward) but calibrated enough for downstream
+        confidence weighting: a slot whose best word barely beats its
+        competitors yields a flat posterior.
+
+        Returns a list aligned with ``network.slots``; each element is
+        a dict ``{word: posterior}`` summing to 1.
+        """
+        import math
+
+        posteriors = []
+        for slot in network.slots:
+            candidates = self._slot_candidates(slot, constraint)
+            if not candidates:
+                posteriors.append({})
+                continue
+            scored = {}
+            for word, acoustic in candidates:
+                total = acoustic + self.lm_weight * self.lm.logprob(word)
+                existing = scored.get(word)
+                if existing is None or total > existing:
+                    scored[word] = total
+            peak = max(scored.values())
+            exponentials = {
+                word: math.exp(score - peak)
+                for word, score in scored.items()
+            }
+            normaliser = sum(exponentials.values())
+            posteriors.append(
+                {
+                    word: value / normaliser
+                    for word, value in exponentials.items()
+                }
+            )
+        return posteriors
+
+    def decode_with_confidence(self, network, constraint=None):
+        """Best path plus a confidence score per decoded word.
+
+        Returns ``[(word, confidence)]`` where confidence is the
+        decoded word's slot posterior.  Words the Viterbi path chose
+        against the posterior's favourite get correspondingly low
+        confidence — exactly the tokens the linking engine should
+        trust least.
+        """
+        words = self.decode(network, constraint=constraint)
+        posteriors = self.slot_posteriors(network, constraint=constraint)
+        # The Viterbi path visits every non-empty slot in order.
+        scored = []
+        slot_iter = (p for p in posteriors if p)
+        for word in words:
+            posterior = next(slot_iter, {})
+            scored.append((word, posterior.get(word, 0.0)))
+        return scored
+
+    def decode_to_text(self, network, constraint=None, upper=False):
+        """Decode and join into a transcript string.
+
+        ``upper=True`` reproduces the all-caps transcripts of the
+        paper's Fig 1.
+        """
+        words = self.decode(network, constraint=constraint)
+        text = " ".join(words)
+        return text.upper() if upper else text

@@ -1,0 +1,94 @@
+"""The assembled ASR system: vocabulary + channel + LM + decoder.
+
+``ASRSystem.build_default()`` mirrors the paper's setup: an acoustic
+model (here: the simulated channel) plus an interpolated LM built from
+general-purpose US-English text and call-center-specific text with
+high weight on the latter.
+"""
+
+from dataclasses import dataclass
+
+from repro.asr.acoustic import AcousticChannel, ChannelConfig
+from repro.asr.decoder import Decoder
+from repro.asr.lm import build_interpolated_lm
+from repro.asr.vocabulary import build_vocabulary
+from repro.synth.lexicon import (
+    CALL_CENTER_SENTENCES,
+    GENERAL_ENGLISH_SENTENCES,
+)
+from repro.util.tokenize import words as tokenize_words
+
+
+@dataclass
+class Transcription:
+    """Result of transcribing one utterance."""
+
+    reference_tokens: list
+    reference_classes: list
+    network: object  # the ConfusionNetwork (kept for two-pass re-decoding)
+    hypothesis_tokens: list
+
+    @property
+    def text(self):
+        """Hypothesis as the paper's Fig-1 style all-caps transcript."""
+        return " ".join(self.hypothesis_tokens).upper()
+
+    @property
+    def lower_text(self):
+        """Hypothesis as lower-case text (pipeline-internal form)."""
+        return " ".join(self.hypothesis_tokens)
+
+
+class ASRSystem:
+    """End-to-end simulated recogniser."""
+
+    def __init__(self, vocabulary, lm, channel_config=None, lm_weight=0.9):
+        self.vocabulary = vocabulary
+        self.lm = lm
+        self.channel = AcousticChannel(
+            vocabulary, channel_config or ChannelConfig()
+        )
+        self.decoder = Decoder(lm, lm_weight=lm_weight)
+
+    @classmethod
+    def build_default(cls, extra_sentences=(), channel_config=None,
+                      lm_weight=0.9, domain_weight=0.8):
+        """Default system over the built-in corpora.
+
+        ``extra_sentences`` (e.g. a sample of generated call transcripts)
+        extend both the vocabulary and the domain LM — the paper's LM is
+        trained on call-center-specific text.
+        """
+        extra = [
+            sentence if isinstance(sentence, str) else " ".join(sentence)
+            for sentence in extra_sentences
+        ]
+        vocabulary = build_vocabulary(extra_sentences=extra)
+        lm = build_interpolated_lm(
+            GENERAL_ENGLISH_SENTENCES,
+            list(CALL_CENTER_SENTENCES) + extra,
+            domain_weight=domain_weight,
+        )
+        return cls(vocabulary, lm, channel_config=channel_config,
+                   lm_weight=lm_weight)
+
+    def transcribe(self, text, classes=None):
+        """Simulate recognition of ``text`` (a string or token list)."""
+        if isinstance(text, str):
+            tokens = tokenize_words(text, lower=True)
+        else:
+            tokens = [token.lower() for token in text]
+        if classes is None:
+            classes = self.vocabulary.classifier.classify_all(tokens)
+        network = self.channel.encode(tokens, classes)
+        hypothesis = self.decoder.decode(network)
+        return Transcription(
+            reference_tokens=tokens,
+            reference_classes=list(classes),
+            network=network,
+            hypothesis_tokens=hypothesis,
+        )
+
+    def transcribe_many(self, texts):
+        """Transcribe an iterable of utterances."""
+        return [self.transcribe(text) for text in texts]

@@ -1,0 +1,172 @@
+"""Vocabulary and token classing for the simulated ASR.
+
+The channel's noise is class-dependent (Table I reports separate WER
+for names and numbers), so every spoken token is classed as ``name``,
+``number`` or ``general``.  The vocabulary also precomputes phonetic
+confusion sets — for each word, the other vocabulary words an acoustic
+model would plausibly confuse it with — using Soundex/length blocking
+to avoid an all-pairs similarity scan.
+"""
+
+from collections import defaultdict
+
+from repro.synth.lexicon import (
+    CALL_CENTER_SENTENCES,
+    CITIES,
+    FIRST_NAMES,
+    GENERAL_ENGLISH_SENTENCES,
+    SURNAMES,
+)
+from repro.util.phonetics import (
+    CONFUSABLE_DIGITS,
+    DIGIT_WORDS,
+    phonetic_similarity,
+    soundex,
+)
+
+NAME_CLASS = "name"
+NUMBER_CLASS = "number"
+GENERAL_CLASS = "general"
+
+_DIGIT_WORD_SET = frozenset(DIGIT_WORDS.values())
+_WORD_TO_DIGIT = {word: digit for digit, word in DIGIT_WORDS.items()}
+
+_NUMBER_WORDS = _DIGIT_WORD_SET | {
+    "ten", "eleven", "twelve", "thirteen", "fourteen", "fifteen",
+    "sixteen", "seventeen", "eighteen", "nineteen", "twenty", "thirty",
+    "forty", "fifty", "sixty", "seventy", "eighty", "ninety", "hundred",
+    "thousand",
+}
+
+
+class TokenClassifier:
+    """Classifies spoken tokens into name / number / general."""
+
+    def __init__(self, name_words=None):
+        if name_words is None:
+            name_words = set(FIRST_NAMES) | set(SURNAMES)
+        self._name_words = {word.lower() for word in name_words}
+
+    def classify(self, token):
+        """Class of one token: name, number or general."""
+        token = token.lower()
+        if token in _NUMBER_WORDS:
+            return NUMBER_CLASS
+        if token in self._name_words:
+            return NAME_CLASS
+        return GENERAL_CLASS
+
+    def classify_all(self, tokens):
+        """Classes aligned with the token list."""
+        return [self.classify(token) for token in tokens]
+
+
+class Vocabulary:
+    """Word list with precomputed phonetic confusion sets."""
+
+    def __init__(self, words, classifier=None, max_confusions=6,
+                 min_similarity=0.45):
+        self.classifier = classifier or TokenClassifier()
+        self.words = sorted({word.lower() for word in words})
+        self._word_set = set(self.words)
+        self._max_confusions = max_confusions
+        self._min_similarity = min_similarity
+        self._blocks = defaultdict(list)
+        for word in self.words:
+            self._blocks[self._block_key(word)].append(word)
+        self._confusions = {}
+        self.name_words = [
+            word
+            for word in self.words
+            if self.classifier.classify(word) == NAME_CLASS
+        ]
+
+    @staticmethod
+    def _block_key(word):
+        return soundex(word)[0], min(len(word) // 3, 3)
+
+    def __contains__(self, word):
+        return word.lower() in self._word_set
+
+    def __len__(self):
+        return len(self.words)
+
+    def _candidate_pool(self, word):
+        """Words sharing a phonetic block with ``word`` (cheap blocking)."""
+        first, size = self._block_key(word)
+        pool = []
+        for delta in (-1, 0, 1):
+            pool.extend(self._blocks.get((first, size + delta), ()))
+        return pool
+
+    def confusions(self, word):
+        """Phonetically confusable vocabulary words, most similar first.
+
+        Digit words additionally include the canonical digit confusions
+        (five/nine etc.) even when blocking would miss them.
+        """
+        word = word.lower()
+        cached = self._confusions.get(word)
+        if cached is not None:
+            return cached
+        token_class = self.classifier.classify(word)
+        scored = []
+        for other in self._candidate_pool(word):
+            if other == word:
+                continue
+            similarity = phonetic_similarity(word, other)
+            if similarity < self._min_similarity:
+                continue
+            # Confusions mostly stay within the token class (a name is
+            # misheard as another name-like word), but near-homophones
+            # cross class boundaries ("smith"/"smyth" when only one is
+            # in the name lexicon).
+            if (
+                self.classifier.classify(other) != token_class
+                and similarity < 0.75
+            ):
+                continue
+            scored.append((similarity, other))
+        if word in _WORD_TO_DIGIT:
+            for confusable in CONFUSABLE_DIGITS[_WORD_TO_DIGIT[word]]:
+                other = DIGIT_WORDS[confusable]
+                similarity = max(
+                    phonetic_similarity(word, other), self._min_similarity
+                )
+                scored.append((similarity, other))
+        scored.sort(reverse=True)
+        result = []
+        seen = set()
+        for similarity, other in scored:
+            if other in seen:
+                continue
+            seen.add(other)
+            result.append((other, similarity))
+            if len(result) >= self._max_confusions:
+                break
+        self._confusions[word] = result
+        return result
+
+
+def build_vocabulary(extra_sentences=(), classifier=None):
+    """Default vocabulary: lexicon corpora + names + cities + digits.
+
+    ``extra_sentences`` (strings or token lists) extend the word list,
+    e.g. with a sample of generated transcripts.
+    """
+    words = set()
+    for sentence in list(GENERAL_ENGLISH_SENTENCES) + list(
+        CALL_CENTER_SENTENCES
+    ):
+        words.update(sentence.split())
+    for city in CITIES:
+        words.update(city.split())
+    words.update(FIRST_NAMES)
+    words.update(SURNAMES)
+    words.update(_NUMBER_WORDS)
+    for sentence in extra_sentences:
+        if isinstance(sentence, str):
+            words.update(sentence.lower().split())
+        else:
+            words.update(token.lower() for token in sentence)
+    return Vocabulary(words, classifier=classifier)

@@ -1,0 +1,98 @@
+"""Word error rate with per-class breakdown (paper Table I / Eqn 1).
+
+``WER = (S + D + I) / N`` over a Levenshtein alignment of hypothesis
+against reference.  Substitutions and deletions are attributed to the
+class of the reference token involved; insertions have no reference
+token and are attributed to the ``general`` class (and always count in
+the overall rate).
+"""
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.asr.vocabulary import GENERAL_CLASS
+from repro.util.textdist import levenshtein_alignment
+
+
+@dataclass
+class _ClassCounts:
+    substitutions: int = 0
+    deletions: int = 0
+    insertions: int = 0
+    reference_words: int = 0
+
+    @property
+    def errors(self):
+        """Total error count S + D + I."""
+        return self.substitutions + self.deletions + self.insertions
+
+    @property
+    def wer(self):
+        """(S + D + I) / N for this class (0 when N is 0)."""
+        if self.reference_words == 0:
+            return 0.0
+        return self.errors / self.reference_words
+
+
+@dataclass
+class WERBreakdown:
+    """Accumulated WER over many utterances, overall and per class."""
+
+    overall: _ClassCounts = field(default_factory=_ClassCounts)
+    per_class: dict = field(default_factory=lambda: defaultdict(_ClassCounts))
+
+    def add(self, reference, hypothesis, classes=None):
+        """Accumulate one utterance.
+
+        ``classes`` aligns with ``reference``; defaults to all-general.
+        """
+        reference = [token.lower() for token in reference]
+        hypothesis = [token.lower() for token in hypothesis]
+        if classes is None:
+            classes = [GENERAL_CLASS] * len(reference)
+        if len(classes) != len(reference):
+            raise ValueError("classes must align with the reference")
+        class_by_token_position = list(classes)
+        position = 0
+        self.overall.reference_words += len(reference)
+        for token_class in classes:
+            self.per_class[token_class].reference_words += 1
+        for op, ref_token, _hyp_token in levenshtein_alignment(
+            reference, hypothesis
+        ):
+            if op == "ins":
+                self.overall.insertions += 1
+                self.per_class[GENERAL_CLASS].insertions += 1
+                continue
+            token_class = class_by_token_position[position]
+            position += 1
+            if op == "sub":
+                self.overall.substitutions += 1
+                self.per_class[token_class].substitutions += 1
+            elif op == "del":
+                self.overall.deletions += 1
+                self.per_class[token_class].deletions += 1
+        return self
+
+    def wer(self, token_class=None):
+        """WER overall, or for one token class."""
+        if token_class is None:
+            return self.overall.wer
+        return self.per_class[token_class].wer
+
+    def counts(self, token_class=None):
+        """The raw ``_ClassCounts`` record."""
+        if token_class is None:
+            return self.overall
+        return self.per_class[token_class]
+
+
+def word_error_rate(reference, hypothesis):
+    """Single-utterance WER (Eqn 1 of the paper).
+
+    >>> word_error_rate("a b c".split(), "a x c".split())
+    0.3333333333333333
+    """
+    breakdown = WERBreakdown()
+    breakdown.add(reference, hypothesis)
+    return breakdown.wer()

@@ -1,0 +1,22 @@
+"""Churn prediction from VoC (paper Section VI).
+
+"Our objective was to use the voice of customers who had already
+churned and discover the presence of churn drivers in the voice of
+existing customers.  We trained a classifier using VoC of churners and
+non-churners to predict future churners."
+"""
+
+from repro.churn.features import ChurnFeatureExtractor
+from repro.churn.classifier import LogisticRegression, MultinomialNaiveBayes
+from repro.churn.imbalance import class_prior_weights, undersample
+from repro.churn.evaluation import ChurnReport, evaluate_churn_classifier
+
+__all__ = [
+    "ChurnFeatureExtractor",
+    "MultinomialNaiveBayes",
+    "LogisticRegression",
+    "undersample",
+    "class_prior_weights",
+    "ChurnReport",
+    "evaluate_churn_classifier",
+]

@@ -1,0 +1,145 @@
+"""Baseline churn classifiers from the related work.
+
+The paper's related work cites Zhang et al. (2007), "A Hybrid KNN-LR
+classifier and its application to customer churn prediction" [24].
+This module implements that comparator — k-nearest-neighbour features
+feeding a logistic-regression stage — plus a trivial
+majority/keyword baseline, so the bench can show where the BIVoC
+feature pipeline stands relative to prior art on the same corpus.
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.churn.classifier import LogisticRegression
+
+
+def _counter_to_unit_vector(features, vocabulary):
+    vector = np.zeros(len(vocabulary))
+    for feature, count in features.items():
+        index = vocabulary.get(feature)
+        if index is not None:
+            vector[index] = count
+    norm = np.linalg.norm(vector)
+    if norm > 0:
+        vector /= norm
+    return vector
+
+
+class HybridKnnLr:
+    """KNN-LR hybrid (Zhang et al. 2007) over sparse feature Counters.
+
+    Stage 1 computes, for each document, the churner fraction among its
+    k nearest cosine neighbours in the training set; stage 2 feeds that
+    neighbourhood score together with the raw features into a logistic
+    regression.  The KNN score injects local structure the linear model
+    cannot express.
+    """
+
+    def __init__(self, k=7, positive_weight=4.0, epochs=120, seed=17):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.positive_weight = positive_weight
+        self.epochs = epochs
+        self.seed = seed
+        self._fitted = False
+
+    def _neighbour_score(self, vector, exclude_index=None):
+        similarities = self._train_matrix @ vector
+        if exclude_index is not None:
+            similarities[exclude_index] = -np.inf
+        k = min(self.k, similarities.size - (exclude_index is not None))
+        top = np.argpartition(-similarities, k - 1)[:k]
+        return float(np.mean(self._train_labels[top]))
+
+    def fit(self, feature_counters, labels):
+        """Train on feature Counters with boolean churn labels."""
+        labels = [bool(label) for label in labels]
+        if len(feature_counters) != len(labels):
+            raise ValueError("features and labels must align")
+        if len(set(labels)) < 2:
+            raise ValueError("need both classes in training data")
+        vocabulary = {}
+        for features in feature_counters:
+            for feature in features:
+                if feature not in vocabulary:
+                    vocabulary[feature] = len(vocabulary)
+        self._vocabulary = vocabulary
+        self._train_matrix = np.stack(
+            [
+                _counter_to_unit_vector(features, vocabulary)
+                for features in feature_counters
+            ]
+        )
+        self._train_labels = np.array(
+            [1.0 if label else 0.0 for label in labels]
+        )
+        # Leave-one-out neighbourhood scores for the LR training stage.
+        augmented = []
+        for index, features in enumerate(feature_counters):
+            vector = self._train_matrix[index]
+            score = self._neighbour_score(vector, exclude_index=index)
+            combined = Counter(features)
+            combined["knn:score"] = score * 10.0  # scale to word range
+            augmented.append(combined)
+        self._lr = LogisticRegression(
+            epochs=self.epochs,
+            positive_weight=self.positive_weight,
+            seed=self.seed,
+        ).fit(augmented, labels)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, feature_counters):
+        """P(churner) per document."""
+        if not self._fitted:
+            raise RuntimeError("fit() before predicting")
+        augmented = []
+        for features in feature_counters:
+            vector = _counter_to_unit_vector(features, self._vocabulary)
+            score = self._neighbour_score(vector)
+            combined = Counter(features)
+            combined["knn:score"] = score * 10.0
+            augmented.append(combined)
+        return self._lr.predict_proba(augmented)
+
+    def predict(self, feature_counters, threshold=0.5):
+        """Boolean churn predictions at a probability threshold."""
+        return [
+            probability >= threshold
+            for probability in self.predict_proba(feature_counters)
+        ]
+
+
+class KeywordRuleBaseline:
+    """The pre-ML state of practice: flag any churn-intent keyword.
+
+    Quality analysts' manual rules amount to this; it needs no
+    training, has high precision on explicit churn language, and misses
+    every churner who never says the magic words.
+    """
+
+    def __init__(self, keywords=("disconnect", "deactivate", "switching",
+                                 "port", "leave")):
+        self.keywords = {f"w:{keyword}" for keyword in keywords}
+        self.keywords.add("c:churn intent")
+
+    def fit(self, feature_counters, labels):
+        """Train on feature Counters with boolean churn labels."""
+        return self  # stateless
+
+    def predict_proba(self, feature_counters):
+        """P(churner) per document."""
+        return [
+            1.0 if self.keywords & set(features) else 0.0
+            for features in feature_counters
+        ]
+
+    def predict(self, feature_counters, threshold=0.5):
+        """Boolean churn predictions at a probability threshold."""
+        return [
+            probability >= threshold
+            for probability in self.predict_proba(feature_counters)
+        ]

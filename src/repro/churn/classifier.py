@@ -1,0 +1,172 @@
+"""From-scratch classifiers over sparse feature Counters.
+
+Two standard text classifiers, enough for the paper's churn study:
+
+* :class:`MultinomialNaiveBayes` — add-one smoothing, adjustable class
+  priors (the imbalance lever).
+* :class:`LogisticRegression` — L2-regularised batch gradient descent
+  with optional per-class weights.
+
+Both consume lists of feature ``Counter`` objects (from
+:class:`~repro.churn.features.ChurnFeatureExtractor`) and expose
+``predict_proba`` returning P(positive).
+"""
+
+import math
+
+import numpy as np
+
+
+class MultinomialNaiveBayes:
+    """Binary multinomial NB over sparse feature counts."""
+
+    def __init__(self, smoothing=1.0, class_priors=None):
+        """``class_priors`` is optional ``(p_negative, p_positive)``;
+        defaults to empirical frequencies."""
+        self.smoothing = smoothing
+        self.class_priors = class_priors
+        self._fitted = False
+
+    def fit(self, feature_counters, labels):
+        """Train on feature Counters with boolean labels."""
+        labels = [bool(label) for label in labels]
+        if len(feature_counters) != len(labels):
+            raise ValueError("features and labels must align")
+        if len(set(labels)) < 2:
+            raise ValueError("need both classes in training data")
+        vocabulary = set()
+        totals = {True: 0.0, False: 0.0}
+        counts = {True: {}, False: {}}
+        docs = {True: 0, False: 0}
+        for features, label in zip(feature_counters, labels):
+            docs[label] += 1
+            bucket = counts[label]
+            for feature, count in features.items():
+                vocabulary.add(feature)
+                bucket[feature] = bucket.get(feature, 0.0) + count
+                totals[label] += count
+        self._vocabulary_size = len(vocabulary)
+        self._counts = counts
+        self._totals = totals
+        if self.class_priors is None:
+            total_docs = docs[True] + docs[False]
+            priors = (docs[False] / total_docs, docs[True] / total_docs)
+        else:
+            priors = self.class_priors
+        if min(priors) <= 0:
+            raise ValueError("class priors must be positive")
+        self._log_priors = {
+            False: math.log(priors[0]),
+            True: math.log(priors[1]),
+        }
+        self._fitted = True
+        return self
+
+    def _log_likelihood(self, features, label):
+        score = self._log_priors[label]
+        denominator = (
+            self._totals[label] + self.smoothing * self._vocabulary_size
+        )
+        bucket = self._counts[label]
+        for feature, count in features.items():
+            numerator = bucket.get(feature, 0.0) + self.smoothing
+            score += count * math.log(numerator / denominator)
+        return score
+
+    def predict_proba(self, feature_counters):
+        """P(positive) per document."""
+        if not self._fitted:
+            raise RuntimeError("fit() before predicting")
+        probabilities = []
+        for features in feature_counters:
+            log_pos = self._log_likelihood(features, True)
+            log_neg = self._log_likelihood(features, False)
+            delta = log_pos - log_neg
+            if delta > 50:
+                probabilities.append(1.0)
+            elif delta < -50:
+                probabilities.append(0.0)
+            else:
+                probabilities.append(1.0 / (1.0 + math.exp(-delta)))
+        return probabilities
+
+    def predict(self, feature_counters, threshold=0.5):
+        """Boolean predictions at a probability threshold."""
+        return [
+            probability >= threshold
+            for probability in self.predict_proba(feature_counters)
+        ]
+
+
+class LogisticRegression:
+    """L2-regularised logistic regression on hashed sparse features."""
+
+    def __init__(self, learning_rate=0.5, epochs=150, l2=1e-3,
+                 positive_weight=1.0, seed=13):
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.positive_weight = positive_weight
+        self.seed = seed
+        self._fitted = False
+
+    def _vectorize(self, feature_counters, fit):
+        if fit:
+            vocabulary = {}
+            for features in feature_counters:
+                for feature in features:
+                    if feature not in vocabulary:
+                        vocabulary[feature] = len(vocabulary)
+            self._vocabulary = vocabulary
+        matrix = np.zeros(
+            (len(feature_counters), len(self._vocabulary) + 1)
+        )
+        matrix[:, 0] = 1.0  # bias
+        for row, features in enumerate(feature_counters):
+            for feature, count in features.items():
+                column = self._vocabulary.get(feature)
+                if column is not None:
+                    matrix[row, column + 1] = count
+        return matrix
+
+    def fit(self, feature_counters, labels):
+        """Train on feature Counters with boolean labels."""
+        y = np.asarray([1.0 if label else 0.0 for label in labels])
+        if len(feature_counters) != y.size:
+            raise ValueError("features and labels must align")
+        if y.min() == y.max():
+            raise ValueError("need both classes in training data")
+        X = self._vectorize(feature_counters, fit=True)
+        # Scale features to unit max to keep gradient descent stable.
+        self._scale = np.maximum(np.abs(X).max(axis=0), 1.0)
+        X = X / self._scale
+        rng = np.random.default_rng(self.seed)
+        weights = rng.normal(0.0, 0.01, X.shape[1])
+        sample_weights = np.where(y == 1.0, self.positive_weight, 1.0)
+        n = X.shape[0]
+        for _ in range(self.epochs):
+            z = X @ weights
+            predictions = 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+            gradient = (
+                X.T @ (sample_weights * (predictions - y)) / n
+                + self.l2 * weights
+            )
+            weights -= self.learning_rate * gradient
+        self._weights = weights
+        self._fitted = True
+        return self
+
+    def predict_proba(self, feature_counters):
+        """P(positive) per document."""
+        if not self._fitted:
+            raise RuntimeError("fit() before predicting")
+        X = self._vectorize(feature_counters, fit=False) / self._scale
+        z = np.clip(X @ self._weights, -30, 30)
+        return list(1.0 / (1.0 + np.exp(-z)))
+
+    def predict(self, feature_counters, threshold=0.5):
+        """Boolean predictions at a probability threshold."""
+        return [
+            probability >= threshold
+            for probability in self.predict_proba(feature_counters)
+        ]

@@ -1,0 +1,44 @@
+"""Feature extraction for churn classification.
+
+Features are bag-of-words tokens plus the annotation engine's concept
+features ("One challenge was to extract dimensions that represent churn
+drivers from noisy emails and sms messages").  Concept features — one
+per churn-driver category plus churn intent — carry a configurable
+repeat weight because they are far more reliable than raw tokens.
+"""
+
+from collections import Counter
+
+from repro.annotation.domains import build_telecom_engine
+from repro.util.tokenize import words as tokenize_words
+
+_STOP = {
+    "the", "a", "an", "is", "am", "are", "i", "you", "my", "your",
+    "of", "to", "in", "on", "for", "and", "or", "me", "it", "this",
+    "that", "with", "at", "please", "thanks",
+}
+
+
+class ChurnFeatureExtractor:
+    """Cleaned message text -> feature Counter."""
+
+    def __init__(self, engine=None, concept_weight=3, use_words=True):
+        self.engine = engine or build_telecom_engine()
+        self.concept_weight = concept_weight
+        self.use_words = use_words
+
+    def extract(self, text):
+        """Feature counts for one message."""
+        features = Counter()
+        if self.use_words:
+            for word in tokenize_words(text, lower=True):
+                if word not in _STOP and not word.isdigit():
+                    features[f"w:{word}"] += 1
+        annotated = self.engine.annotate(text)
+        for concept in annotated.concepts:
+            features[f"c:{concept.category}"] += self.concept_weight
+        return features
+
+    def extract_many(self, texts):
+        """Feature Counters for an iterable of texts."""
+        return [self.extract(text) for text in texts]

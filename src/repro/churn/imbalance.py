@@ -1,0 +1,56 @@
+"""Class-imbalance handling (paper Section VI, "Imbalanced data").
+
+"We conducted analysis on 47460 emails out of which only 3% emails came
+from churners. ... These are highly imbalanced classes and identifying
+key features corresponding to churn drivers was a challenge."
+
+Two standard levers: undersampling the majority class and shifting the
+classifier's class priors / sample weights.
+"""
+
+from repro.util.rng import derive_rng
+
+
+def undersample(features, labels, ratio=1.0, seed=5):
+    """Undersample the majority class to ``ratio`` x minority size.
+
+    Returns ``(features, labels)`` with all minority examples kept and
+    a deterministic random subset of the majority.
+    """
+    if len(features) != len(labels):
+        raise ValueError("features and labels must align")
+    if ratio <= 0:
+        raise ValueError("ratio must be positive")
+    positives = [i for i, label in enumerate(labels) if label]
+    negatives = [i for i, label in enumerate(labels) if not label]
+    if not positives or not negatives:
+        raise ValueError("need both classes to rebalance")
+    minority, majority = (
+        (positives, negatives)
+        if len(positives) <= len(negatives)
+        else (negatives, positives)
+    )
+    rng = derive_rng(seed, "undersample")
+    keep = min(len(majority), max(1, int(round(len(minority) * ratio))))
+    chosen = list(rng.choice(len(majority), size=keep, replace=False))
+    indices = sorted(minority + [majority[i] for i in chosen])
+    return (
+        [features[i] for i in indices],
+        [labels[i] for i in indices],
+    )
+
+
+def class_prior_weights(labels, boost=1.0):
+    """Balanced class priors ``(p_negative, p_positive)``.
+
+    ``boost > 1`` tilts further toward the minority (positive) class.
+    """
+    labels = [bool(label) for label in labels]
+    positives = sum(labels)
+    negatives = len(labels) - positives
+    if positives == 0 or negatives == 0:
+        raise ValueError("need both classes to compute priors")
+    raw_positive = 0.5 * boost
+    raw_negative = 0.5
+    total = raw_positive + raw_negative
+    return raw_negative / total, raw_positive / total

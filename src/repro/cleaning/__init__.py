@@ -1,0 +1,31 @@
+"""Noisy-text cleaning engine (paper Sections IV-A.2 and VI).
+
+Two cleaning steps, as the paper describes: first discard what carries
+no information (spam, non-English messages, email furniture and the
+agent's own words), then repair the noise in what remains (SMS lingo
+normalisation, spell correction against domain dictionaries).
+"""
+
+from repro.cleaning.sms import SmsNormalizer
+from repro.cleaning.spelling import SpellCorrector
+from repro.cleaning.langfilter import LanguageFilter
+from repro.cleaning.spamfilter import SpamFilter, train_default_spam_filter
+from repro.cleaning.email import parse_email, segment_customer_text
+from repro.cleaning.pipeline import (
+    CleanedMessage,
+    CleaningPipeline,
+    CleaningStats,
+)
+
+__all__ = [
+    "SmsNormalizer",
+    "SpellCorrector",
+    "LanguageFilter",
+    "SpamFilter",
+    "train_default_spam_filter",
+    "parse_email",
+    "segment_customer_text",
+    "CleaningPipeline",
+    "CleanedMessage",
+    "CleaningStats",
+]

@@ -1,0 +1,114 @@
+"""Email parsing and customer-voice segmentation.
+
+"For emails we also remove headers, disclaimers and promotional
+material from actual messages.  We also segregate the agent
+conversation from customer conversation so that only customer
+conversation is used for processing." (paper Section IV-A.2)
+"""
+
+import re
+from dataclasses import dataclass, field
+
+_HEADER_RE = re.compile(r"^(from|to|cc|bcc|subject|date|reply-to):", re.I)
+_QUOTE_RE = re.compile(r"^\s*>")
+_QUOTE_INTRO_RE = re.compile(r"wrote:\s*$", re.I)
+
+_DISCLAIMER_MARKERS = (
+    "confidential",
+    "intended solely",
+    "views expressed",
+    "consider the environment",
+    "disclaimer",
+)
+_PROMO_MARKERS = (
+    "download our",
+    "refer a friend",
+    "exclusive offers",
+    "bonus talktime",
+)
+_SIGNOFF_MARKERS = ("regards", "thanks and regards", "yours sincerely",
+                    "sincerely", "best regards")
+_GREETING_MARKERS = ("dear ", "hello ", "hi ")
+
+
+@dataclass
+class EmailParts:
+    """Structured decomposition of a raw email."""
+
+    headers: dict = field(default_factory=dict)
+    customer_lines: list = field(default_factory=list)
+    agent_lines: list = field(default_factory=list)
+    removed_lines: list = field(default_factory=list)
+
+    @property
+    def customer_text(self):
+        """Customer-authored lines joined into one string."""
+        return " ".join(self.customer_lines)
+
+    @property
+    def agent_text(self):
+        """Quoted agent lines joined into one string."""
+        return " ".join(self.agent_lines)
+
+
+def _is_furniture(line):
+    lowered = line.lower()
+    if any(marker in lowered for marker in _DISCLAIMER_MARKERS):
+        return True
+    if any(marker in lowered for marker in _PROMO_MARKERS):
+        return True
+    return False
+
+
+def parse_email(raw_text):
+    """Split a raw email into headers, customer voice and agent voice.
+
+    Quoted lines (``> ...``) and their ``... wrote:`` introductions are
+    the agent's earlier reply; header lines, disclaimers, promotional
+    footers, greetings and sign-offs are furniture.
+    """
+    parts = EmailParts()
+    in_headers = True
+    after_signoff = False
+    for line in raw_text.splitlines():
+        stripped = line.strip()
+        if in_headers:
+            if _HEADER_RE.match(stripped):
+                key, _, value = stripped.partition(":")
+                parts.headers[key.lower()] = value.strip()
+                continue
+            if not stripped:
+                in_headers = False
+                continue
+            in_headers = False
+        if not stripped:
+            continue
+        if _QUOTE_RE.match(line) or _QUOTE_INTRO_RE.search(stripped):
+            cleaned = _QUOTE_RE.sub("", line).strip()
+            if cleaned and not _QUOTE_INTRO_RE.search(cleaned):
+                parts.agent_lines.append(cleaned)
+            else:
+                parts.removed_lines.append(stripped)
+            continue
+        if _is_furniture(stripped):
+            parts.removed_lines.append(stripped)
+            continue
+        lowered = stripped.lower()
+        if lowered in _SIGNOFF_MARKERS:
+            after_signoff = True
+            parts.removed_lines.append(stripped)
+            continue
+        if after_signoff:
+            # Signature block (the sender's name etc.).
+            parts.removed_lines.append(stripped)
+            continue
+        if any(lowered.startswith(marker) for marker in _GREETING_MARKERS):
+            parts.removed_lines.append(stripped)
+            continue
+        parts.customer_lines.append(stripped)
+    return parts
+
+
+def segment_customer_text(raw_text):
+    """Just the customer-authored body of a raw email."""
+    return parse_email(raw_text).customer_text

@@ -1,0 +1,122 @@
+"""Noisy-channel spelling correction.
+
+"The domain of noisy text correction is comparatively new, though
+considerable insight into probable approaches may be taken from the
+field of automatic spelling correctors [Kukich 1992]."
+
+The corrector is the classic noisy-channel design: a unigram language
+model over a domain vocabulary, candidate generation by edit distance
+(with adjacent transpositions counted once, since they dominate typing
+noise), and a per-edit penalty.  Out-of-vocabulary tokens are replaced
+by the most probable in-vocabulary candidate within the edit budget.
+"""
+
+from collections import Counter
+
+from repro.synth.lexicon import (
+    CALL_CENTER_SENTENCES,
+    CHURN_DRIVERS,
+    CHURN_INTENT_PHRASES,
+    CITIES,
+    GENERAL_ENGLISH_SENTENCES,
+    NEUTRAL_TELECOM_PHRASES,
+    SMS_LINGO,
+    VEHICLE_SURFACES,
+)
+from repro.util.textdist import damerau_levenshtein
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def default_spelling_corpus():
+    """Sentences whose words form the default correction vocabulary."""
+    sentences = list(GENERAL_ENGLISH_SENTENCES)
+    sentences.extend(CALL_CENTER_SENTENCES)
+    sentences.extend(NEUTRAL_TELECOM_PHRASES)
+    sentences.extend(CHURN_INTENT_PHRASES)
+    for phrases in CHURN_DRIVERS.values():
+        sentences.extend(phrases)
+    # The standard forms behind the SMS lingo table are exactly the
+    # words SMS customers write (and misspell) most.
+    sentences.append(" ".join(SMS_LINGO))
+    # Car-rental domain vocabulary (cities, vehicle surfaces, the words
+    # agents type in after-call notes): without these, the corrector
+    # "fixes" valid domain words into lookalikes ("compact"->"company").
+    sentences.extend(CITIES)
+    for surfaces in VEHICLE_SURFACES.values():
+        sentences.extend(surfaces)
+    sentences.append(
+        "customer called wanted needs asked asking quoted agreed rates "
+        "prices dates status details satisfied expensive ready think "
+        "change existing requested done only back call will days"
+    )
+    return sentences
+
+
+class SpellCorrector:
+    """Edit-distance spell corrector over a unigram vocabulary."""
+
+    def __init__(self, corpus=None, max_edit_distance=2, min_length=4):
+        counts = Counter()
+        for sentence in corpus or default_spelling_corpus():
+            for word in sentence.lower().split():
+                if word.isalpha():
+                    counts[word] += 1
+        self._counts = counts
+        self._total = sum(counts.values())
+        self._max_edit = max_edit_distance
+        self._min_length = min_length
+        self._by_length = {}
+        for word in counts:
+            self._by_length.setdefault(len(word), []).append(word)
+
+    @property
+    def vocabulary(self):
+        """The correction vocabulary as a set."""
+        return set(self._counts)
+
+    def known(self, word):
+        """True when the word is in the correction vocabulary."""
+        return word.lower() in self._counts
+
+    def _candidates(self, word):
+        """In-vocabulary words within the edit budget, with distances."""
+        found = []
+        for length in range(
+            len(word) - self._max_edit, len(word) + self._max_edit + 1
+        ):
+            for candidate in self._by_length.get(length, ()):
+                distance = damerau_levenshtein(word, candidate)
+                if distance <= self._max_edit:
+                    found.append((candidate, distance))
+        return found
+
+    def correct_word(self, word):
+        """Best correction for one token (or the token unchanged).
+
+        Tokens that are known, too short to correct safely, or
+        non-alphabetic pass through untouched.
+        """
+        lowered = word.lower()
+        if (
+            not lowered.isalpha()
+            or len(lowered) < self._min_length
+            or lowered in self._counts
+        ):
+            return word
+        candidates = self._candidates(lowered)
+        if not candidates:
+            return word
+        # Noisy channel: maximise P(candidate) * P(typo | candidate),
+        # the channel term decaying geometrically with edit distance.
+        def score(pair):
+            candidate, distance = pair
+            prior = self._counts[candidate] / self._total
+            return prior * (0.08 ** distance)
+
+        best, _ = max(candidates, key=score)
+        return best
+
+    def correct(self, text):
+        """Correct every token of a message."""
+        return " ".join(self.correct_word(token) for token in text.split())

@@ -1,0 +1,39 @@
+"""The assembled BIVoC system (paper Section IV, Fig 3).
+
+:class:`~repro.core.pipeline.BIVoCSystem` wires the substrates into the
+paper's architecture — data processing (ASR / cleaning), data linking,
+annotation, indexing and reporting — and the use-case modules drive the
+two studies of Sections V and VI.
+"""
+
+from repro.core.config import BIVoCConfig
+from repro.core.pipeline import BIVoCSystem, CallCenterAnalysis
+from repro.core.calltype import CallTypeClassifier, evaluate_call_routing
+from repro.core.usecases.agent_productivity import (
+    AgentProductivityStudy,
+    conduct_outcome_correlation,
+    mine_agent_conduct,
+    run_insight_analysis,
+    run_training_experiment,
+)
+from repro.core.usecases.churn import (
+    ChurnStudyResult,
+    analyse_churn_drivers,
+    run_churn_study,
+)
+
+__all__ = [
+    "BIVoCConfig",
+    "BIVoCSystem",
+    "CallCenterAnalysis",
+    "CallTypeClassifier",
+    "evaluate_call_routing",
+    "AgentProductivityStudy",
+    "run_insight_analysis",
+    "run_training_experiment",
+    "mine_agent_conduct",
+    "conduct_outcome_correlation",
+    "ChurnStudyResult",
+    "run_churn_study",
+    "analyse_churn_drivers",
+]

@@ -1,0 +1,328 @@
+"""The BIVoC pipeline: transcribe -> link -> annotate -> index.
+
+Mirrors the architecture of the paper's Fig 3 for the call-center side:
+call audio (simulated) is transcribed per speaker turn, the transcript
+is linked to its reservation-warehouse record, the annotation engine
+extracts concepts from the right conversational regions (intent from
+the customer's opening, agent utterances after the rate quote), and
+everything lands in a :class:`~repro.mining.index.ConceptIndex` ready
+for association analysis.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.annotation.domains import (
+    DISCOUNT_CATEGORY,
+    INTENT_CATEGORY,
+    STRONG_START,
+    VALUE_SELLING_CATEGORY,
+    WEAK_START,
+    build_car_rental_engine,
+)
+from repro.asr.system import ASRSystem
+from repro.asr.twopass import constrained_decode, name_words_of
+from repro.core.config import BIVoCConfig
+from repro.linking.annotators import build_default_annotators
+from repro.linking.similarity import default_registry
+from repro.linking.single import EntityLinker
+from repro.mining.index import ConceptIndex
+from repro.store.query import Query
+
+
+@dataclass
+class ProcessedCall:
+    """One call after the full pipeline."""
+
+    call_id: int
+    customer_opening: str
+    agent_text: str
+    full_text: str
+    linked_record: object  # calls-table Entity or None
+    annotated: object  # AnnotatedDocument over the full text
+    detected_intent: str  # "strong" | "weak" | "unknown"
+    value_selling: bool
+    discount: bool
+
+
+@dataclass
+class CallCenterAnalysis:
+    """Pipeline output: processed calls plus the ready concept index."""
+
+    calls: list
+    index: ConceptIndex
+    link_attempts: int = 0
+    link_successes: int = 0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def linked_fraction(self):
+        """Share of link attempts that found a record."""
+        if self.link_attempts == 0:
+            return 0.0
+        return self.link_successes / self.link_attempts
+
+
+class CallRecordLinker:
+    """Links a transcript to its reservation record.
+
+    The recorder knows the agent and the day, so candidate records are
+    the handful of calls that agent took that day; the customer's
+    identity mentions (name / phone / date of birth) pick among their
+    customers with the standard similarity registry — the combined-
+    evidence scoring of paper Eqn 2 over a metadata-blocked candidate
+    set.
+    """
+
+    def __init__(self, database, annotators=None, registry=None,
+                 min_score=0.3):
+        self._calls = database.table("calls")
+        self._customers = database.table("customers")
+        self._annotators = annotators or build_default_annotators()
+        self._registry = registry or default_registry()
+        self._min_score = min_score
+        self._by_agent_day = {}
+        for record in self._calls:
+            key = (record["agent_name"], record["day"])
+            self._by_agent_day.setdefault(key, []).append(record)
+
+    def link(self, customer_text, agent_name, day):
+        """Best call record for the transcript, or None."""
+        candidates = self._by_agent_day.get((agent_name, day), ())
+        if not candidates:
+            return None
+        tokens = self._annotators.annotate(customer_text)
+        if not tokens:
+            return None
+        best_record = None
+        best_score = 0.0
+        for record in candidates:
+            customer = self._customers.get(record["customer_ref"])
+            score = 0.0
+            for token in tokens:
+                for attribute in self._customers.schema.attributes_of_type(
+                    token.attr_type
+                ):
+                    score += self._registry.similarity(
+                        attribute.type,
+                        token.value,
+                        customer.values.get(attribute.name),
+                    )
+            if score > best_score:
+                best_score = score
+                best_record = record
+        if best_score < self._min_score:
+            return None
+        return best_record
+
+
+class BIVoCSystem:
+    """End-to-end system facade for the call-center study."""
+
+    RECORD_FIELDS = ("call_type", "car_type", "city", "agent_name", "day")
+
+    def __init__(self, config=None, engine=None):
+        self.config = config or BIVoCConfig()
+        self.engine = engine or build_car_rental_engine()
+
+    def _build_asr(self, corpus):
+        sample = [
+            transcript.text
+            for transcript in corpus.transcripts[
+                : self.config.lm_sample_size
+            ]
+        ]
+        system = ASRSystem.build_default(extra_sentences=sample)
+        system.channel.reset(self.config.asr_seed)
+        return system
+
+    def _transcribe_turns(self, asr, transcript, identity_linker=None,
+                          roster_words=frozenset()):
+        """Per-turn recognition, preserving the speaker separation.
+
+        With ``two_pass`` enabled, the customer's first-pass text
+        retrieves the top-N candidate identities from the warehouse and
+        every turn is re-decoded with name slots constrained to those
+        identities plus the agent roster (paper SecIV-A).
+        """
+        transcriptions = [
+            (speaker, asr.transcribe(text))
+            for speaker, text in transcript.turns
+        ]
+        if self.config.two_pass and identity_linker is not None:
+            first_pass_customer = " ".join(
+                " ".join(transcription.hypothesis_tokens)
+                for speaker, transcription in transcriptions
+                if speaker == "customer"
+            )
+            identities = identity_linker.top_identities(
+                first_pass_customer, n=self.config.two_pass_top_n
+            )
+            allowed = name_words_of(identities) | roster_words
+            if allowed:
+                redecoded = []
+                for speaker, transcription in transcriptions:
+                    words, _ = constrained_decode(
+                        asr.decoder, transcription.network, allowed
+                    )
+                    redecoded.append((speaker, words))
+                customer_parts = [
+                    " ".join(words)
+                    for speaker, words in redecoded
+                    if speaker == "customer"
+                ]
+                agent_parts = [
+                    " ".join(words)
+                    for speaker, words in redecoded
+                    if speaker == "agent"
+                ]
+                return customer_parts, agent_parts
+        customer_parts = [
+            " ".join(transcription.hypothesis_tokens)
+            for speaker, transcription in transcriptions
+            if speaker == "customer"
+        ]
+        agent_parts = [
+            " ".join(transcription.hypothesis_tokens)
+            for speaker, transcription in transcriptions
+            if speaker == "agent"
+        ]
+        return customer_parts, agent_parts
+
+    @staticmethod
+    def _split_turns(transcript):
+        customer_parts = [
+            text for speaker, text in transcript.turns
+            if speaker == "customer"
+        ]
+        agent_parts = [
+            text for speaker, text in transcript.turns
+            if speaker == "agent"
+        ]
+        return customer_parts, agent_parts
+
+    def _detect_intent(self, opening_text):
+        document = self.engine.annotate(opening_text)
+        intents = {
+            concept.canonical
+            for concept in document.concepts_in(INTENT_CATEGORY)
+        }
+        if STRONG_START in intents and WEAK_START not in intents:
+            return "strong"
+        if WEAK_START in intents and STRONG_START not in intents:
+            return "weak"
+        return "unknown"
+
+    def process_call_center(self, corpus):
+        """Run the full pipeline over a car-rental corpus."""
+        asr = self._build_asr(corpus) if self.config.use_asr else None
+        linker = CallRecordLinker(
+            corpus.database, min_score=self.config.min_link_score
+        )
+        identity_linker = None
+        roster_words = frozenset()
+        if self.config.two_pass and asr is not None:
+            identity_linker = EntityLinker(corpus.database, "customers")
+            roster = set()
+            if "agents" in corpus.database:
+                for agent in corpus.database.table("agents"):
+                    roster.update(str(agent["name"]).lower().split())
+            roster_words = frozenset(roster)
+        calls_table = corpus.database.table("calls")
+        index = ConceptIndex()
+        processed = []
+        link_attempts = 0
+        link_successes = 0
+        for transcript in corpus.transcripts:
+            if asr is not None:
+                customer_parts, agent_parts = self._transcribe_turns(
+                    asr,
+                    transcript,
+                    identity_linker=identity_linker,
+                    roster_words=roster_words,
+                )
+            else:
+                customer_parts, agent_parts = self._split_turns(transcript)
+            customer_text = " ".join(customer_parts)
+            agent_text = " ".join(agent_parts)
+            opening = " ".join(customer_parts[:2])
+            full_text = f"{customer_text} {agent_text}"
+
+            if self.config.link_mode == "metadata":
+                record = calls_table.get(transcript.call_id)
+            else:
+                link_attempts += 1
+                record = linker.link(
+                    customer_text, transcript.agent_name, transcript.day
+                )
+                if record is not None:
+                    link_successes += 1
+
+            annotated = self.engine.annotate(
+                full_text, doc_id=transcript.call_id
+            )
+            agent_doc = self.engine.annotate(agent_text)
+            intent = self._detect_intent(opening)
+            value_selling = agent_doc.has_category(VALUE_SELLING_CATEGORY)
+            discount = agent_doc.has_category(DISCOUNT_CATEGORY)
+
+            fields = {}
+            if record is not None:
+                fields = {
+                    name: record.values.get(name)
+                    for name in self.RECORD_FIELDS
+                }
+            if intent != "unknown":
+                fields["detected_intent"] = intent
+            fields["agent_value_selling"] = value_selling
+            fields["agent_discount"] = discount
+            index.add(
+                transcript.call_id,
+                annotated=annotated,
+                fields=fields,
+                timestamp=transcript.day,
+            )
+            processed.append(
+                ProcessedCall(
+                    call_id=transcript.call_id,
+                    customer_opening=opening,
+                    agent_text=agent_text,
+                    full_text=full_text,
+                    linked_record=record,
+                    annotated=annotated,
+                    detected_intent=intent,
+                    value_selling=value_selling,
+                    discount=discount,
+                )
+            )
+        if self.config.link_mode == "metadata":
+            link_attempts = link_successes = len(processed)
+        return CallCenterAnalysis(
+            calls=processed,
+            index=index,
+            link_attempts=link_attempts,
+            link_successes=link_successes,
+            stats={
+                "intent_detected": sum(
+                    1 for call in processed
+                    if call.detected_intent != "unknown"
+                ),
+                "total": len(processed),
+            },
+        )
+
+    @staticmethod
+    def booking_ratio(database, agent_name=None):
+        """Reservation : (reservation + unbooked) ratio from the warehouse.
+
+        The paper's agent-productivity metric ("the ratio of reserved
+        calls to unbooked calls") expressed as a rate so it is bounded.
+        """
+        calls = Query(database.table("calls"))
+        if agent_name is not None:
+            calls = calls.where_equals("agent_name", agent_name)
+        reserved = calls.where_equals("call_type", "reservation").count()
+        unbooked = calls.where_equals("call_type", "unbooked").count()
+        total = reserved + unbooked
+        if total == 0:
+            return 0.0
+        return reserved / total

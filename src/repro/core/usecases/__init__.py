@@ -1,0 +1,1 @@
+"""Use-case drivers for the paper's two studies (Sections V and VI)."""

@@ -1,0 +1,42 @@
+"""The data-linking engine (paper Section IV-B).
+
+Links noisy VoC documents to the structured records they talk about:
+
+* typed annotators extract candidate tokens (names, phone digits,
+  dates, amounts) from a document,
+* per-attribute fuzzy similarity scores each token against candidate
+  entity attributes,
+* ranked candidate lists are merged with Fagin's algorithm to find the
+  highest-scoring entity without scanning the whole table,
+* the multi-type variant scores ``(entity, type)`` pairs with
+  per-(attribute, type) weights learned by an unsupervised EM loop.
+"""
+
+from repro.linking.similarity import SimilarityRegistry, default_registry
+from repro.linking.annotators import (
+    AnnotatorSuite,
+    TypedToken,
+    build_default_annotators,
+)
+from repro.linking.fagin import fagin_merge, threshold_merge
+from repro.linking.single import EntityLinker, LinkResult
+from repro.linking.multi import MultiTypeLinker, TypedLinkResult
+from repro.linking.em import learn_weights_em
+from repro.linking.evaluation import LinkingReport, evaluate_linker
+
+__all__ = [
+    "SimilarityRegistry",
+    "default_registry",
+    "AnnotatorSuite",
+    "TypedToken",
+    "build_default_annotators",
+    "fagin_merge",
+    "threshold_merge",
+    "EntityLinker",
+    "LinkResult",
+    "MultiTypeLinker",
+    "TypedLinkResult",
+    "learn_weights_em",
+    "LinkingReport",
+    "evaluate_linker",
+]

@@ -1,0 +1,158 @@
+"""Pluggable per-attribute similarity measures.
+
+"Our focus is not on specific attribute similarity measures — the best
+similarity measure available for specific attributes can be readily
+plugged into our architecture." (paper Section IV-B)
+
+:class:`SimilarityRegistry` is that plug point: it maps an
+:class:`~repro.store.schema.AttributeType` to a ``sim(token_value,
+attribute_value) -> [0, 1]`` callable, with sensible defaults for every
+type the reproduction uses.
+"""
+
+from repro.store.schema import AttributeType
+from repro.util.textdist import jaccard_qgrams, jaro_winkler, levenshtein
+
+
+def name_similarity(token_value, attribute_value):
+    """Best-pairing token-level Jaro-Winkler for multi-word names.
+
+    Handles partial recognition ("only the surname or the given name
+    may get recognized"): a single matching surname still scores well.
+    """
+    token_words = str(token_value).lower().split()
+    attr_words = str(attribute_value).lower().split()
+    if not token_words or not attr_words:
+        return 0.0
+    total = 0.0
+    for token_word in token_words:
+        total += max(
+            jaro_winkler(token_word, attr_word) for attr_word in attr_words
+        )
+    return total / len(token_words)
+
+
+def digits_similarity(token_value, attribute_value):
+    """Similarity of digit strings, robust to partial recognition.
+
+    ASR leaves two kinds of damage on spoken numbers: digits are
+    *substituted* in place (alignment survives) and digits are *dropped*
+    ("only 6 out of a 10 digit telephone number may get recognized").
+    The measure blends an edit-distance similarity (substitution
+    tolerant) with a longest-common-substring ratio (rewarding intact
+    runs) and takes the stronger signal.
+    """
+    token_digits = "".join(c for c in str(token_value) if c.isdigit())
+    if not token_digits:
+        return 0.0
+    # Multi-valued digit attributes (a customer's several card numbers)
+    # are whitespace-separated; the token matches its best part.
+    best = 0.0
+    for part in str(attribute_value).split():
+        attr_digits = "".join(c for c in part if c.isdigit())
+        if not attr_digits:
+            continue
+        if token_digits == attr_digits:
+            return 1.0
+        longest = max(len(attr_digits), len(token_digits))
+        edit_sim = 1.0 - levenshtein(token_digits, attr_digits) / longest
+        run_sim = (
+            _longest_common_substring(token_digits, attr_digits) / longest
+        )
+        best = max(best, edit_sim, run_sim)
+    return best
+
+
+def _longest_common_substring(a, b):
+    best = 0
+    previous = [0] * (len(b) + 1)
+    for ca in a:
+        current = [0]
+        for j, cb in enumerate(b, start=1):
+            length = previous[j - 1] + 1 if ca == cb else 0
+            current.append(length)
+            if length > best:
+                best = length
+        previous = current
+    return best
+
+
+def date_similarity(token_value, attribute_value):
+    """Component-wise date match over ISO-format dates.
+
+    Each matching component (year, month, day) contributes a third;
+    noisy recognition frequently garbles one component only.
+    """
+    token_parts = str(token_value).split("-")
+    attr_parts = str(attribute_value).split("-")
+    if len(token_parts) != 3 or len(attr_parts) != 3:
+        return 1.0 if token_value == attribute_value else 0.0
+    matches = sum(
+        1 for a, b in zip(token_parts, attr_parts) if a == b
+    )
+    return matches / 3.0
+
+
+def numeric_similarity(token_value, attribute_value):
+    """1 minus relative difference, clamped to [0, 1]."""
+    try:
+        token_number = float(str(token_value).replace(",", ""))
+        attr_number = float(str(attribute_value).replace(",", ""))
+    except ValueError:
+        return 0.0
+    denominator = max(abs(token_number), abs(attr_number), 1.0)
+    return max(0.0, 1.0 - abs(token_number - attr_number) / denominator)
+
+
+def string_similarity(token_value, attribute_value):
+    """Default fuzzy string match: q-gram Jaccard."""
+    return jaccard_qgrams(
+        str(token_value).lower(), str(attribute_value).lower()
+    )
+
+
+def exact_similarity(token_value, attribute_value):
+    """Case-insensitive exact match for ids and categories."""
+    return float(
+        str(token_value).lower() == str(attribute_value).lower()
+    )
+
+
+class SimilarityRegistry:
+    """Maps attribute types to similarity callables."""
+
+    def __init__(self, measures=None):
+        self._measures = dict(measures or {})
+
+    def register(self, attr_type, measure):
+        """Plug in a custom measure for ``attr_type``."""
+        self._measures[attr_type] = measure
+        return self
+
+    def measure_for(self, attr_type):
+        """The measure registered for ``attr_type`` (string fallback)."""
+        return self._measures.get(attr_type, string_similarity)
+
+    def similarity(self, attr_type, token_value, attribute_value):
+        """Score ``token_value`` against ``attribute_value``."""
+        if attribute_value is None:
+            return 0.0
+        return self.measure_for(attr_type)(token_value, attribute_value)
+
+
+def default_registry():
+    """Registry with the default measure per attribute type."""
+    return SimilarityRegistry(
+        {
+            AttributeType.NAME: name_similarity,
+            AttributeType.PHONE: digits_similarity,
+            AttributeType.CARD: digits_similarity,
+            AttributeType.DATE: date_similarity,
+            AttributeType.NUMBER: numeric_similarity,
+            AttributeType.MONEY: numeric_similarity,
+            AttributeType.PLACE: string_similarity,
+            AttributeType.STRING: string_similarity,
+            AttributeType.ID: exact_similarity,
+            AttributeType.CATEGORY: exact_similarity,
+        }
+    )

@@ -1,0 +1,155 @@
+"""Single-type entity identification (paper Section IV-B, Eqn 2).
+
+Given a document and one table, find the entity the document is about:
+
+    score(d, e) = sum_i sum_j  w_j * sim(t_i, e.A_j)
+
+with annotators restricting which attributes each token is compared
+against, fuzzy indexes generating candidates, and a ranked-list merge
+(Fagin/TA) producing the top-scoring entity without scanning the table.
+"""
+
+from dataclasses import dataclass
+
+from repro.linking.annotators import build_default_annotators
+from repro.linking.fagin import fagin_merge, full_scan_merge, threshold_merge
+from repro.linking.similarity import default_registry
+
+_MERGE_STRATEGIES = {
+    "fagin": fagin_merge,
+    "threshold": threshold_merge,
+    "scan": full_scan_merge,
+}
+
+
+@dataclass
+class LinkResult:
+    """Outcome of linking one document against one table."""
+
+    entity: object  # best Entity, or None when nothing matched
+    score: float
+    ranked: list  # [(entity_id, score)] best first
+    tokens: list  # the TypedTokens that drove the match
+    table_name: str
+
+    @property
+    def linked(self):
+        """True when an entity cleared the score/confirmation gates."""
+        return self.entity is not None
+
+
+class EntityLinker:
+    """Links documents to entities of a single table."""
+
+    def __init__(self, database, table_name, annotators=None,
+                 registry=None, weights=None, candidate_limit=25,
+                 merge="threshold", min_score=0.0, confirm=None):
+        """``confirm`` maps attribute names to a minimum similarity one
+        of the document's tokens must reach against the winning entity
+        (high-precision mode: "accept only with near-exact phone
+        evidence").  Links failing confirmation are rejected."""
+        self.database = database
+        self.table_name = table_name
+        self.table = database.table(table_name)
+        self.annotators = annotators or build_default_annotators()
+        self.registry = registry or default_registry()
+        self.weights = dict(weights or {})
+        self.candidate_limit = candidate_limit
+        self.min_score = min_score
+        self.confirm = dict(confirm or {})
+        if merge not in _MERGE_STRATEGIES:
+            raise ValueError(
+                f"merge must be one of {sorted(_MERGE_STRATEGIES)}"
+            )
+        self._merge = _MERGE_STRATEGIES[merge]
+
+    def weight_of(self, attribute_name):
+        """Weight w_j for an attribute (default 1.0)."""
+        return self.weights.get(attribute_name, 1.0)
+
+    def _candidates_for(self, attribute, token):
+        """Candidate entities for one (token, attribute) pair."""
+        if self.database.has_index(self.table_name, attribute.name):
+            return self.database.candidates(
+                self.table_name,
+                attribute.name,
+                token.value,
+                limit=self.candidate_limit,
+            )
+        # Unindexed attribute: scan (fine for small dimension tables).
+        return list(self.table)
+
+    def ranked_lists(self, text):
+        """Per-(token, attribute) ranked candidate lists and weights.
+
+        Returns ``(lists, weights, tokens)`` ready for the merge.
+        """
+        tokens = self.annotators.annotate(text)
+        lists = []
+        weights = []
+        for token in tokens:
+            for attribute in self.table.schema.attributes_of_type(
+                token.attr_type
+            ):
+                scored = []
+                for entity in self._candidates_for(attribute, token):
+                    similarity = self.registry.similarity(
+                        attribute.type,
+                        token.value,
+                        entity.values.get(attribute.name),
+                    )
+                    if similarity > 0.0:
+                        scored.append((entity.entity_id, similarity))
+                scored.sort(key=lambda pair: (-pair[1], pair[0]))
+                if scored:
+                    lists.append(scored)
+                    weights.append(self.weight_of(attribute.name))
+        return lists, weights, tokens
+
+    def link(self, text, k=1):
+        """Best entity for ``text`` (or top-k ranked candidates)."""
+        lists, weights, tokens = self.ranked_lists(text)
+        if not lists:
+            return LinkResult(None, 0.0, [], tokens, self.table_name)
+        merged = self._merge(lists, weights=weights, k=max(k, 1))
+        ranked = merged.ranked
+        if not ranked or ranked[0][1] < self.min_score:
+            return LinkResult(None, 0.0, ranked, tokens, self.table_name)
+        best_id, best_score = ranked[0]
+        entity = self.table.get(best_id)
+        if not self._confirmed(entity, tokens):
+            return LinkResult(None, 0.0, ranked, tokens, self.table_name)
+        return LinkResult(
+            entity=entity,
+            score=best_score,
+            ranked=ranked,
+            tokens=tokens,
+            table_name=self.table_name,
+        )
+
+    def _confirmed(self, entity, tokens):
+        """Check the high-precision confirmation rules, if any."""
+        for attribute_name, min_similarity in self.confirm.items():
+            attribute = self.table.schema[attribute_name]
+            best = 0.0
+            for token in tokens:
+                if token.attr_type is not attribute.type:
+                    continue
+                best = max(
+                    best,
+                    self.registry.similarity(
+                        attribute.type,
+                        token.value,
+                        entity.values.get(attribute.name),
+                    ),
+                )
+            if best < min_similarity:
+                return False
+        return True
+
+    def top_identities(self, text, n=5):
+        """Top-N candidate entities (for two-pass ASR, paper IV-A)."""
+        result = self.link(text, k=n)
+        return [
+            self.table.get(entity_id) for entity_id, _ in result.ranked[:n]
+        ]

@@ -1,0 +1,136 @@
+"""The concept inverted index.
+
+Documents are indexed under *concept keys*.  Two key families exist so
+that one analysis can mix both sides of the house ("Some of these
+concepts could be dimensions from unstructured data and others could be
+from structured data", paper Section IV-D.2):
+
+* ``concept_key(category, canonical)`` — an annotation-engine concept,
+* ``field_key(name, value)`` — a structured attribute of the linked
+  record.
+"""
+
+from collections import defaultdict
+
+
+def concept_key(category, canonical):
+    """Key for an unstructured concept occurrence."""
+    return ("concept", category, str(canonical))
+
+
+def field_key(name, value):
+    """Key for a structured field value of the linked record."""
+    return ("field", name, str(value))
+
+
+class ConceptIndex:
+    """Inverted index: concept key -> document ids.
+
+    With ``keep_documents=True`` the index also retains each document's
+    text so drill-down (Fig 4: "right upto individual documents") can
+    show the underlying messages, at the cost of holding them in
+    memory.
+    """
+
+    def __init__(self, keep_documents=False):
+        self._postings = defaultdict(set)
+        self._documents = {}
+        self._dimension_values = defaultdict(set)
+        self._keep_documents = keep_documents
+        self._texts = {}
+
+    def add(self, doc_id, annotated=None, fields=None, timestamp=None,
+            text=None):
+        """Index one document.
+
+        ``annotated`` is an :class:`AnnotatedDocument` (its concepts are
+        indexed by (category, canonical)); ``fields`` maps structured
+        field names to values; ``timestamp`` is an arbitrary orderable
+        time bucket used by trend analysis.  ``text`` overrides the
+        stored drill-down text (defaults to ``annotated.text``) when the
+        index keeps documents.
+        """
+        if doc_id in self._documents:
+            raise ValueError(f"document {doc_id!r} already indexed")
+        keys = set()
+        if annotated is not None:
+            for concept in annotated.concepts:
+                key = concept_key(concept.category, concept.canonical)
+                keys.add(key)
+        for name, value in (fields or {}).items():
+            if value is None:
+                continue
+            keys.add(field_key(name, value))
+        for key in keys:
+            self._postings[key].add(doc_id)
+            self._dimension_values[key[:2]].add(key[2])
+        self._documents[doc_id] = {
+            "keys": keys,
+            "timestamp": timestamp,
+        }
+        if self._keep_documents:
+            stored = text
+            if stored is None and annotated is not None:
+                stored = annotated.text
+            self._texts[doc_id] = stored or ""
+        return self
+
+    def text_of(self, doc_id):
+        """Drill-down text of a document (requires keep_documents)."""
+        if not self._keep_documents:
+            raise RuntimeError(
+                "index built without keep_documents=True"
+            )
+        if doc_id not in self._documents:
+            raise KeyError(f"document {doc_id!r} not indexed")
+        return self._texts[doc_id]
+
+    def __len__(self):
+        return len(self._documents)
+
+    def __contains__(self, doc_id):
+        return doc_id in self._documents
+
+    @property
+    def document_ids(self):
+        """All indexed document ids, insertion-ordered."""
+        return list(self._documents)
+
+    def keys_of(self, doc_id):
+        """All concept keys of one document."""
+        return set(self._documents[doc_id]["keys"])
+
+    def timestamp_of(self, doc_id):
+        """The time bucket the document was indexed under."""
+        return self._documents[doc_id]["timestamp"]
+
+    def documents_with(self, key):
+        """Doc-id set for one concept key."""
+        return set(self._postings.get(key, ()))
+
+    def count(self, key):
+        """Number of documents carrying the key."""
+        return len(self._postings.get(key, ()))
+
+    def count_pair(self, key_a, key_b):
+        """Documents carrying both keys."""
+        return len(
+            self._postings.get(key_a, set())
+            & self._postings.get(key_b, set())
+        )
+
+    def values_of_dimension(self, dimension):
+        """All observed values of a dimension.
+
+        ``dimension`` is ``("concept", category)`` or
+        ``("field", name)``.
+        """
+        return sorted(self._dimension_values.get(tuple(dimension), ()))
+
+    def keys_of_dimension(self, dimension):
+        """All concept keys of one dimension."""
+        dimension = tuple(dimension)
+        return [
+            dimension + (value,)
+            for value in self.values_of_dimension(dimension)
+        ]

@@ -1,0 +1,124 @@
+"""Contact-center KPI reporting.
+
+Paper §II: "BI systems are typically used to monitor business
+conditions, track Key Performance Indicators (KPIs) ... in a variety of
+ways like real time dashboards, interactive OLAP tools or static
+reports", and commercial tools "measure and track the KPIs of contact
+centers".  This module provides those classic structured-side reports
+over the reservation warehouse so the combined structured+unstructured
+analyses have their traditional counterpart to sit beside.
+"""
+
+from dataclasses import dataclass
+
+from repro.store.query import Query
+from repro.util.tabletext import format_table
+
+
+@dataclass(frozen=True)
+class AgentKpi:
+    """Per-agent key performance indicators."""
+
+    agent_name: str
+    total_calls: int
+    reservations: int
+    unbooked: int
+    service_calls: int
+    revenue: float
+
+    @property
+    def booking_ratio(self):
+        """Reservations over sales calls (the paper's §V metric)."""
+        sales = self.reservations + self.unbooked
+        if sales == 0:
+            return 0.0
+        return self.reservations / sales
+
+    @property
+    def revenue_per_call(self):
+        """Revenue divided by total handled calls."""
+        if self.total_calls == 0:
+            return 0.0
+        return self.revenue / self.total_calls
+
+
+def agent_kpis(database):
+    """KPIs for every agent in the warehouse, name-sorted."""
+    calls = database.table("calls")
+    by_agent = Query(calls).group_by("agent_name")
+    kpis = []
+    for agent_name in sorted(by_agent):
+        records = by_agent[agent_name]
+        reservations = sum(
+            1 for r in records if r["call_type"] == "reservation"
+        )
+        unbooked = sum(1 for r in records if r["call_type"] == "unbooked")
+        service = sum(1 for r in records if r["call_type"] == "service")
+        revenue = sum(r["booking_cost"] or 0 for r in records)
+        kpis.append(
+            AgentKpi(
+                agent_name=agent_name,
+                total_calls=len(records),
+                reservations=reservations,
+                unbooked=unbooked,
+                service_calls=service,
+                revenue=float(revenue),
+            )
+        )
+    return kpis
+
+
+def daily_booking_series(database):
+    """``(day, booking_ratio, volume)`` per day, day-sorted."""
+    calls = database.table("calls")
+    by_day = Query(calls).group_by("day")
+    series = []
+    for day in sorted(by_day):
+        records = by_day[day]
+        reservations = sum(
+            1 for r in records if r["call_type"] == "reservation"
+        )
+        unbooked = sum(1 for r in records if r["call_type"] == "unbooked")
+        sales = reservations + unbooked
+        ratio = reservations / sales if sales else 0.0
+        series.append((day, ratio, len(records)))
+    return series
+
+
+def leaderboard(database, top=10):
+    """Agents ranked by booking ratio (min 1 sales call)."""
+    ranked = [
+        kpi
+        for kpi in agent_kpis(database)
+        if kpi.reservations + kpi.unbooked > 0
+    ]
+    ranked.sort(key=lambda kpi: (-kpi.booking_ratio, kpi.agent_name))
+    return ranked[:top]
+
+
+def render_kpi_report(database, top=10):
+    """The classic static KPI report as text."""
+    rows = [
+        [
+            kpi.agent_name,
+            kpi.total_calls,
+            f"{kpi.booking_ratio:.1%}",
+            f"{kpi.revenue:.0f}",
+        ]
+        for kpi in leaderboard(database, top=top)
+    ]
+    header = format_table(
+        ["agent", "calls", "booking ratio", "revenue"],
+        rows,
+        title=f"Agent leaderboard (top {len(rows)})",
+    )
+    series_rows = [
+        [day, f"{ratio:.1%}", volume]
+        for day, ratio, volume in daily_booking_series(database)
+    ]
+    series = format_table(
+        ["day", "booking ratio", "calls"],
+        series_rows,
+        title="Daily booking ratio",
+    )
+    return f"{header}\n\n{series}"

@@ -1,0 +1,83 @@
+"""Relevancy analysis with relative frequency (paper Section IV-D.1).
+
+"It compares the distributions of concepts within a specific data set
+featured with one or more concepts with the distribution of the
+concepts in the entire data set. ... By sorting phrases in a category
+based on the relative frequencies, relevant concepts for a specific
+data set are revealed."
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RelevancyResult:
+    """One concept's relative frequency inside a focus subset."""
+
+    key: tuple
+    focus_count: int
+    focus_total: int
+    overall_count: int
+    overall_total: int
+
+    @property
+    def focus_frequency(self):
+        """Concept frequency inside the focus subset."""
+        if self.focus_total == 0:
+            return 0.0
+        return self.focus_count / self.focus_total
+
+    @property
+    def overall_frequency(self):
+        """Concept frequency over the whole collection."""
+        if self.overall_total == 0:
+            return 0.0
+        return self.overall_count / self.overall_total
+
+    @property
+    def relative_frequency(self):
+        """Focus frequency over overall frequency (1.0 = unremarkable)."""
+        if self.overall_frequency == 0.0:
+            return 0.0
+        return self.focus_frequency / self.overall_frequency
+
+
+def relative_frequency(index, focus_keys, candidate_dimension,
+                       min_focus_count=1):
+    """Rank the concepts of a dimension by relative frequency.
+
+    ``focus_keys`` select the focus subset (documents carrying *all* of
+    them — "featured with one or more concepts"); the concepts of
+    ``candidate_dimension`` (("concept", category) or ("field", name))
+    are ranked by how over-represented they are inside the subset.
+
+    Returns :class:`RelevancyResult` objects, most over-represented
+    first.
+    """
+    focus_keys = [tuple(key) for key in focus_keys]
+    if not focus_keys:
+        raise ValueError("need at least one focus key")
+    focus_docs = index.documents_with(focus_keys[0])
+    for key in focus_keys[1:]:
+        focus_docs &= index.documents_with(key)
+    overall_total = len(index)
+    focus_total = len(focus_docs)
+    results = []
+    for key in index.keys_of_dimension(candidate_dimension):
+        if key in focus_keys:
+            continue
+        key_docs = index.documents_with(key)
+        focus_count = len(key_docs & focus_docs)
+        if focus_count < min_focus_count:
+            continue
+        results.append(
+            RelevancyResult(
+                key=key,
+                focus_count=focus_count,
+                focus_total=focus_total,
+                overall_count=len(key_docs),
+                overall_total=overall_total,
+            )
+        )
+    results.sort(key=lambda r: (-r.relative_frequency, r.key))
+    return results

@@ -1,0 +1,86 @@
+"""Text renderings of analysis results.
+
+The paper's Fig 4 is an interactive association view; these renderers
+produce the equivalent plain-text artefacts the benches print, plus the
+row-percentage layout of Tables III and IV.
+"""
+
+from repro.util.tabletext import format_table
+
+
+def render_association(table, value="count", title=None):
+    """Render an :class:`AssociationTable`.
+
+    ``value`` selects the cell content: ``"count"``, ``"strength"``
+    (interval-bounded lift) or ``"row_share"``.
+    """
+    if value not in ("count", "strength", "row_share"):
+        raise ValueError(f"unknown cell value {value!r}")
+    headers = [f"{'/'.join(table.row_dimension[1:])}"] + list(
+        table.col_values
+    )
+    rows = []
+    for row_value in table.row_values:
+        row = [row_value]
+        for col_value in table.col_values:
+            cell = table.cell(row_value, col_value)
+            if value == "count":
+                row.append(cell.count)
+            elif value == "strength":
+                row.append(round(cell.strength, 3))
+            else:
+                row.append(f"{cell.row_share:.0%}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def outcome_percentage_table(table, title=None, col_order=None):
+    """Tables III/IV layout: rows sum to 100% across outcome columns."""
+    cols = list(col_order or table.col_values)
+    headers = ["/".join(table.row_dimension[1:])] + cols
+    rows = []
+    for row_value in table.row_values:
+        total = sum(
+            table.cell(row_value, col).count for col in cols
+        )
+        row = [row_value]
+        for col in cols:
+            count = table.cell(row_value, col).count
+            share = count / total if total else 0.0
+            row.append(f"{share:.0%}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def render_drilldown(table, row_value, col_value, index, limit=5,
+                     snippet_length=90):
+    """Fig 4's final click: the documents behind one association cell.
+
+    Requires the index to have been built with ``keep_documents=True``.
+    """
+    doc_ids = table.documents(row_value, col_value)
+    lines = [
+        f"cell ({row_value}, {col_value}): {len(doc_ids)} documents"
+    ]
+    for doc_id in doc_ids[:limit]:
+        snippet = index.text_of(doc_id)[:snippet_length]
+        lines.append(f"  [{doc_id}] {snippet}")
+    if len(doc_ids) > limit:
+        lines.append(f"  ... and {len(doc_ids) - limit} more")
+    return "\n".join(lines)
+
+
+def render_relevancy(results, title=None, limit=10):
+    """Render :class:`RelevancyResult` rows, top-``limit``."""
+    headers = ["concept", "focus freq", "overall freq", "relative"]
+    rows = []
+    for result in results[:limit]:
+        rows.append(
+            [
+                "/".join(result.key[1:]),
+                f"{result.focus_frequency:.3f}",
+                f"{result.overall_frequency:.3f}",
+                f"{result.relative_frequency:.2f}",
+            ]
+        )
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,67 @@
+"""Concept trend analysis over time.
+
+"Even a simple function that examines the increase and decrease of
+occurrences of each concept in a certain period may allow us to
+analyze trends in the topics." (paper Section IV-D)
+"""
+
+from collections import Counter
+
+
+def trend_series(index, key, buckets=None):
+    """Occurrences of ``key`` per time bucket.
+
+    Documents indexed without a timestamp are skipped.  Returns a list
+    of ``(bucket, count)`` sorted by bucket; ``buckets`` forces the
+    bucket list (zero-filled) so series align across concepts.
+    """
+    counts = Counter()
+    for doc_id in index.documents_with(tuple(key)):
+        timestamp = index.timestamp_of(doc_id)
+        if timestamp is None:
+            continue
+        counts[timestamp] += 1
+    if buckets is None:
+        buckets = sorted(counts)
+    return [(bucket, counts.get(bucket, 0)) for bucket in buckets]
+
+
+def emerging_concepts(index, dimension, buckets=None, min_total=3):
+    """Concepts of a dimension ranked by rising trend.
+
+    Returns ``(key, slope, total)`` tuples, steepest rise first —
+    the "increase and decrease of occurrences of each concept" analysis
+    the paper sketches.  Concepts with fewer than ``min_total``
+    occurrences are dropped (their slopes are noise).
+    """
+    results = []
+    for key in index.keys_of_dimension(dimension):
+        series = trend_series(index, key, buckets=buckets)
+        total = sum(count for _, count in series)
+        if total < min_total:
+            continue
+        results.append((key, trend_slope(series), total))
+    results.sort(key=lambda item: (-item[1], item[0]))
+    return results
+
+
+def trend_slope(series):
+    """Least-squares slope of a ``(bucket, count)`` series.
+
+    Buckets must be numeric.  Positive slope = rising topic.  Returns
+    0.0 for series shorter than 2 points.
+    """
+    if len(series) < 2:
+        return 0.0
+    xs = [float(bucket) for bucket, _ in series]
+    ys = [float(count) for _, count in series]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0.0:
+        return 0.0
+    numerator = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    )
+    return numerator / denominator

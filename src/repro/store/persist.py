@@ -1,0 +1,79 @@
+"""JSON persistence for the structured store.
+
+Warehouses in the paper live in enterprise databases; the reproduction
+keeps them in memory but supports round-tripping to JSON so generated
+corpora and linked results can be saved, shared and reloaded without
+re-running the generators.
+"""
+
+import json
+
+from repro.store.database import Database
+from repro.store.schema import Attribute, AttributeType, Schema
+
+
+def database_to_dict(database):
+    """Serialisable dict representation of a :class:`Database`."""
+    payload = {"name": database.name, "tables": {}}
+    for table in database:
+        payload["tables"][table.name] = {
+            "schema": [
+                {
+                    "name": attribute.name,
+                    "type": attribute.type.value,
+                    "indexed": attribute.indexed,
+                }
+                for attribute in table.schema
+            ],
+            "rows": [
+                {"entity_id": entity.entity_id, "values": entity.values}
+                for entity in table
+            ],
+        }
+    return payload
+
+
+def database_from_dict(payload, build_indexes=True):
+    """Rebuild a :class:`Database` from :func:`database_to_dict` output.
+
+    Entity ids are preserved (rows are inserted in id order; gaps in
+    the id sequence are not supported by the in-memory table and raise).
+    """
+    database = Database(payload.get("name", "restored"))
+    for table_name, table_payload in payload["tables"].items():
+        schema = Schema(
+            tuple(
+                Attribute(
+                    column["name"],
+                    AttributeType(column["type"]),
+                    column.get("indexed", False),
+                )
+                for column in table_payload["schema"]
+            )
+        )
+        table = database.create_table(table_name, schema)
+        rows = sorted(
+            table_payload["rows"], key=lambda row: row["entity_id"]
+        )
+        for expected_id, row in enumerate(rows):
+            if row["entity_id"] != expected_id:
+                raise ValueError(
+                    f"table {table_name!r} has non-contiguous entity ids"
+                )
+            table.insert(row["values"])
+    if build_indexes:
+        database.build_indexes()
+    return database
+
+
+def save_database(database, path):
+    """Write the database to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(database_to_dict(database), handle)
+
+
+def load_database(path, build_indexes=True):
+    """Load a database from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return database_from_dict(payload, build_indexes=build_indexes)

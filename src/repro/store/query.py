@@ -1,0 +1,91 @@
+"""A small composable query layer over tables.
+
+The reporting side of BIVoC needs the classic BI aggregations — counts
+and ratios grouped by attribute ("reservation ratio ... the ratio of
+the number of reservations to the number of unbooked calls").  This
+module gives tables a fluent filter/group API without pretending to be
+SQL.
+"""
+
+from collections import Counter, defaultdict
+
+
+class Query:
+    """Lazy filtered view over a table (or any entity iterable).
+
+    >>> # Query(table).where(lambda e: e["outcome"] == "reserved").count()
+    """
+
+    def __init__(self, source):
+        self._source = source
+        self._predicates = []
+
+    def where(self, predicate):
+        """Add a filter; returns a new query (queries are immutable)."""
+        clone = Query(self._source)
+        clone._predicates = self._predicates + [predicate]
+        return clone
+
+    def where_equals(self, attribute, value):
+        """Convenience filter on attribute equality."""
+        return self.where(lambda entity: entity.get(attribute) == value)
+
+    def __iter__(self):
+        for entity in self._source:
+            if all(predicate(entity) for predicate in self._predicates):
+                yield entity
+
+    def count(self):
+        """Number of entities passing all filters."""
+        return sum(1 for _ in self)
+
+    def entities(self):
+        """Materialise the filtered entities as a list."""
+        return list(self)
+
+    def values(self, attribute):
+        """Non-None values of ``attribute`` over the filtered entities."""
+        return [
+            entity.get(attribute)
+            for entity in self
+            if entity.get(attribute) is not None
+        ]
+
+    def group_by(self, attribute):
+        """Group filtered entities by an attribute value."""
+        groups = defaultdict(list)
+        for entity in self:
+            groups[entity.get(attribute)].append(entity)
+        return dict(groups)
+
+
+def count_by(entities, attribute):
+    """Counter of attribute values over ``entities``.
+
+    >>> # count_by(calls, "outcome") -> Counter({"reserved": ..., ...})
+    """
+    counts = Counter()
+    for entity in entities:
+        counts[entity.get(attribute)] += 1
+    return counts
+
+
+def ratio_by(entities, attribute, success_value, failure_value=None):
+    """Fraction of entities whose ``attribute`` equals ``success_value``.
+
+    With ``failure_value`` given, the denominator is restricted to
+    entities taking one of the two values (the paper's booking ratio
+    ignores service calls).  Returns ``0.0`` on an empty denominator.
+    """
+    successes = 0
+    total = 0
+    for entity in entities:
+        value = entity.get(attribute)
+        if value == success_value:
+            successes += 1
+            total += 1
+        elif failure_value is None or value == failure_value:
+            total += 1
+    if total == 0:
+        return 0.0
+    return successes / total

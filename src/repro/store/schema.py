@@ -1,0 +1,107 @@
+"""Typed schemas for structured tables.
+
+Attribute types matter to the linking engine: the type selects both the
+default similarity measure (names use Jaro-Winkler, phone numbers use a
+digit-overlap measure, ...) and which annotator's tokens may match the
+attribute (a Name annotator's tokens are only compared against NAME
+attributes — paper Section IV-B).
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AttributeType(enum.Enum):
+    """Semantic type of a table attribute."""
+
+    ID = "id"
+    NAME = "name"
+    STRING = "string"
+    CATEGORY = "category"
+    PHONE = "phone"
+    DATE = "date"
+    NUMBER = "number"
+    MONEY = "money"
+    CARD = "card"
+    PLACE = "place"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a table.
+
+    ``indexed`` marks attributes that get a fuzzy index built for
+    candidate generation during linking.
+    """
+
+    name: str
+    type: AttributeType = AttributeType.STRING
+    indexed: bool = False
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered collection of attributes forming a table schema."""
+
+    attributes: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        attrs = tuple(self.attributes)
+        names = [attr.name for attr in attrs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in schema: {names}")
+        object.__setattr__(self, "attributes", attrs)
+        object.__setattr__(
+            self, "_by_name", {attr.name: attr for attr in attrs}
+        )
+
+    @classmethod
+    def build(cls, *specs):
+        """Build a schema from ``(name, type[, indexed])`` tuples.
+
+        >>> schema = Schema.build(("name", AttributeType.NAME, True),
+        ...                       ("age", AttributeType.NUMBER))
+        >>> schema["name"].indexed
+        True
+        """
+        attrs = []
+        for spec in specs:
+            if isinstance(spec, Attribute):
+                attrs.append(spec)
+                continue
+            name, attr_type, *rest = spec
+            indexed = rest[0] if rest else False
+            attrs.append(Attribute(name, attr_type, indexed))
+        return cls(tuple(attrs))
+
+    def __contains__(self, name):
+        return name in self._by_name
+
+    def __getitem__(self, name):
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no attribute named {name!r} in schema") from None
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __len__(self):
+        return len(self.attributes)
+
+    @property
+    def names(self):
+        """Attribute names, in schema order."""
+        return [attr.name for attr in self.attributes]
+
+    def attributes_of_type(self, attr_type):
+        """All attributes with the given :class:`AttributeType`."""
+        return [attr for attr in self.attributes if attr.type is attr_type]
+
+    def indexed_attributes(self):
+        """Attributes flagged for fuzzy indexing."""
+        return [attr for attr in self.attributes if attr.indexed]

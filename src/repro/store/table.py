@@ -1,0 +1,127 @@
+"""Tables of typed entities.
+
+Each row of a table is an :class:`Entity` (the paper's term: "We will
+refer to each row of the table as an entity e, having its own value
+e.Ai for the k attributes").
+"""
+
+from dataclasses import dataclass, field
+
+from repro.store.schema import Schema
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A single row: an entity with typed attribute values.
+
+    ``entity_id`` is unique within its table; ``table_name`` records the
+    entity's type (needed by the multi-type linking engine, where the
+    answer is an ``(entity, type)`` pair).
+    """
+
+    entity_id: int
+    table_name: str
+    values: dict = field(default_factory=dict)
+
+    def get(self, attribute, default=None):
+        """Value of ``attribute``, or ``default`` when absent/None."""
+        value = self.values.get(attribute, default)
+        return default if value is None else value
+
+    def __getitem__(self, attribute):
+        return self.values[attribute]
+
+    def __contains__(self, attribute):
+        return attribute in self.values
+
+    def __hash__(self):
+        return hash((self.table_name, self.entity_id))
+
+    def __eq__(self, other):
+        if not isinstance(other, Entity):
+            return NotImplemented
+        return (self.table_name, self.entity_id) == (
+            other.table_name,
+            other.entity_id,
+        )
+
+
+class Table:
+    """A named table holding entities that conform to a schema.
+
+    Rows are validated on insert: unknown attributes raise, missing
+    attributes are stored as ``None`` (VoC-linked warehouses are full of
+    partially populated records).
+    """
+
+    def __init__(self, name, schema):
+        if not name:
+            raise ValueError("table name must be non-empty")
+        if not isinstance(schema, Schema):
+            raise TypeError("schema must be a Schema instance")
+        self.name = name
+        self.schema = schema
+        self._rows = {}
+        self._next_id = 0
+
+    def insert(self, values):
+        """Insert a row from an attribute→value mapping; returns the Entity.
+
+        >>> from repro.store.schema import AttributeType, Schema
+        >>> table = Table("t", Schema.build(("a", AttributeType.STRING)))
+        >>> table.insert({"a": "x"}).entity_id
+        0
+        """
+        unknown = set(values) - set(self.schema.names)
+        if unknown:
+            raise KeyError(
+                f"unknown attributes for table {self.name!r}: {sorted(unknown)}"
+            )
+        row_values = {name: values.get(name) for name in self.schema.names}
+        entity = Entity(self._next_id, self.name, row_values)
+        self._rows[entity.entity_id] = entity
+        self._next_id += 1
+        return entity
+
+    def insert_many(self, rows):
+        """Insert an iterable of mappings; returns the created entities."""
+        return [self.insert(row) for row in rows]
+
+    def get(self, entity_id):
+        """Entity by id; raises ``KeyError`` for unknown ids."""
+        try:
+            return self._rows[entity_id]
+        except KeyError:
+            raise KeyError(
+                f"no entity {entity_id} in table {self.name!r}"
+            ) from None
+
+    def __len__(self):
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows.values())
+
+    def __contains__(self, entity_id):
+        return entity_id in self._rows
+
+    def scan(self, predicate=None):
+        """Iterate entities, optionally filtered by ``predicate(entity)``."""
+        if predicate is None:
+            yield from self._rows.values()
+            return
+        for entity in self._rows.values():
+            if predicate(entity):
+                yield entity
+
+    def column(self, attribute):
+        """All (non-None) values of one attribute, in insertion order."""
+        if attribute not in self.schema:
+            raise KeyError(
+                f"no attribute {attribute!r} in table {self.name!r}"
+            )
+        return [
+            entity.values[attribute]
+            for entity in self._rows.values()
+            if entity.values[attribute] is not None
+        ]

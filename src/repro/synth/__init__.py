@@ -1,0 +1,40 @@
+"""Synthetic data substrate.
+
+The paper's evaluation runs on proprietary call-center data (car-rental
+conversations, telecom emails/SMS).  This package generates the closest
+synthetic equivalents: structured warehouse records plus the VoC
+documents that reference them, with *planted, calibrated* causal
+structure so the analysis layer can re-discover the paper's findings
+(see DESIGN.md section 2 for the substitution argument).
+"""
+
+from repro.synth.calibration import (
+    CalibratedOutcomeModel,
+    OutcomeTargets,
+    calibrate_outcome_model,
+)
+from repro.synth.carrental import (
+    CarRentalConfig,
+    CarRentalCorpus,
+    generate_car_rental,
+)
+from repro.synth.telecom import (
+    TelecomConfig,
+    TelecomCorpus,
+    generate_telecom,
+)
+from repro.synth.noise import NoiseConfig, TextNoiser
+
+__all__ = [
+    "OutcomeTargets",
+    "CalibratedOutcomeModel",
+    "calibrate_outcome_model",
+    "CarRentalConfig",
+    "CarRentalCorpus",
+    "generate_car_rental",
+    "TelecomConfig",
+    "TelecomCorpus",
+    "generate_telecom",
+    "NoiseConfig",
+    "TextNoiser",
+]

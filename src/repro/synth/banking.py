@@ -1,0 +1,89 @@
+"""Synthetic banking-domain calls.
+
+Table I of the paper measures ASR performance on "customer-agent
+conversational speech in car booking domain and banking domain"; the
+banking calls here (credit-card fees, auto-debit cancellation — the
+scenarios of Fig 1's call transcripts) provide the second domain for
+the WER evaluation.
+"""
+
+from dataclasses import dataclass
+
+from repro.synth.people import (
+    PersonGenerator,
+    spoken_date,
+    spoken_number,
+    spoken_phone,
+)
+from repro.util.rng import derive_rng
+
+_OPENINGS = [
+    "please tell me how can i help you",
+    "thank you for calling the bank how may i assist you",
+]
+
+_ISSUES = [
+    "i want to discontinue the auto debit facility on my account",
+    "i was told to pay a one time membership fee of two hundred and "
+    "seventy five but later they debit the amount from my savings account",
+    "there is a wrong charge on my credit card statement",
+    "i want to check the balance in my savings account",
+    "my credit card was charged twice for the same purchase",
+]
+
+_AGENT_RESPONSES = [
+    "i am sorry for the inconvenience let me check that for you",
+    "you will need to send a signed application for cancelling",
+    "i have raised a dispute for the wrong charge",
+    "the correction will reflect in your next statement",
+]
+
+_CLOSINGS = [
+    "is this okay thank you can i do anything else for you",
+    "thank you for calling have a good day",
+]
+
+
+@dataclass(frozen=True)
+class BankingCall:
+    """One banking conversation with its reference transcript."""
+
+    call_id: int
+    turns: tuple
+
+    @property
+    def text(self):
+        """The full conversation as one string."""
+        return " ".join(text for _, text in self.turns)
+
+
+def generate_banking_calls(n_calls=100, seed=23):
+    """Generate ``n_calls`` banking-domain reference transcripts."""
+    rng = derive_rng(seed, "banking")
+    person_gen = PersonGenerator(seed=derive_rng(seed, "banking-people"))
+
+    def pick(options):
+        return options[int(rng.integers(0, len(options)))]
+
+    calls = []
+    for call_id in range(n_calls):
+        person = person_gen.generate()
+        amount = int(rng.integers(10, 99))
+        turns = (
+            ("agent", pick(_OPENINGS)),
+            ("customer", pick(_ISSUES)),
+            (
+                "customer",
+                f"my name is {person.name} and my number is "
+                f"{spoken_phone(person.phone)}",
+            ),
+            (
+                "customer",
+                f"my date of birth is {spoken_date(person.dob)} and the "
+                f"amount was {spoken_number(amount)} dollars",
+            ),
+            ("agent", pick(_AGENT_RESPONSES)),
+            ("agent", pick(_CLOSINGS)),
+        )
+        calls.append(BankingCall(call_id=call_id, turns=turns))
+    return calls

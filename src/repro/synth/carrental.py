@@ -1,0 +1,572 @@
+"""Synthetic car-rental call-center corpus (paper Section V).
+
+Generates, per recorded call:
+
+* a **structured record** in the reservation warehouse (agent, customer,
+  day, call type, car type, city, cost, duration — the fields the paper
+  lists: "business outcomes, agent names, car types, booking cost,
+  booking duration, and so on"), and
+* an **unstructured transcript** of the agent-customer conversation in
+  which the customer opens with a strong or weak start, identifies
+  themselves (name / phone / date of birth — the named entities the
+  linking engine needs), and the agent may quote value-selling or
+  discount phrases.
+
+The causal structure is explicit: customer intent and agent utterances
+feed a :class:`~repro.synth.calibration.CalibratedOutcomeModel` whose
+parameters are solved from the paper's Tables III/IV marginals, so the
+downstream association analysis re-discovers those tables from data
+rather than having the numbers pasted in.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+from repro.store.database import Database
+from repro.store.schema import AttributeType, Schema
+from repro.synth.calibration import (
+    BehaviourRates,
+    OutcomeTargets,
+    calibrate_outcome_model,
+)
+from repro.synth.lexicon import (
+    AGENT_GREETINGS,
+    BOOKING_CONFIRM_PHRASES,
+    CITY_VARIANTS,
+    CITY_VEHICLE_WEIGHTS,
+    DECLINE_PHRASES,
+    DISCOUNT_PHRASES,
+    CLOSING_PHRASES,
+    FIRST_NAMES,
+    RATE_OBJECTION_PHRASES,
+    SERVICE_START_PHRASES,
+    STRONG_START_PHRASES,
+    SURNAMES,
+    VALUE_SELLING_RATE_PHRASES,
+    VALUE_SELLING_VEHICLE_PHRASES,
+    VEHICLE_SURFACES,
+    WEAK_START_PHRASES,
+)
+from repro.synth.people import (
+    PersonGenerator,
+    spoken_date,
+    spoken_number,
+    spoken_phone,
+)
+from repro.util.rng import derive_rng
+
+_VEHICLE_BASE_RATE = {
+    "compact": 29,
+    "mid-size": 39,
+    "full-size": 49,
+    "suv": 59,
+    "convertible": 69,
+    "luxury": 89,
+}
+
+
+@dataclass(frozen=True)
+class TrainingEffect:
+    """Behaviour shift applied to trained agents (paper Section V-C).
+
+    Trained agents were told to offer discounts to weak-start customers
+    and "use value selling phrases more generously".
+    """
+
+    value_selling_boost: float = 0.25
+    discount_weak_boost: float = 0.30
+
+    def scaled(self, factor):
+        """Copy of the effect with both boosts scaled by a factor."""
+        return TrainingEffect(
+            value_selling_boost=self.value_selling_boost * factor,
+            discount_weak_boost=self.discount_weak_boost * factor,
+        )
+
+
+@dataclass
+class AgentProfile:
+    """One call-center agent with idiosyncratic behaviour rates."""
+
+    agent_id: int
+    name: str
+    skill: float  # in [0, 1]; shifts utterance rates around the mean
+    logit_offset: float  # idiosyncratic booking-aptitude (logit scale)
+    trained: bool = False
+
+    def utterance_rates(self, intent, behaviour, training):
+        """``(p_value_selling, p_discount)`` for a call of given intent."""
+        centred = self.skill - 0.5
+        p_value = behaviour.value_selling_given_strong + 0.35 * centred
+        if intent == "strong":
+            p_discount = behaviour.discount_given_strong + 0.20 * centred
+        else:
+            p_discount = behaviour.discount_given_weak + 0.30 * centred
+        if self.trained:
+            p_value += training.value_selling_boost
+            if intent == "weak":
+                p_discount += training.discount_weak_boost
+        return (
+            min(max(p_value, 0.02), 0.98),
+            min(max(p_discount, 0.02), 0.98),
+        )
+
+
+@dataclass(frozen=True)
+class CallTruth:
+    """Ground truth for one generated call (never shown to the pipeline)."""
+
+    call_id: int
+    customer_entity_id: int
+    agent_name: str
+    day: int
+    call_type: str  # "reservation" | "unbooked" | "service"
+    intent: str  # "strong" | "weak" | "service"
+    used_value_selling: bool
+    used_discount: bool
+    city: str
+    car_type: str
+
+
+@dataclass(frozen=True)
+class CallTranscript:
+    """Unstructured side of a call: speaker-tagged reference turns.
+
+    ``call_id`` exists for evaluation only; the analysis pipeline links
+    transcripts to records through the linking engine, not this id.
+    """
+
+    call_id: int
+    day: int
+    agent_name: str
+    turns: tuple  # of (speaker, text); speaker in {"agent", "customer"}
+
+    @property
+    def text(self):
+        """The full conversation as one string (speaker tags dropped)."""
+        return " ".join(text for _, text in self.turns)
+
+    @property
+    def customer_text(self):
+        """Only the customer's side of the conversation."""
+        return " ".join(
+            text for speaker, text in self.turns if speaker == "customer"
+        )
+
+    @property
+    def agent_text(self):
+        """Only the agent's side of the conversation."""
+        return " ".join(
+            text for speaker, text in self.turns if speaker == "agent"
+        )
+
+
+@dataclass(frozen=True)
+class CarRentalConfig:
+    """Knobs for the car-rental corpus generator."""
+
+    n_agents: int = 90
+    n_customers: int = 600
+    n_days: int = 5
+    calls_per_agent_per_day: int = 4
+    service_fraction: float = 0.2
+    seed: int = 7
+    behaviour: BehaviourRates = field(default_factory=BehaviourRates)
+    targets: OutcomeTargets = field(default_factory=OutcomeTargets)
+    training: TrainingEffect = field(default_factory=TrainingEffect)
+    trained_agent_ids: frozenset = frozenset()
+    agent_logit_sigma: float = 0.22
+    mention_dob_probability: float = 0.5
+    mention_phone_probability: float = 0.9
+    # The training intervention only needs warehouse outcomes; skipping
+    # transcript construction makes two-month-scale corpora cheap.
+    build_transcripts: bool = True
+
+    @property
+    def n_calls(self):
+        """Total calls the corpus will contain."""
+        return self.n_agents * self.n_days * self.calls_per_agent_per_day
+
+
+@dataclass
+class CarRentalCorpus:
+    """Everything the benches and the pipeline need about one corpus."""
+
+    config: CarRentalConfig
+    database: Database
+    transcripts: list
+    truths: dict  # call_id -> CallTruth
+    agents: list
+    outcome_model: object
+
+    @property
+    def sales_truths(self):
+        """Truths for non-service calls (Table III/IV populations)."""
+        return [
+            truth
+            for truth in self.truths.values()
+            if truth.call_type != "service"
+        ]
+
+
+def build_reservation_schema():
+    """Schema of the ``calls`` warehouse table."""
+    return Schema.build(
+        ("agent_name", AttributeType.CATEGORY),
+        ("customer_ref", AttributeType.NUMBER),
+        ("day", AttributeType.NUMBER),
+        ("call_type", AttributeType.CATEGORY),
+        ("car_type", AttributeType.CATEGORY),
+        ("city", AttributeType.CATEGORY),
+        ("booking_cost", AttributeType.MONEY),
+        ("duration_days", AttributeType.NUMBER),
+        ("confirmation", AttributeType.ID),
+    )
+
+
+def build_customer_schema():
+    """Schema of the ``customers`` warehouse table (fuzzy-indexed)."""
+    return Schema.build(
+        ("name", AttributeType.NAME, True),
+        ("phone", AttributeType.PHONE, True),
+        ("dob", AttributeType.DATE, True),
+        ("city", AttributeType.PLACE),
+    )
+
+
+def _pick(rng, options):
+    return options[int(rng.integers(0, len(options)))]
+
+
+def _weighted_pick(rng, weights_by_key):
+    keys = list(weights_by_key)
+    weights = [weights_by_key[key] for key in keys]
+    total = float(sum(weights))
+    probabilities = [weight / total for weight in weights]
+    return keys[int(rng.choice(len(keys), p=probabilities))]
+
+
+def _sigmoid(x):
+    return 1.0 / (1.0 + math.exp(-x))
+
+
+class _CallBuilder:
+    """Builds the turn sequence for one call."""
+
+    def __init__(self, rng):
+        self._rng = rng
+
+    def build(self, agent, person, intent, city, car_type, rate,
+              duration, value_selling, discount, booked, confirmation,
+              mention_phone, mention_dob):
+        rng = self._rng
+        turns = [
+            ("agent", _pick(rng, AGENT_GREETINGS).format(agent=agent.name)),
+        ]
+        if intent == "service":
+            turns.append(("customer", _pick(rng, SERVICE_START_PHRASES)))
+        elif intent == "strong":
+            turns.append(("customer", _pick(rng, STRONG_START_PHRASES)))
+        else:
+            turns.append(("customer", _pick(rng, WEAK_START_PHRASES)))
+
+        city_surface = city
+        variants = CITY_VARIANTS.get(city)
+        if variants and rng.random() < 0.3:
+            city_surface = _pick(rng, variants)
+        vehicle_surface = _pick(rng, VEHICLE_SURFACES[car_type])
+        turns.append(
+            (
+                "customer",
+                f"i want to pick up a {vehicle_surface} in {city_surface} "
+                f"for {spoken_number(duration)} days",
+            )
+        )
+        turns.append(
+            ("agent", "may i have your name and telephone number please")
+        )
+        identity = [f"my name is {person.name}"]
+        if mention_phone:
+            identity.append(f"my number is {spoken_phone(person.phone)}")
+        if mention_dob:
+            identity.append(
+                f"my date of birth is {spoken_date(person.dob)}"
+            )
+        turns.append(("customer", " and ".join(identity)))
+
+        if intent == "service":
+            turns.append(
+                ("agent", "i have pulled up your reservation details")
+            )
+            turns.append(("agent", _pick(rng, CLOSING_PHRASES)))
+            return tuple(turns)
+
+        turns.append(
+            (
+                "agent",
+                f"the rate for a {car_type.replace('-', ' ')} in "
+                f"{city} is {spoken_number(rate)} dollars per day",
+            )
+        )
+        if intent == "weak" and rng.random() < 0.5:
+            turns.append(("customer", _pick(rng, RATE_OBJECTION_PHRASES)))
+        if value_selling:
+            phrase = _pick(
+                rng,
+                VALUE_SELLING_RATE_PHRASES + VALUE_SELLING_VEHICLE_PHRASES,
+            ).format(rate=spoken_number(rate))
+            turns.append(("agent", phrase))
+        if discount:
+            turns.append(("agent", _pick(rng, DISCOUNT_PHRASES)))
+        if booked:
+            turns.append(("customer", "okay let us go ahead with it"))
+            turns.append(
+                (
+                    "agent",
+                    _pick(rng, BOOKING_CONFIRM_PHRASES).format(
+                        conf=confirmation
+                    ),
+                )
+            )
+        else:
+            turns.append(("customer", _pick(rng, DECLINE_PHRASES)))
+        turns.append(("agent", _pick(rng, CLOSING_PHRASES)))
+        return tuple(turns)
+
+
+def _make_agents(config, rng):
+    agents = []
+    used = set()
+    for agent_id in range(config.n_agents):
+        while True:
+            name = (
+                f"{_pick(rng, FIRST_NAMES)} {_pick(rng, SURNAMES)}"
+            )
+            if name not in used:
+                used.add(name)
+                break
+        skill = float(rng.beta(5, 5))
+        offset = float(rng.normal(0.0, config.agent_logit_sigma))
+        agents.append(
+            AgentProfile(
+                agent_id=agent_id,
+                name=name,
+                skill=skill,
+                logit_offset=offset,
+                trained=agent_id in config.trained_agent_ids,
+            )
+        )
+    return agents
+
+
+def generate_car_rental(config=None, outcome_model=None, agents=None):
+    """Generate a full car-rental corpus.
+
+    ``outcome_model`` and ``agents`` can be passed in to share the same
+    causal model and agent pool across generation periods (the training
+    intervention generates a pre period and a post period over the same
+    agents).
+    """
+    config = config or CarRentalConfig()
+    rng = derive_rng(config.seed, "carrental")
+    model = outcome_model or calibrate_outcome_model(
+        targets=config.targets, behaviour=config.behaviour
+    )
+    if agents is None:
+        agents = _make_agents(config, derive_rng(config.seed, "agents"))
+    else:
+        agents = [
+            replace_trained(agent, agent.agent_id in config.trained_agent_ids)
+            for agent in agents
+        ]
+
+    database = Database("car_rental")
+    customers = database.create_table("customers", build_customer_schema())
+    agents_table = database.create_table(
+        "agents", Schema.build(("name", AttributeType.NAME, True))
+    )
+    calls = database.create_table("calls", build_reservation_schema())
+
+    person_gen = PersonGenerator(seed=derive_rng(config.seed, "persons"))
+    people = person_gen.generate_many(config.n_customers)
+    customer_entities = [
+        customers.insert(
+            {
+                "name": person.name,
+                "phone": person.phone,
+                "dob": person.dob,
+                "city": person.city,
+            }
+        )
+        for person in people
+    ]
+    for agent in agents:
+        agents_table.insert({"name": agent.name})
+
+    builder = _CallBuilder(derive_rng(config.seed, "turns"))
+    transcripts = []
+    truths = {}
+    call_id = 0
+    for day in range(config.n_days):
+        for agent in agents:
+            for _ in range(config.calls_per_agent_per_day):
+                customer_index = int(rng.integers(0, len(people)))
+                person = people[customer_index]
+                customer_entity = customer_entities[customer_index]
+                city = person.city
+                car_type = _weighted_pick(rng, CITY_VEHICLE_WEIGHTS[city])
+                rate = int(
+                    _VEHICLE_BASE_RATE[car_type] + rng.integers(0, 10)
+                )
+                duration = int(rng.integers(1, 15))
+
+                if rng.random() < config.service_fraction:
+                    intent = "service"
+                    value_selling = discount = False
+                    booked = False
+                    call_type = "service"
+                else:
+                    intent = (
+                        "strong"
+                        if rng.random() < config.behaviour.p_strong
+                        else "weak"
+                    )
+                    p_value, p_discount = agent.utterance_rates(
+                        intent, config.behaviour, config.training
+                    )
+                    value_selling = rng.random() < p_value
+                    discount = rng.random() < p_discount
+                    base_p = model.probability(
+                        intent, value_selling, discount
+                    )
+                    logit = (
+                        math.log(base_p / (1.0 - base_p))
+                        + agent.logit_offset
+                    )
+                    booked = rng.random() < _sigmoid(logit)
+                    call_type = "reservation" if booked else "unbooked"
+
+                confirmation = f"CR{config.seed % 97:02d}{call_id:06d}"
+                calls.insert(
+                    {
+                        "agent_name": agent.name,
+                        "customer_ref": customer_entity.entity_id,
+                        "day": day,
+                        "call_type": call_type,
+                        "car_type": car_type if intent != "service" else None,
+                        "city": city,
+                        "booking_cost": rate * duration if booked else None,
+                        "duration_days": duration,
+                        "confirmation": confirmation if booked else None,
+                    }
+                )
+                mention_phone = (
+                    rng.random() < config.mention_phone_probability
+                )
+                mention_dob = (
+                    rng.random() < config.mention_dob_probability
+                )
+                if config.build_transcripts:
+                    turns = builder.build(
+                        agent,
+                        person,
+                        intent,
+                        city,
+                        car_type,
+                        rate,
+                        duration,
+                        value_selling,
+                        discount,
+                        booked,
+                        confirmation,
+                        mention_phone=mention_phone,
+                        mention_dob=mention_dob,
+                    )
+                    transcripts.append(
+                        CallTranscript(
+                            call_id=call_id,
+                            day=day,
+                            agent_name=agent.name,
+                            turns=turns,
+                        )
+                    )
+                truths[call_id] = CallTruth(
+                    call_id=call_id,
+                    customer_entity_id=customer_entity.entity_id,
+                    agent_name=agent.name,
+                    day=day,
+                    call_type=call_type,
+                    intent=intent,
+                    used_value_selling=value_selling,
+                    used_discount=discount,
+                    city=city,
+                    car_type=car_type,
+                )
+                call_id += 1
+
+    database.build_indexes()
+    return CarRentalCorpus(
+        config=config,
+        database=database,
+        transcripts=transcripts,
+        truths=truths,
+        agents=agents,
+        outcome_model=model,
+    )
+
+
+def replace_trained(agent, trained):
+    """Copy of ``agent`` with its ``trained`` flag replaced."""
+    return AgentProfile(
+        agent_id=agent.agent_id,
+        name=agent.name,
+        skill=agent.skill,
+        logit_offset=agent.logit_offset,
+        trained=trained,
+    )
+
+
+def solve_training_scale(model, behaviour, training, target_delta=0.03,
+                         tolerance=1e-4):
+    """Scale factor for :class:`TrainingEffect` hitting a rate delta.
+
+    Finds ``lambda`` in [0, 1] such that applying
+    ``training.scaled(lambda)`` to the population behaviour rates raises
+    the expected booking rate by ``target_delta`` (the paper's 3%).
+    Bisection over the monotone response; returns 1.0 if even the full
+    effect cannot reach the target.
+    """
+    base_rate = model.expected_booking_rate(behaviour)
+
+    def delta(scale):
+        effect = training.scaled(scale)
+        boosted = BehaviourRates(
+            p_strong=behaviour.p_strong,
+            value_selling_given_strong=min(
+                behaviour.value_selling_given_strong
+                + effect.value_selling_boost,
+                0.98,
+            ),
+            value_selling_given_weak=min(
+                behaviour.value_selling_given_weak
+                + effect.value_selling_boost,
+                0.98,
+            ),
+            discount_given_strong=behaviour.discount_given_strong,
+            discount_given_weak=min(
+                behaviour.discount_given_weak + effect.discount_weak_boost,
+                0.98,
+            ),
+        )
+        return model.expected_booking_rate(boosted) - base_rate
+
+    if delta(1.0) < target_delta:
+        return 1.0
+    lo, hi = 0.0, 1.0
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if delta(mid) < target_delta:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

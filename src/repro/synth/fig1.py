@@ -1,0 +1,61 @@
+"""Fig-1-style sanitized VoC examples across all four channels.
+
+The paper's Fig 1 illustrates the raw material — contact-center notes,
+emails, SMS and ASR call transcripts, each with its characteristic
+noise.  :func:`fig1_examples` renders one generated example per channel
+so the reproduction has the same illustrative artefact, drawn from the
+same generators the experiments use.
+"""
+
+from repro.asr.system import ASRSystem
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+from repro.synth.notes import AgentNoteGenerator
+from repro.synth.telecom import TelecomConfig, generate_telecom
+
+
+def fig1_examples(seed=61):
+    """One raw example per VoC channel; returns ``{channel: text}``."""
+    car = generate_car_rental(
+        CarRentalConfig(
+            n_agents=4,
+            n_days=1,
+            calls_per_agent_per_day=3,
+            n_customers=20,
+            seed=seed,
+        )
+    )
+    telecom = generate_telecom(
+        TelecomConfig(scale=0.002, n_customers=150, seed=seed)
+    )
+
+    note = AgentNoteGenerator(seed=seed).note_for(
+        next(iter(car.truths.values()))
+    )
+
+    email = next(
+        m for m in telecom.emails if m.sender_entity_id is not None
+    )
+    sms = next(m for m in telecom.sms if m.sender_entity_id is not None)
+
+    asr = ASRSystem.build_default(
+        extra_sentences=[t.text for t in car.transcripts]
+    )
+    asr.channel.reset(seed)
+    transcript = asr.transcribe(car.transcripts[0].text).text
+
+    return {
+        "contact center notes": note.text,
+        "email": email.raw_text,
+        "sms": sms.raw_text,
+        "call transcript": transcript,
+    }
+
+
+def render_fig1(seed=61):
+    """Fig 1 as text, channel by channel."""
+    sections = []
+    for channel, text in fig1_examples(seed=seed).items():
+        sections.append(f"--- {channel} ---")
+        sections.append(text)
+        sections.append("")
+    return "\n".join(sections)

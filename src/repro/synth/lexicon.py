@@ -1,0 +1,359 @@
+"""Shared lexicons for the synthetic corpora.
+
+Names, places, vehicle inventory, phrase banks for the car-rental
+dialogues, churn-driver language for the telecom corpus, SMS lingo, and
+the small general-English corpus used to train the background n-gram
+language model.  Everything here is static data; generators in
+:mod:`repro.synth` sample from it.
+"""
+
+FIRST_NAMES = [
+    "james", "john", "robert", "michael", "william", "david", "richard",
+    "joseph", "thomas", "charles", "christopher", "daniel", "matthew",
+    "anthony", "donald", "mark", "paul", "steven", "andrew", "kenneth",
+    "george", "joshua", "kevin", "brian", "edward", "ronald", "timothy",
+    "jason", "jeffrey", "ryan", "jacob", "gary", "nicholas", "eric",
+    "stephen", "jonathan", "larry", "justin", "scott", "brandon",
+    "mary", "patricia", "jennifer", "linda", "elizabeth", "barbara",
+    "susan", "jessica", "sarah", "karen", "nancy", "margaret", "lisa",
+    "betty", "dorothy", "sandra", "ashley", "kimberly", "donna", "emily",
+    "michelle", "carol", "amanda", "melissa", "deborah", "stephanie",
+    "rebecca", "laura", "sharon", "cynthia", "kathleen", "amy", "shirley",
+    "angela", "helen", "anna", "brenda", "pamela", "nicole", "ruth",
+    "raj", "anil", "sunita", "priya", "vikram", "deepa", "arun", "meena",
+]
+
+SURNAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson",
+    "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen",
+    "king", "wright", "scott", "torres", "nguyen", "hill", "flores",
+    "green", "adams", "nelson", "baker", "hall", "rivera", "campbell",
+    "mitchell", "carter", "roberts", "gomez", "phillips", "evans",
+    "turner", "diaz", "parker", "cruz", "edwards", "collins", "reyes",
+    "stewart", "morris", "morales", "murphy", "cook", "rogers",
+    "patel", "sharma", "gupta", "singh", "kumar", "iyer", "rao", "menon",
+]
+
+CITIES = [
+    "new york", "los angeles", "seattle", "boston", "chicago", "denver",
+    "miami", "atlanta", "dallas", "phoenix", "orlando", "san francisco",
+]
+
+# City abbreviations and variants spoken/written by customers; the
+# annotation dictionary maps them back to canonical city names.
+CITY_VARIANTS = {
+    "new york": ["ny", "new york city", "manhattan"],
+    "los angeles": ["la", "l a"],
+    "san francisco": ["san fran", "sf"],
+    "chicago": ["chi town"],
+}
+
+VEHICLE_TYPES = ["suv", "mid-size", "full-size", "luxury", "compact",
+                 "convertible"]
+
+# Surface expressions that indicate each vehicle type (paper IV-C:
+# '"SUV" may be indicated by "a seven seater", and "full-size" may be
+# indicated by "Chevy Impala"').
+VEHICLE_SURFACES = {
+    "suv": ["suv", "seven seater", "sport utility", "explorer", "tahoe"],
+    "mid-size": ["mid size", "midsize", "camry", "accord", "malibu"],
+    "full-size": ["full size", "chevy impala", "impala", "crown victoria"],
+    "luxury": ["luxury car", "cadillac", "lincoln", "town car", "bmw"],
+    "compact": ["compact", "corolla", "civic", "small car"],
+    "convertible": ["convertible", "mustang convertible", "drop top"],
+}
+
+# Planted preference: relative weight of each vehicle type per city.
+# The two-dimensional association analysis (Table II / Fig 4) should
+# recover the heavy cells (e.g. Seattle loves SUVs, New York luxury).
+CITY_VEHICLE_WEIGHTS = {
+    "new york": {"suv": 1, "mid-size": 3, "full-size": 2, "luxury": 6,
+                 "compact": 2, "convertible": 1},
+    "los angeles": {"suv": 2, "mid-size": 2, "full-size": 1, "luxury": 3,
+                    "compact": 1, "convertible": 6},
+    "seattle": {"suv": 6, "mid-size": 2, "full-size": 2, "luxury": 1,
+                "compact": 2, "convertible": 1},
+    "boston": {"suv": 1, "mid-size": 2, "full-size": 6, "luxury": 2,
+               "compact": 2, "convertible": 1},
+    "chicago": {"suv": 2, "mid-size": 4, "full-size": 3, "luxury": 1,
+                "compact": 2, "convertible": 1},
+    "denver": {"suv": 5, "mid-size": 2, "full-size": 2, "luxury": 1,
+               "compact": 2, "convertible": 1},
+    "miami": {"suv": 1, "mid-size": 2, "full-size": 1, "luxury": 3,
+              "compact": 1, "convertible": 5},
+    "atlanta": {"suv": 3, "mid-size": 3, "full-size": 3, "luxury": 2,
+                "compact": 2, "convertible": 1},
+    "dallas": {"suv": 4, "mid-size": 2, "full-size": 3, "luxury": 2,
+               "compact": 1, "convertible": 1},
+    "phoenix": {"suv": 3, "mid-size": 3, "full-size": 2, "luxury": 1,
+                "compact": 3, "convertible": 2},
+    "orlando": {"suv": 3, "mid-size": 3, "full-size": 2, "luxury": 1,
+                "compact": 4, "convertible": 2},
+    "san francisco": {"suv": 1, "mid-size": 3, "full-size": 1, "luxury": 3,
+                      "compact": 4, "convertible": 2},
+}
+
+# --------------------------------------------------------------------------
+# Car-rental dialogue phrase banks (paper Section V-A).
+# --------------------------------------------------------------------------
+
+STRONG_START_PHRASES = [
+    "i would like to make a booking",
+    "i need to pick up a car",
+    "i want to make a car reservation",
+    "i want to book a car right away",
+    "i would like to reserve a car for next week",
+    "i need to rent a car",
+]
+
+WEAK_START_PHRASES = [
+    "can i know the rates for booking a car",
+    "i would like to know the rates for a full size car",
+    "what are your rates",
+    "how much would it cost to rent a car",
+    "i am just checking the prices",
+    "could you tell me the daily rate",
+]
+
+SERVICE_START_PHRASES = [
+    "i want to change my existing booking",
+    "i am calling about my reservation",
+    "i need to cancel my booking",
+    "can you check the status of my reservation",
+]
+
+VALUE_SELLING_RATE_PHRASES = [
+    "that is a wonderful rate",
+    "this is a really good rate",
+    "you save money with this deal",
+    "it is just {rate} dollars",
+    "just need to pay this low amount",
+    "that is a wonderful price for this season",
+]
+
+VALUE_SELLING_VEHICLE_PHRASES = [
+    "it is a good car",
+    "that is a fantastic car",
+    "this is the latest model",
+    "it is a very comfortable vehicle",
+]
+
+DISCOUNT_PHRASES = [
+    "i can offer you a discount",
+    "you qualify for our corporate program",
+    "we have a motor club discount",
+    "your buying club membership gives you a discount",
+    "let me apply a promotional discount for you",
+]
+
+RATE_OBJECTION_PHRASES = [
+    "that is too expensive",
+    "the rate is too high for me",
+    "i was hoping for something cheaper",
+    "your competitor quoted me less",
+]
+
+AGENT_GREETINGS = [
+    "thank you for calling premier car rental this is {agent} how may i "
+    "help you",
+    "welcome to premier car rental my name is {agent} what can i do for "
+    "you today",
+]
+
+BOOKING_CONFIRM_PHRASES = [
+    "your reservation is confirmed",
+    "i have booked that for you your confirmation number is {conf}",
+    "the booking is done you will receive a confirmation shortly",
+]
+
+DECLINE_PHRASES = [
+    "let me think about it and call back",
+    "i will check with my wife and call you later",
+    "i will get back to you",
+    "not right now thank you",
+]
+
+CLOSING_PHRASES = [
+    "is there anything else i can do for you",
+    "thank you for calling have a great day",
+]
+
+# --------------------------------------------------------------------------
+# Telecom churn-driver language (paper Section VI: competitor tariff,
+# problem resolution, service issues, billing issues, low awareness).
+# --------------------------------------------------------------------------
+
+CHURN_DRIVERS = {
+    "competitor_tariff": [
+        "your competitor has a cheaper plan",
+        "other operators give more minutes for less",
+        "i found a better tariff elsewhere",
+        "the rival network offers free night calls",
+    ],
+    "problem_resolution": [
+        "my complaint has not been resolved for weeks",
+        "nobody called me back about my problem",
+        "the issue is still not fixed",
+        "your call center assured action but nothing happened",
+    ],
+    "service_issue": [
+        "i was not able to access gprs",
+        "the network keeps dropping my calls",
+        "no signal at my home",
+        "unable to connect to the internet service",
+    ],
+    "billing_issue": [
+        "my bill is too high",
+        "i was charged for sms i never sent",
+        "i feel robbed when paying my bill",
+        "wrong charges on my account again",
+    ],
+    "low_awareness": [
+        "i did not know about this plan",
+        "nobody told me about the pack charges",
+        "i never asked for this value added service",
+        "what is this deduction nobody explained it",
+    ],
+}
+
+CHURN_INTENT_PHRASES = [
+    "i have to leave as it is not solving my problem",
+    "i would not like to accept great services of your company",
+    "i want to disconnect my connection",
+    "please deactivate my number i am switching",
+    "i am going to port my number to another operator",
+]
+
+NEUTRAL_TELECOM_PHRASES = [
+    "please confirm the receipt of payment",
+    "i want to know my current balance",
+    "how do i activate international roaming",
+    "please send me my bill by email",
+    "i want to upgrade my plan to postpaid",
+    "what are the charges for the sms pack",
+    "kindly update my billing address",
+    "thank you for resolving my issue quickly",
+    "the new plan is working well for me",
+    "i received the recharge benefit thanks",
+]
+
+SATISFIED_PHRASES = [
+    "thanks for the quick resolution",
+    "the service has been good lately",
+    "i am happy with the new plan",
+]
+
+# SMS-lingo substitutions applied by the noiser and reversed by the
+# cleaning engine's lingo dictionary.
+SMS_LINGO = {
+    "please": "pls",
+    "customer": "cust",
+    "confirm": "confrm",
+    "receipt": "rcpt",
+    "payment": "pymt",
+    "account": "acct",
+    "balance": "bal",
+    "message": "msg",
+    "you": "u",
+    "your": "ur",
+    "are": "r",
+    "for": "4",
+    "to": "2",
+    "great": "gr8",
+    "thanks": "thx",
+    "because": "bcoz",
+    "tomorrow": "2moro",
+    "today": "2day",
+    "number": "no",
+    "service": "svc",
+    "activate": "actv",
+    "deactivate": "deactv",
+    "recharge": "rchrg",
+    "goodbye": "gudbye",
+    "not": "nt",
+    "problem": "prblm",
+}
+
+# Romanised-Hindi fragments customers mix into messages (paper Fig 1:
+# "hai.custmer ko satisfied hi nahi karte").
+MULTILINGUAL_FRAGMENTS = [
+    "hai",
+    "nahi karte",
+    "kya hua",
+    "jaldi karo",
+    "bahut kharab",
+    "paisa wapas karo",
+    "theek nahi hai",
+]
+
+SPAM_TEMPLATES = [
+    "congratulations you have won a lottery of {amount} dollars claim now",
+    "lowest prices on designer watches buy today limited offer",
+    "work from home and earn {amount} per week no experience needed",
+    "hot stock tip buy {word} shares before they explode",
+    "cheap loans approved instantly no credit check apply now",
+    "you are selected for a free vacation package reply yes",
+]
+
+EMAIL_DISCLAIMERS = [
+    "this email and any attachments are confidential and intended solely "
+    "for the addressee",
+    "please consider the environment before printing this email",
+    "the views expressed are those of the sender and not of the company",
+]
+
+PROMO_FOOTERS = [
+    "download our new mobile app for exclusive offers",
+    "refer a friend and get bonus talktime",
+]
+
+# --------------------------------------------------------------------------
+# Corpora for language-model training.
+# --------------------------------------------------------------------------
+
+GENERAL_ENGLISH_SENTENCES = [
+    "the weather today is pleasant and sunny",
+    "she walked to the market to buy fresh vegetables",
+    "the committee will meet again next month to review progress",
+    "many people enjoy reading books during the holidays",
+    "the children played in the park until the evening",
+    "he finished his work early and went home",
+    "the museum opens at nine in the morning",
+    "scientists discovered a new species in the forest",
+    "the train arrived at the station on time",
+    "students prepared well for the final examination",
+    "the company announced strong results for the quarter",
+    "travellers should carry water during the summer",
+    "the new bridge connects the two sides of the city",
+    "farmers expect a good harvest this season",
+    "the orchestra performed to a full house last night",
+]
+
+CALL_CENTER_SENTENCES = [
+    "thank you for calling how may i help you",
+    "i would like to make a booking for a car",
+    "can i know the rates for booking a full size car",
+    "the rate for a mid size car is forty dollars per day",
+    "i can offer you a corporate program discount",
+    "that is a wonderful rate for this season",
+    "your reservation is confirmed thank you",
+    "i want to pick up the car at the airport",
+    "what is your telephone number please",
+    "may i have your name and date of birth",
+    "is there anything else i can do for you",
+    "i will check with my wife and call you later",
+    "the booking is done you will receive a confirmation",
+    "i am calling about my existing reservation",
+    "please tell me how can i help you",
+    "i was charged a one time membership fee",
+    "i want to discontinue the auto debit facility",
+    "please send a signed application for cancelling",
+]
+
+
+def full_name(first, last):
+    """Canonical display form of a person name used across generators."""
+    return f"{first} {last}"

@@ -1,0 +1,136 @@
+"""Textual noise models for VoC channels.
+
+Paper Section III: "VoC data is noisy and contains not only spelling and
+grammatical mistakes, but also inconsistent and incomplete sentences.
+Sometimes the content is multilingual ... text messages use non-standard
+linguistic forms."
+
+:class:`TextNoiser` reproduces those channel characteristics for email
+and SMS (the *acoustic* noise of calls lives in :mod:`repro.asr`):
+
+* keyboard-plausible typos (substitution, deletion, transposition),
+* SMS-lingo shortening ("please" -> "pls", "you" -> "u", ...),
+* romanised-Hindi fragments mixed into the text,
+* dropped word endings / truncated sentences,
+* run-together words (missing whitespace, as in Fig 1's "disconn teh
+  call").
+"""
+
+from dataclasses import dataclass
+
+from repro.synth.lexicon import MULTILINGUAL_FRAGMENTS, SMS_LINGO
+from repro.util.rng import derive_rng
+
+_KEYBOARD_NEIGHBOURS = {
+    "a": "qws", "b": "vn", "c": "xv", "d": "sf", "e": "wr", "f": "dg",
+    "g": "fh", "h": "gj", "i": "uo", "j": "hk", "k": "jl", "l": "k",
+    "m": "n", "n": "bm", "o": "ip", "p": "o", "q": "wa", "r": "et",
+    "s": "ad", "t": "ry", "u": "yi", "v": "cb", "w": "qe", "x": "zc",
+    "y": "tu", "z": "x",
+}
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Per-channel noise intensity.
+
+    Probabilities are per-word unless stated.  The SMS channel defaults
+    are markedly noisier than email, matching the paper's observation
+    that emails "were relatively free from shorthands".
+    """
+
+    typo_rate: float = 0.03
+    lingo_rate: float = 0.0
+    multilingual_rate: float = 0.0  # per-message probability
+    truncation_rate: float = 0.0  # per-message probability
+    joining_rate: float = 0.0  # per-word-pair probability
+
+    @classmethod
+    def for_email(cls):
+        """Default email-channel noise profile."""
+        return cls(typo_rate=0.04, lingo_rate=0.02, multilingual_rate=0.05,
+                   truncation_rate=0.05, joining_rate=0.02)
+
+    @classmethod
+    def for_sms(cls):
+        """Default SMS-channel noise profile (markedly noisier)."""
+        return cls(typo_rate=0.08, lingo_rate=0.55, multilingual_rate=0.20,
+                   truncation_rate=0.15, joining_rate=0.04)
+
+    @classmethod
+    def clean(cls):
+        """A no-noise profile (identity transform)."""
+        return cls(typo_rate=0.0)
+
+
+class TextNoiser:
+    """Applies channel noise to clean text, deterministically per seed."""
+
+    def __init__(self, config, seed=0):
+        self.config = config
+        self._rng = derive_rng(seed, "text-noiser")
+
+    def corrupt_word(self, word):
+        """Apply a single random typo to ``word``."""
+        if len(word) < 2:
+            return word
+        rng = self._rng
+        kind = rng.choice(["sub", "del", "swap"])
+        pos = int(rng.integers(0, len(word)))
+        if kind == "sub":
+            ch = word[pos].lower()
+            neighbours = _KEYBOARD_NEIGHBOURS.get(ch, ch)
+            replacement = neighbours[int(rng.integers(0, len(neighbours)))]
+            return word[:pos] + replacement + word[pos + 1 :]
+        if kind == "del":
+            return word[:pos] + word[pos + 1 :]
+        if pos >= len(word) - 1:
+            pos = len(word) - 2
+        return (
+            word[:pos] + word[pos + 1] + word[pos] + word[pos + 2 :]
+        )
+
+    def apply(self, text):
+        """Return a noisy rendition of ``text``."""
+        rng = self._rng
+        config = self.config
+        words = text.split()
+        if not words:
+            return text
+        noisy = []
+        for word in words:
+            lowered = word.lower()
+            if lowered in SMS_LINGO and rng.random() < config.lingo_rate:
+                noisy.append(SMS_LINGO[lowered])
+                continue
+            if rng.random() < config.typo_rate:
+                noisy.append(self.corrupt_word(word))
+            else:
+                noisy.append(word)
+        if config.truncation_rate and rng.random() < config.truncation_rate:
+            # Drop the tail of the message (incomplete sentences, Fig 1).
+            keep = max(3, int(len(noisy) * 0.7))
+            noisy = noisy[:keep]
+        if (
+            config.multilingual_rate
+            and rng.random() < config.multilingual_rate
+        ):
+            fragment = MULTILINGUAL_FRAGMENTS[
+                int(rng.integers(0, len(MULTILINGUAL_FRAGMENTS)))
+            ]
+            noisy.append(fragment)
+        if config.joining_rate:
+            joined = []
+            i = 0
+            while i < len(noisy):
+                if (
+                    i + 1 < len(noisy)
+                    and rng.random() < config.joining_rate
+                ):
+                    joined.append(noisy[i] + noisy[i + 1])
+                    i += 2
+                else:
+                    joined.append(noisy[i])
+                    i += 1
+            noisy = joined
+        return " ".join(noisy)

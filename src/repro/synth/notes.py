@@ -1,0 +1,122 @@
+"""Agent after-call notes: the fourth VoC channel.
+
+Paper §III lists "agent notes" among the VoC channels, and Fig 1's
+first examples are contact-center notes in exactly this style — heavy
+shorthand, dropped articles, truncated words ("the cust secratory
+called up and he inf tht he was not able to access GPRS ... and
+disconn teh call").
+
+Notes are generated from call ground truth (the agent summarises what
+happened) and then pushed through an aggressive shorthand channel, so
+the cleaning engine has realistic material to normalise.
+"""
+
+from dataclasses import dataclass
+
+from repro.synth.noise import NoiseConfig, TextNoiser
+from repro.util.rng import derive_rng
+
+# Shorthand agents actually type; overlaps with SMS lingo on purpose.
+_NOTE_SHORTHAND = {
+    "customer": "cust",
+    "informed": "inf",
+    "that": "tht",
+    "the": "teh",
+    "disconnected": "disconn",
+    "called": "cld",
+    "wanted": "wntd",
+    "reservation": "resv",
+    "booking": "bkg",
+    "because": "bcoz",
+    "number": "no",
+    "confirmed": "confmd",
+    "requested": "reqd",
+    "will": "wl",
+    "call back": "cb",
+}
+
+_TEMPLATES = {
+    "reservation": [
+        "customer called wanted a {vehicle} in {city} quoted rate "
+        "customer agreed booking confirmed conf {conf}",
+        "the customer informed that he needs a {vehicle} for {days} days "
+        "reservation done in {city}",
+    ],
+    "unbooked": [
+        "customer called asking rates for {vehicle} in {city} said too "
+        "expensive will call back and disconnected the call",
+        "the customer wanted to check prices for a {vehicle} only not "
+        "ready to book informed that he will think about it",
+    ],
+    "service": [
+        "customer called about existing reservation in {city} requested "
+        "change of dates informed the new details",
+        "the customer wanted status of booking checked and confirmed the "
+        "details customer satisfied",
+    ],
+}
+
+
+@dataclass(frozen=True)
+class AgentNote:
+    """One after-call note with its ground-truth call id."""
+
+    call_id: int
+    text: str
+    clean_text: str
+
+
+def note_shorthand_table():
+    """The shorthand -> standard mapping for the cleaning engine."""
+    expanded = {}
+    for standard, short in _NOTE_SHORTHAND.items():
+        if " " in standard:
+            continue  # multi-word: handled at phrase level if needed
+        expanded[short] = standard
+    return expanded
+
+
+class AgentNoteGenerator:
+    """Generates shorthand-ridden notes from call ground truth."""
+
+    def __init__(self, seed=41, shorthand_rate=0.55, typo_rate=0.04):
+        self._rng = derive_rng(seed, "agent-notes")
+        self._shorthand_rate = shorthand_rate
+        self._noiser = TextNoiser(
+            NoiseConfig(typo_rate=typo_rate),
+            seed=derive_rng(seed, "note-typos"),
+        )
+
+    def _shorthand(self, text):
+        rng = self._rng
+        words = []
+        for word in text.split():
+            short = _NOTE_SHORTHAND.get(word)
+            if short is not None and rng.random() < self._shorthand_rate:
+                words.append(short)
+            else:
+                words.append(word)
+        return " ".join(words)
+
+    def note_for(self, truth):
+        """Generate the note for one :class:`CallTruth`."""
+        rng = self._rng
+        templates = _TEMPLATES[truth.call_type]
+        template = templates[int(rng.integers(0, len(templates)))]
+        clean = template.format(
+            vehicle=(truth.car_type or "car").replace("-", " "),
+            city=truth.city,
+            days=int(rng.integers(1, 15)),
+            conf=f"CR{truth.call_id:06d}",
+        )
+        noisy = self._noiser.apply(self._shorthand(clean))
+        return AgentNote(
+            call_id=truth.call_id, text=noisy, clean_text=clean
+        )
+
+    def notes_for_corpus(self, corpus, limit=None):
+        """Notes for every call of a car-rental corpus."""
+        truths = list(corpus.truths.values())
+        if limit is not None:
+            truths = truths[:limit]
+        return [self.note_for(truth) for truth in truths]

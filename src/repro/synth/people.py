@@ -1,0 +1,143 @@
+"""Identity generation shared by the car-rental and telecom corpora.
+
+Generates the customer-identity attributes that VoC documents mention
+and the linking engine matches: names, phone numbers, dates of birth.
+Identities are unique per corpus so that linking has a well-defined
+ground truth, yet names deliberately collide on surname (real warehouses
+are full of Smiths) to keep linking non-trivial.
+"""
+
+from dataclasses import dataclass
+
+from repro.synth.lexicon import CITIES, FIRST_NAMES, SURNAMES, full_name
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class Person:
+    """A generated customer identity."""
+
+    first_name: str
+    last_name: str
+    phone: str
+    dob: str  # ISO date string
+    city: str
+
+    @property
+    def name(self):
+        """Display form: first name + last name."""
+        return full_name(self.first_name, self.last_name)
+
+
+class PersonGenerator:
+    """Deterministic stream of distinct :class:`Person` identities."""
+
+    def __init__(self, seed=0, cities=None):
+        self._rng = derive_rng(seed, "people")
+        self._cities = list(cities or CITIES)
+        self._used_phones = set()
+
+    def _phone(self):
+        rng = self._rng
+        while True:
+            digits = "".join(
+                str(int(d)) for d in rng.integers(0, 10, size=10)
+            )
+            # Keep a non-zero leading digit so formatting stays stable.
+            if digits[0] == "0":
+                digits = "5" + digits[1:]
+            if digits not in self._used_phones:
+                self._used_phones.add(digits)
+                return digits
+
+    def _dob(self):
+        rng = self._rng
+        year = int(rng.integers(1945, 1995))
+        month = int(rng.integers(1, 13))
+        day = int(rng.integers(1, 29))
+        return f"{year:04d}-{month:02d}-{day:02d}"
+
+    def generate(self):
+        """Produce one new person."""
+        rng = self._rng
+        first = FIRST_NAMES[int(rng.integers(0, len(FIRST_NAMES)))]
+        last = SURNAMES[int(rng.integers(0, len(SURNAMES)))]
+        city = self._cities[int(rng.integers(0, len(self._cities)))]
+        return Person(
+            first_name=first,
+            last_name=last,
+            phone=self._phone(),
+            dob=self._dob(),
+            city=city,
+        )
+
+    def generate_many(self, count):
+        """Produce ``count`` people."""
+        return [self.generate() for _ in range(count)]
+
+
+def spoken_phone(phone):
+    """Render a phone number the way a caller speaks it: digit words.
+
+    >>> spoken_phone("42")
+    'four two'
+    """
+    from repro.util.phonetics import DIGIT_WORDS
+
+    return " ".join(DIGIT_WORDS[d] for d in phone if d.isdigit())
+
+
+def spoken_date(iso_date):
+    """Render an ISO date as it is spoken in a call.
+
+    >>> spoken_date("1972-04-08")
+    'april eight nineteen seventy two'
+    """
+    months = [
+        "january", "february", "march", "april", "may", "june", "july",
+        "august", "september", "october", "november", "december",
+    ]
+    year, month, day = iso_date.split("-")
+    return (
+        f"{months[int(month) - 1]} {_spoken_number(int(day))} "
+        f"{_spoken_year(int(year))}"
+    )
+
+
+_ONES = [
+    "zero", "one", "two", "three", "four", "five", "six", "seven",
+    "eight", "nine", "ten", "eleven", "twelve", "thirteen", "fourteen",
+    "fifteen", "sixteen", "seventeen", "eighteen", "nineteen",
+]
+_TENS = [
+    "", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy",
+    "eighty", "ninety",
+]
+
+
+def _spoken_number(n):
+    """English words for 0..99."""
+    if n < 0 or n > 99:
+        raise ValueError("only 0..99 supported")
+    if n < 20:
+        return _ONES[n]
+    tens, ones = divmod(n, 10)
+    if ones == 0:
+        return _TENS[tens]
+    return f"{_TENS[tens]} {_ONES[ones]}"
+
+
+def spoken_number(n):
+    """Public wrapper for the 0..99 number-to-words helper."""
+    return _spoken_number(n)
+
+
+def _spoken_year(year):
+    century, rest = divmod(year, 100)
+    if century == 19:
+        return f"nineteen {_spoken_number(rest)}"
+    if century == 20 and rest == 0:
+        return "two thousand"
+    if century == 20:
+        return f"two thousand {_spoken_number(rest)}"
+    return f"{_spoken_number(century)} {_spoken_number(rest)}"

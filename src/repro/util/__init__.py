@@ -1,0 +1,60 @@
+"""Shared low-level utilities for the BIVoC reproduction.
+
+This package deliberately has no dependencies on the rest of
+:mod:`repro`; every other subpackage may import from it.
+"""
+
+from repro.util.rng import derive_rng, derive_seed
+from repro.util.textdist import (
+    damerau_levenshtein,
+    jaccard_qgrams,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_alignment,
+    levenshtein_similarity,
+    qgrams,
+)
+from repro.util.tokenize import (
+    is_number_token,
+    sentences,
+    tokenize,
+    words,
+)
+from repro.util.intervals import (
+    lift_lower_bound,
+    proportion_interval,
+    wilson_interval,
+)
+from repro.util.stats import (
+    TTestResult,
+    proportion_ztest,
+    ttest_independent,
+    welch_ttest,
+)
+from repro.util.tabletext import format_table
+
+__all__ = [
+    "derive_rng",
+    "derive_seed",
+    "levenshtein",
+    "levenshtein_alignment",
+    "levenshtein_similarity",
+    "damerau_levenshtein",
+    "jaro",
+    "jaro_winkler",
+    "qgrams",
+    "jaccard_qgrams",
+    "tokenize",
+    "words",
+    "sentences",
+    "is_number_token",
+    "wilson_interval",
+    "proportion_interval",
+    "lift_lower_bound",
+    "TTestResult",
+    "ttest_independent",
+    "welch_ttest",
+    "proportion_ztest",
+    "format_table",
+]

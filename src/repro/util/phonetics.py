@@ -1,0 +1,307 @@
+"""Phonetic modelling primitives for the simulated ASR channel.
+
+The paper's ASR engine is a context-dependent phoneme HMM system over a
+54-phone US-English set.  We cannot train acoustic models without audio,
+so the acoustic channel (:mod:`repro.asr.acoustic`) instead perturbs
+words into *similar-sounding* competitors.  The notion of "similar
+sounding" is grounded here:
+
+* a rule-based grapheme-to-phoneme converter into a compact
+  ARPABET-like phone set,
+* a phone-class confusion cost (phones in the same articulatory class
+  are cheap to confuse: B/P, M/N, S/Z, vowel/vowel, ...),
+* a normalised phonetic similarity between words built from a weighted
+  edit distance over their phone strings,
+* classic Soundex, used by the fuzzy name index in the store.
+"""
+
+from functools import lru_cache
+
+# ---------------------------------------------------------------------------
+# Phone inventory: a compact ARPABET-like set grouped by articulatory class.
+# The class drives substitution costs in the weighted edit distance.
+# ---------------------------------------------------------------------------
+
+PHONE_CLASSES = {
+    "stop": {"P", "B", "T", "D", "K", "G"},
+    "fricative": {"F", "V", "TH", "DH", "S", "Z", "SH", "ZH", "HH"},
+    "affricate": {"CH", "JH"},
+    "nasal": {"M", "N", "NG"},
+    "liquid": {"L", "R"},
+    "glide": {"W", "Y"},
+    "vowel": {
+        "AA", "AE", "AH", "AO", "AW", "AY",
+        "EH", "ER", "EY", "IH", "IY",
+        "OW", "OY", "UH", "UW",
+    },
+}
+
+PHONES = frozenset(
+    phone for phones in PHONE_CLASSES.values() for phone in phones
+)
+
+_PHONE_TO_CLASS = {
+    phone: cls for cls, phones in PHONE_CLASSES.items() for phone in phones
+}
+
+# Pairs that are especially confusable even across the generic class cost
+# (voicing pairs and classic ASR confusions).
+_CLOSE_PAIRS = {
+    frozenset(pair)
+    for pair in [
+        ("P", "B"), ("T", "D"), ("K", "G"),
+        ("F", "V"), ("S", "Z"), ("SH", "ZH"), ("TH", "DH"),
+        ("M", "N"), ("N", "NG"),
+        ("CH", "JH"), ("CH", "SH"), ("JH", "ZH"),
+        ("IY", "IH"), ("EH", "AE"), ("AA", "AO"), ("UW", "UH"),
+        ("EY", "EH"), ("OW", "AO"), ("AH", "UH"), ("ER", "AH"),
+        ("L", "R"), ("W", "V"), ("B", "V"), ("D", "DH"), ("T", "TH"),
+    ]
+}
+
+
+def phone_substitution_cost(phone_a, phone_b):
+    """Cost in ``[0, 1]`` of confusing one phone for another.
+
+    Identical phones cost 0; "close pairs" (voicing pairs, classic ASR
+    confusions) cost 0.25; same articulatory class costs 0.5; anything
+    else costs 1.0.
+    """
+    if phone_a == phone_b:
+        return 0.0
+    if frozenset((phone_a, phone_b)) in _CLOSE_PAIRS:
+        return 0.25
+    if _PHONE_TO_CLASS.get(phone_a) == _PHONE_TO_CLASS.get(phone_b):
+        return 0.5
+    return 1.0
+
+
+# ---------------------------------------------------------------------------
+# Rule-based grapheme-to-phoneme conversion.
+#
+# Longest-match rules over the spelling; crude compared to a trained G2P,
+# but it preserves the property the channel needs: words that *look*
+# like they sound alike map to nearby phone strings.
+# ---------------------------------------------------------------------------
+
+_MULTIGRAPHS = [
+    ("tch", ["CH"]),
+    ("sch", ["SH"]),
+    ("ough", ["AO"]),
+    ("augh", ["AO"]),
+    ("eigh", ["EY"]),
+    ("igh", ["AY"]),
+    ("tion", ["SH", "AH", "N"]),
+    ("sion", ["ZH", "AH", "N"]),
+    ("ck", ["K"]),
+    ("ch", ["CH"]),
+    ("sh", ["SH"]),
+    ("th", ["TH"]),
+    ("ph", ["F"]),
+    ("wh", ["W"]),
+    ("gh", ["G"]),
+    ("ng", ["NG"]),
+    ("qu", ["K", "W"]),
+    ("ee", ["IY"]),
+    ("ea", ["IY"]),
+    ("oo", ["UW"]),
+    ("ou", ["AW"]),
+    ("ow", ["OW"]),
+    ("oi", ["OY"]),
+    ("oy", ["OY"]),
+    ("ai", ["EY"]),
+    ("ay", ["EY"]),
+    ("au", ["AO"]),
+    ("aw", ["AO"]),
+    ("ie", ["IY"]),
+    ("ei", ["EY"]),
+    ("ue", ["UW"]),
+    ("ui", ["UW"]),
+    ("oa", ["OW"]),
+    ("ar", ["AA", "R"]),
+    ("er", ["ER"]),
+    ("ir", ["ER"]),
+    ("ur", ["ER"]),
+    ("or", ["AO", "R"]),
+]
+
+_SINGLE = {
+    "a": ["AE"],
+    "b": ["B"],
+    "c": ["K"],
+    "d": ["D"],
+    "e": ["EH"],
+    "f": ["F"],
+    "g": ["G"],
+    "h": ["HH"],
+    "i": ["IH"],
+    "j": ["JH"],
+    "k": ["K"],
+    "l": ["L"],
+    "m": ["M"],
+    "n": ["N"],
+    "o": ["AA"],
+    "p": ["P"],
+    "q": ["K"],
+    "r": ["R"],
+    "s": ["S"],
+    "t": ["T"],
+    "u": ["AH"],
+    "v": ["V"],
+    "w": ["W"],
+    "x": ["K", "S"],
+    "y": ["Y"],
+    "z": ["Z"],
+}
+
+_SOFT_VOWELS = set("eiy")
+
+
+@lru_cache(maxsize=65536)
+def to_phones(word):
+    """Convert ``word`` to a tuple of phones.
+
+    Handles digits by expanding them to their spoken-word phone strings
+    ("7" -> phones of "seven").  Non-alphanumeric characters are
+    ignored.
+
+    >>> to_phones("cash")
+    ('K', 'AE', 'SH')
+    >>> to_phones("city")[0]
+    'S'
+    """
+    word = word.lower()
+    if word.isdigit():
+        phones = []
+        for digit in word:
+            phones.extend(to_phones(_DIGIT_WORDS[digit]))
+        return tuple(phones)
+    phones = []
+    i = 0
+    n = len(word)
+    while i < n:
+        ch = word[i]
+        matched = False
+        for graph, graph_phones in _MULTIGRAPHS:
+            if word.startswith(graph, i):
+                phones.extend(graph_phones)
+                i += len(graph)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch == "c" and i + 1 < n and word[i + 1] in _SOFT_VOWELS:
+            phones.append("S")  # soft c: city, cent
+        elif ch == "g" and i + 1 < n and word[i + 1] in _SOFT_VOWELS:
+            phones.append("JH")  # soft g: gem, giant
+        elif ch == "e" and i == n - 1 and len(phones) > 1:
+            pass  # silent final e
+        elif ch == "y" and i > 0:
+            phones.append("IY")  # word-internal y is a vowel
+        elif ch in _SINGLE:
+            phones.extend(_SINGLE[ch])
+        i += 1
+    return tuple(phones)
+
+
+_DIGIT_WORDS = {
+    "0": "zero",
+    "1": "one",
+    "2": "two",
+    "3": "three",
+    "4": "four",
+    "5": "five",
+    "6": "six",
+    "7": "seven",
+    "8": "eight",
+    "9": "nine",
+}
+
+DIGIT_WORDS = dict(_DIGIT_WORDS)
+
+# Digit pairs the paper's domain makes acoustically confusable
+# (five/nine share the AY vowel, similar length; etc.).  Used by the
+# channel when corrupting spoken numbers.
+CONFUSABLE_DIGITS = {
+    "0": ["8"],
+    "1": ["9"],
+    "2": ["3"],
+    "3": ["2"],
+    "4": ["5"],
+    "5": ["9", "4"],
+    "6": ["7"],
+    "7": ["6"],
+    "8": ["0"],
+    "9": ["5", "1"],
+}
+
+
+def _weighted_phone_distance(phones_a, phones_b):
+    """Weighted edit distance over phone tuples."""
+    n, m = len(phones_a), len(phones_b)
+    if n == 0:
+        return float(m)
+    if m == 0:
+        return float(n)
+    previous = [float(j) for j in range(m + 1)]
+    for i in range(1, n + 1):
+        current = [float(i)]
+        for j in range(1, m + 1):
+            sub = previous[j - 1] + phone_substitution_cost(
+                phones_a[i - 1], phones_b[j - 1]
+            )
+            current.append(min(previous[j] + 1.0, current[j - 1] + 1.0, sub))
+        previous = current
+    return previous[-1]
+
+
+def phonetic_similarity(word_a, word_b):
+    """Similarity in ``[0, 1]`` between the phone strings of two words.
+
+    >>> phonetic_similarity("smith", "smyth") > 0.8
+    True
+    >>> phonetic_similarity("smith", "rental") < 0.5
+    True
+    """
+    if word_a == word_b:
+        return 1.0
+    pa, pb = to_phones(word_a), to_phones(word_b)
+    longest = max(len(pa), len(pb))
+    if longest == 0:
+        return 1.0
+    return max(0.0, 1.0 - _weighted_phone_distance(pa, pb) / longest)
+
+
+# ---------------------------------------------------------------------------
+# Soundex, used by the store's fuzzy name index for candidate blocking.
+# ---------------------------------------------------------------------------
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    "l": "4",
+    **dict.fromkeys("mn", "5"),
+    "r": "6",
+}
+
+
+def soundex(word):
+    """Classic 4-character Soundex code of ``word``.
+
+    >>> soundex("Robert") == soundex("Rupert")
+    True
+    """
+    word = "".join(ch for ch in word.lower() if ch.isalpha())
+    if not word:
+        return "0000"
+    first = word[0].upper()
+    digits = []
+    previous = _SOUNDEX_CODES.get(word[0], "")
+    for ch in word[1:]:
+        code = _SOUNDEX_CODES.get(ch, "")
+        if code and code != previous:
+            digits.append(code)
+        if ch not in "hw":
+            previous = code
+    return (first + "".join(digits) + "000")[:4]

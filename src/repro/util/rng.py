@@ -1,0 +1,44 @@
+"""Deterministic random-number helpers.
+
+Everything in the reproduction that involves randomness (synthetic data,
+the simulated acoustic channel, classifier initialisation) accepts an
+explicit seed or generator.  To keep independent subsystems decoupled,
+seeds for child components are *derived* from a parent seed plus a
+stable string label, so adding a new consumer of randomness never
+perturbs the streams of existing ones.
+"""
+
+import hashlib
+
+import numpy as np
+
+_MASK_63 = (1 << 63) - 1
+
+
+def derive_seed(seed, label):
+    """Derive a stable child seed from ``seed`` and a string ``label``.
+
+    The derivation hashes ``(seed, label)`` with SHA-256, so child
+    streams are statistically independent of each other and of the
+    parent stream.
+
+    >>> derive_seed(42, "asr") == derive_seed(42, "asr")
+    True
+    >>> derive_seed(42, "asr") != derive_seed(42, "synth")
+    True
+    """
+    digest = hashlib.sha256(f"{seed}::{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & _MASK_63
+
+
+def derive_rng(seed, label):
+    """Return a :class:`numpy.random.Generator` seeded from ``(seed, label)``.
+
+    ``seed`` may also be an existing ``Generator``, in which case a child
+    generator is spawned from a seed drawn from it (still deterministic
+    for a deterministic parent).
+    """
+    if isinstance(seed, np.random.Generator):
+        child_seed = int(seed.integers(0, _MASK_63))
+        return np.random.default_rng(derive_seed(child_seed, label))
+    return np.random.default_rng(derive_seed(seed, label))

@@ -1,0 +1,88 @@
+"""Statistical tests used by the evaluation harness.
+
+Paper Section V-C validates the agent-training intervention with a
+two-sample t-test on booking ratios ("the p-value of the t-test
+statistic is 0.0675").  The helpers here wrap :mod:`scipy.stats` into
+small result objects that the benches can print.
+"""
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    """Outcome of a two-sample t-test."""
+
+    statistic: float
+    p_value: float
+    df: float
+    mean_a: float
+    mean_b: float
+
+    @property
+    def mean_difference(self):
+        """Mean of sample A minus mean of sample B."""
+        return self.mean_a - self.mean_b
+
+    def significant(self, alpha=0.05):
+        """True when the p-value falls below ``alpha``."""
+        return self.p_value < alpha
+
+
+def _as_array(sample, name):
+    arr = np.asarray(list(sample), dtype=float)
+    if arr.size < 2:
+        raise ValueError(f"{name} needs at least two observations")
+    return arr
+
+
+def ttest_independent(sample_a, sample_b, equal_var=True):
+    """Two-sample t-test (pooled variance by default, as in the paper).
+
+    Returns a :class:`TTestResult` with a two-sided p-value.
+    """
+    a = _as_array(sample_a, "sample_a")
+    b = _as_array(sample_b, "sample_b")
+    statistic, p_value = _scipy_stats.ttest_ind(a, b, equal_var=equal_var)
+    if equal_var:
+        df = a.size + b.size - 2
+    else:
+        va, vb = a.var(ddof=1) / a.size, b.var(ddof=1) / b.size
+        df = (va + vb) ** 2 / (
+            va**2 / (a.size - 1) + vb**2 / (b.size - 1)
+        )
+    return TTestResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        df=float(df),
+        mean_a=float(a.mean()),
+        mean_b=float(b.mean()),
+    )
+
+
+def welch_ttest(sample_a, sample_b):
+    """Welch's unequal-variance two-sample t-test."""
+    return ttest_independent(sample_a, sample_b, equal_var=False)
+
+
+def proportion_ztest(successes_a, trials_a, successes_b, trials_b):
+    """Two-proportion z-test; returns ``(z, two_sided_p)``.
+
+    Used to compare booking rates between trained and control agent
+    groups at the call level.
+    """
+    if trials_a <= 0 or trials_b <= 0:
+        raise ValueError("both trials counts must be positive")
+    p_a = successes_a / trials_a
+    p_b = successes_b / trials_b
+    pooled = (successes_a + successes_b) / (trials_a + trials_b)
+    se = math.sqrt(pooled * (1 - pooled) * (1 / trials_a + 1 / trials_b))
+    if se == 0.0:
+        return 0.0, 1.0
+    z = (p_a - p_b) / se
+    p_value = 2.0 * _scipy_stats.norm.sf(abs(z))
+    return z, p_value

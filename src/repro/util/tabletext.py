@@ -1,0 +1,56 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benches regenerate the paper's tables as text; this keeps the
+formatting in one place so every reproduction prints consistently.
+"""
+
+
+def format_table(headers, rows, title=None, align=None):
+    """Render ``rows`` under ``headers`` as an ASCII table string.
+
+    ``align`` is an optional per-column list of ``"l"``/``"r"``;
+    defaults to left for the first column and right for the rest, which
+    matches the paper's numeric tables.
+
+    >>> print(format_table(["a", "b"], [["x", 1]]))
+    a | b
+    --+--
+    x | 1
+    """
+    headers = [str(header) for header in headers]
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in str_rows))
+        if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    if align is None:
+        align = ["l"] + ["r"] * (len(headers) - 1)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_format_row(headers, widths, align))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in str_rows:
+        lines.append(_format_row(row, widths, align))
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _format_row(cells, widths, align):
+    parts = []
+    for cell, width, side in zip(cells, widths, align):
+        if side == "r":
+            parts.append(cell.rjust(width))
+        else:
+            parts.append(cell.ljust(width))
+    return " | ".join(parts).rstrip()

@@ -1,0 +1,241 @@
+"""String distance and similarity measures.
+
+These are the fuzzy-matching primitives used by the data-linking engine
+(paper Section IV-B: "the best similarity measure available for specific
+attributes can be readily plugged into our architecture") and by the
+ASR scoring code (word error rate is computed from a Levenshtein
+alignment, Eqn 1 of the paper).
+
+All similarity functions return values in ``[0.0, 1.0]`` where ``1.0``
+means identical.
+"""
+
+
+def levenshtein(a, b):
+    """Edit distance between sequences ``a`` and ``b``.
+
+    Works on strings (character edits) and on lists/tuples of tokens
+    (word edits), which is what WER computation needs.
+
+    >>> levenshtein("kitten", "sitting")
+    3
+    >>> levenshtein(["a", "b"], ["a", "c", "b"])
+    1
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Keep only two rows of the DP matrix.
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion of ca
+                    current[j - 1] + 1,  # insertion of cb
+                    previous[j - 1] + cost,  # substitution / match
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_alignment(reference, hypothesis):
+    """Align ``hypothesis`` against ``reference`` and return edit operations.
+
+    Returns a list of ``(op, ref_item, hyp_item)`` tuples where ``op`` is
+    one of ``"match"``, ``"sub"``, ``"del"`` (reference item missing from
+    the hypothesis) or ``"ins"`` (hypothesis item not in the reference).
+    ``ref_item``/``hyp_item`` are ``None`` where not applicable.
+
+    This is the alignment behind the paper's WER definition
+    ``WER = (S + D + I) / N``.
+    """
+    n, m = len(reference), len(hypothesis)
+    # Full DP matrix with backpointers; corpora here are short utterances
+    # so the O(n*m) memory is fine.
+    dist = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(1, n + 1):
+        dist[i][0] = i
+    for j in range(1, m + 1):
+        dist[0][j] = j
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            cost = 0 if reference[i - 1] == hypothesis[j - 1] else 1
+            dist[i][j] = min(
+                dist[i - 1][j] + 1,
+                dist[i][j - 1] + 1,
+                dist[i - 1][j - 1] + cost,
+            )
+    ops = []
+    i, j = n, m
+    while i > 0 or j > 0:
+        if i > 0 and j > 0 and dist[i][j] == dist[i - 1][j - 1] and (
+            reference[i - 1] == hypothesis[j - 1]
+        ):
+            ops.append(("match", reference[i - 1], hypothesis[j - 1]))
+            i, j = i - 1, j - 1
+        elif i > 0 and j > 0 and dist[i][j] == dist[i - 1][j - 1] + 1:
+            ops.append(("sub", reference[i - 1], hypothesis[j - 1]))
+            i, j = i - 1, j - 1
+        elif i > 0 and dist[i][j] == dist[i - 1][j] + 1:
+            ops.append(("del", reference[i - 1], None))
+            i = i - 1
+        else:
+            ops.append(("ins", None, hypothesis[j - 1]))
+            j = j - 1
+    ops.reverse()
+    return ops
+
+
+def levenshtein_similarity(a, b):
+    """Normalised edit similarity: ``1 - dist / max(len(a), len(b))``.
+
+    >>> levenshtein_similarity("smith", "smith")
+    1.0
+    >>> levenshtein_similarity("", "")
+    1.0
+    """
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def damerau_levenshtein(a, b):
+    """Edit distance counting adjacent transpositions as one edit.
+
+    Useful for typo-heavy SMS text where transposed characters are
+    common ("teh" for "the").
+
+    >>> damerau_levenshtein("teh", "the")
+    1
+    """
+    if a == b:
+        return 0
+    n, m = len(a), len(b)
+    if n == 0:
+        return m
+    if m == 0:
+        return n
+    rows = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        rows[i][0] = i
+    for j in range(m + 1):
+        rows[0][j] = j
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            best = min(
+                rows[i - 1][j] + 1,
+                rows[i][j - 1] + 1,
+                rows[i - 1][j - 1] + cost,
+            )
+            if (
+                i > 1
+                and j > 1
+                and a[i - 1] == b[j - 2]
+                and a[i - 2] == b[j - 1]
+            ):
+                best = min(best, rows[i - 2][j - 2] + 1)
+            rows[i][j] = best
+    return rows[n][m]
+
+
+def jaro(a, b):
+    """Jaro similarity between two strings.
+
+    >>> jaro("martha", "marhta") > 0.9
+    True
+    """
+    if a == b:
+        return 1.0
+    la, lb = len(a), len(b)
+    if la == 0 or lb == 0:
+        return 0.0
+    window = max(la, lb) // 2 - 1
+    if window < 0:
+        window = 0
+    a_matched = [False] * la
+    b_matched = [False] * lb
+    matches = 0
+    for i, ca in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(lb, i + window + 1)
+        for j in range(lo, hi):
+            if not b_matched[j] and b[j] == ca:
+                a_matched[i] = True
+                b_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(la):
+        if a_matched[i]:
+            while not b_matched[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    return (
+        matches / la + matches / lb + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a, b, prefix_scale=0.1, max_prefix=4):
+    """Jaro-Winkler similarity: Jaro boosted by common-prefix length.
+
+    The standard measure for noisy person-name matching, which is the
+    dominant attribute type in the paper's linking engine.
+
+    >>> jaro_winkler("dixon", "dickson") > jaro("dixon", "dickson")
+    True
+    """
+    base = jaro(a, b)
+    prefix = 0
+    for ca, cb in zip(a, b):
+        if ca != cb or prefix >= max_prefix:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def qgrams(text, q=2, pad=True):
+    """Return the list of q-grams of ``text``.
+
+    With ``pad=True`` the string is padded with ``q - 1`` boundary
+    markers on each side so that prefixes/suffixes carry weight, which
+    matters for short attribute values such as surnames.
+
+    >>> qgrams("ab", q=2)
+    ['#a', 'ab', 'b#']
+    """
+    if q <= 0:
+        raise ValueError("q must be positive")
+    if pad:
+        text = "#" * (q - 1) + text + "#" * (q - 1)
+    if len(text) < q:
+        return [text] if text else []
+    return [text[i : i + q] for i in range(len(text) - q + 1)]
+
+
+def jaccard_qgrams(a, b, q=2):
+    """Jaccard similarity of the q-gram sets of two strings.
+
+    >>> jaccard_qgrams("smith", "smith")
+    1.0
+    """
+    ga, gb = set(qgrams(a, q=q)), set(qgrams(b, q=q))
+    if not ga and not gb:
+        return 1.0
+    if not ga or not gb:
+        return 0.0
+    return len(ga & gb) / len(ga | gb)

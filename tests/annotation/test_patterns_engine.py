@@ -1,0 +1,211 @@
+"""Tests for the pattern language and the assembled annotation engine."""
+
+import pytest
+
+from repro.annotation.domains import (
+    COMMENDATION_CATEGORY,
+    COMPLAINT_CATEGORY,
+    DISCOUNT_CATEGORY,
+    INTENT_CATEGORY,
+    PLACE_CATEGORY,
+    REQUEST_CATEGORY,
+    STRONG_START,
+    VALUE_SELLING_CATEGORY,
+    VEHICLE_CATEGORY,
+    WEAK_START,
+    build_car_rental_engine,
+    build_telecom_engine,
+)
+from repro.annotation.matcher import AnnotationEngine
+from repro.annotation.patterns import parse_pattern
+
+
+class TestPatternLanguage:
+    def test_literal_sequence(self):
+        pattern = parse_pattern("save money", "good rate", "value selling")
+        concepts = pattern.match(
+            ["you", "save", "money", "here"],
+            ["PRON", "VERB", "NOUN", "ADV"],
+            [set(), set(), set(), set()],
+        )
+        assert len(concepts) == 1
+        assert concepts[0].surface == "save money"
+
+    def test_pos_element(self):
+        pattern = parse_pattern("please + VERB", "request", "request",
+                                capture="VERB")
+        concepts = pattern.match(
+            ["please", "confirm", "now"],
+            ["NOUN", "VERB", "ADV"],
+            [set(), set(), set()],
+        )
+        assert concepts[0].canonical == "confirm"
+
+    def test_numeric_element(self):
+        pattern = parse_pattern(
+            "just + NUMERIC + dollars", "good rate", "value selling"
+        )
+        concepts = pattern.match(
+            ["just", "forty", "dollars"],
+            ["ADV", "NUMERIC", "NOUN"],
+            [set(), set(), set()],
+        )
+        assert concepts
+
+    def test_wildcard(self):
+        pattern = parse_pattern("was + * + rude", "rude", "question")
+        concepts = pattern.match(
+            ["was", "he", "rude"],
+            ["VERB", "PRON", "ADJ"],
+            [set(), set(), set()],
+        )
+        assert concepts
+
+    def test_alternation(self):
+        pattern = parse_pattern("want to make|book", "strong", "intent")
+        hits = pattern.match(
+            ["want", "to", "book"],
+            ["VERB", "PREP", "VERB"],
+            [set()] * 3,
+        )
+        assert hits
+
+    def test_category_element(self):
+        pattern = parse_pattern("<place> + NOUN", "place-noun", "assoc")
+        concepts = pattern.match(
+            ["boston", "office"],
+            ["PROPN", "NOUN"],
+            [{"place"}, set()],
+        )
+        assert concepts
+
+    def test_multiple_occurrences(self):
+        pattern = parse_pattern("good rate", "good rate", "value selling")
+        concepts = pattern.match(
+            ["good", "rate", "and", "good", "rate"],
+            ["ADJ", "NOUN", "CONJ", "ADJ", "NOUN"],
+            [set()] * 5,
+        )
+        assert len(concepts) == 2
+
+    def test_capture_requires_pos_element(self):
+        with pytest.raises(ValueError):
+            parse_pattern("please now", "x", "y", capture="VERB")
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(ValueError):
+            parse_pattern(" + ", "x", "y")
+
+
+class TestCarRentalEngine:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return build_car_rental_engine()
+
+    def test_strong_start_detected(self, engine):
+        doc = engine.annotate("i would like to make a booking")
+        intents = {c.canonical for c in doc.concepts_in(INTENT_CATEGORY)}
+        assert intents == {STRONG_START}
+
+    def test_weak_start_detected(self, engine):
+        doc = engine.annotate("can i know the rates for booking a car")
+        intents = {c.canonical for c in doc.concepts_in(INTENT_CATEGORY)}
+        assert WEAK_START in intents
+
+    def test_discount_phrases(self, engine):
+        for text in (
+            "you qualify for our corporate program",
+            "we have a motor club discount",
+            "let me apply a promotional discount",
+        ):
+            assert engine.annotate(text).has_category(DISCOUNT_CATEGORY)
+
+    def test_value_selling_rate(self, engine):
+        doc = engine.annotate("that is a wonderful rate")
+        assert doc.has_concept("mention of good rate",
+                               VALUE_SELLING_CATEGORY)
+
+    def test_value_selling_spoken_amount(self, engine):
+        doc = engine.annotate("it is just forty two dollars")
+        assert doc.has_category(VALUE_SELLING_CATEGORY)
+
+    def test_vehicle_surface_mapping(self, engine):
+        doc = engine.annotate("i want a seven seater")
+        vehicles = [c.canonical for c in doc.concepts_in(VEHICLE_CATEGORY)]
+        assert vehicles == ["suv"]
+
+    def test_chevy_impala_is_full_size(self, engine):
+        doc = engine.annotate("maybe a chevy impala")
+        assert doc.has_concept("full-size", VEHICLE_CATEGORY)
+
+    def test_place_variants_canonicalised(self, engine):
+        doc = engine.annotate("pick up in ny tomorrow")
+        places = [c.canonical for c in doc.concepts_in(PLACE_CATEGORY)]
+        assert places == ["new york"]
+
+    def test_request_pattern_from_paper(self, engine):
+        doc = engine.annotate("please confirm the booking")
+        requests = doc.concepts_in(REQUEST_CATEGORY)
+        assert requests and requests[0].canonical == "confirm"
+
+    def test_rude_negation_handling(self, engine):
+        complaint = engine.annotate("the agent was rude to me")
+        praise = engine.annotate("the agent was not rude at all")
+        assert complaint.has_category(COMPLAINT_CATEGORY)
+        assert praise.has_category(COMMENDATION_CATEGORY)
+
+    def test_neutral_text_clean(self, engine):
+        doc = engine.annotate("the weather is nice today")
+        assert not doc.has_category(INTENT_CATEGORY)
+        assert not doc.has_category(DISCOUNT_CATEGORY)
+
+
+class TestTelecomEngine:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return build_telecom_engine()
+
+    def test_billing_driver(self, engine):
+        doc = engine.annotate("i feel robbed when paying my bill")
+        assert doc.has_category("billing_issue")
+
+    def test_service_driver(self, engine):
+        doc = engine.annotate("he was not able to access gprs")
+        assert doc.has_category("service_issue")
+
+    def test_competitor_driver(self, engine):
+        doc = engine.annotate("your competitor has a cheaper plan")
+        assert doc.has_category("competitor_tariff")
+
+    def test_churn_intent(self, engine):
+        doc = engine.annotate("please deactivate my number i am switching")
+        assert doc.has_category("churn intent")
+
+    def test_neutral_message(self, engine):
+        doc = engine.annotate("please send me my balance")
+        assert not doc.has_category("churn intent")
+
+
+class TestAnnotationEngineMechanics:
+    def test_annotate_many_with_ids(self):
+        engine = AnnotationEngine()
+        docs = engine.annotate_many(["a", "b"], ids=["x", "y"])
+        assert [d.doc_id for d in docs] == ["x", "y"]
+
+    def test_annotate_many_default_ids(self):
+        engine = AnnotationEngine()
+        docs = engine.annotate_many(["a", "b"])
+        assert [d.doc_id for d in docs] == [0, 1]
+
+    def test_metadata_attached(self):
+        engine = AnnotationEngine()
+        doc = engine.annotate("hello", metadata={"day": 3})
+        assert doc.metadata["day"] == 3
+
+    def test_concepts_sorted_by_span(self):
+        engine = build_car_rental_engine()
+        doc = engine.annotate(
+            "pick up in boston a seven seater with corporate program"
+        )
+        starts = [c.start for c in doc.concepts]
+        assert starts == sorted(starts)

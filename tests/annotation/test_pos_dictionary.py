@@ -1,0 +1,132 @@
+"""Tests for the PoS tagger and domain dictionary."""
+
+import pytest
+
+from repro.annotation.concepts import Concept
+from repro.annotation.dictionary import DictionaryEntry, DomainDictionary
+from repro.annotation.pos import (
+    ADJ,
+    DET,
+    NEG,
+    NOUN,
+    NUMERIC,
+    PosTagger,
+    PREP,
+    PRON,
+    PROPN,
+    PUNCT,
+    VERB,
+)
+
+
+class TestPosTagger:
+    @pytest.fixture(scope="class")
+    def tagger(self):
+        return PosTagger()
+
+    def test_common_verbs(self, tagger):
+        assert tagger.tag_token("book") == VERB
+        assert tagger.tag_token("want") == VERB
+
+    def test_suffix_verbs(self, tagger):
+        assert tagger.tag_token("booking") == VERB
+        assert tagger.tag_token("charged") == VERB
+
+    def test_numbers(self, tagger):
+        assert tagger.tag_token("42") == NUMERIC
+        assert tagger.tag_token("forty") == NUMERIC
+
+    def test_negation(self, tagger):
+        assert tagger.tag_token("not") == NEG
+
+    def test_closed_classes(self, tagger):
+        assert tagger.tag_token("i") == PRON
+        assert tagger.tag_token("the") == DET
+        assert tagger.tag_token("for") == PREP
+
+    def test_adjectives(self, tagger):
+        assert tagger.tag_token("wonderful") == ADJ
+        assert tagger.tag_token("rude") == ADJ
+
+    def test_proper_nouns(self, tagger):
+        assert tagger.tag_token("smith") == PROPN
+        assert tagger.tag_token("seattle") == PROPN
+
+    def test_noun_default(self, tagger):
+        assert tagger.tag_token("car") == NOUN
+
+    def test_punctuation(self, tagger):
+        assert tagger.tag_token("!") == PUNCT
+
+    def test_tag_sequence_aligned(self, tagger):
+        tokens = ["i", "want", "a", "car"]
+        assert len(tagger.tag(tokens)) == 4
+
+
+class TestDomainDictionary:
+    @pytest.fixture
+    def dictionary(self):
+        return DomainDictionary(
+            [
+                DictionaryEntry("child seat", "child seat",
+                                "vehicle feature"),
+                DictionaryEntry("ny", "new york", "place",
+                                pos="proper noun"),
+                DictionaryEntry("master card", "credit card",
+                                "payment methods"),
+                DictionaryEntry("seat", "seat", "part"),
+            ]
+        )
+
+    def test_paper_examples(self, dictionary):
+        concepts = dictionary.match(
+            "i need a child seat and a master card refund in ny".split()
+        )
+        canonical = {(c.canonical, c.category) for c in concepts}
+        assert ("child seat", "vehicle feature") in canonical
+        assert ("credit card", "payment methods") in canonical
+        assert ("new york", "place") in canonical
+
+    def test_longest_match_wins(self, dictionary):
+        concepts = dictionary.match("child seat please".split())
+        assert [c.canonical for c in concepts] == ["child seat"]
+
+    def test_single_word_entry_still_matches_alone(self, dictionary):
+        concepts = dictionary.match("the seat is broken".split())
+        assert [c.canonical for c in concepts] == ["seat"]
+
+    def test_spans_recorded(self, dictionary):
+        concepts = dictionary.match("a master card here".split())
+        assert concepts[0].start == 1
+        assert concepts[0].end == 3
+        assert concepts[0].surface == "master card"
+
+    def test_case_insensitive(self, dictionary):
+        assert dictionary.match("MASTER CARD".split())
+
+    def test_no_match(self, dictionary):
+        assert dictionary.match("completely unrelated words".split()) == []
+
+    def test_entries_for_category(self, dictionary):
+        assert len(dictionary.entries_for_category("place")) == 1
+
+    def test_add_with_components(self):
+        dictionary = DomainDictionary()
+        dictionary.add("suv", canonical="suv", category="vehicle type")
+        assert len(dictionary) == 1
+
+    def test_add_requires_complete_row(self):
+        with pytest.raises(ValueError):
+            DomainDictionary().add("surface only")
+
+    def test_empty_surface_rejected(self):
+        with pytest.raises(ValueError):
+            DictionaryEntry("  ", "x", "y")
+
+
+class TestConcept:
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            Concept("x", "y", "x", start=3, end=3)
+        with pytest.raises(ValueError):
+            Concept("x", "y", "x", start=-1, end=2)

@@ -1,0 +1,130 @@
+"""Tests for term-list building and LM domain-weight selection."""
+
+import pytest
+
+from repro.annotation.dictionary import DictionaryEntry, DomainDictionary
+from repro.annotation.termlist import (
+    TermEntry,
+    frequency_term_list,
+    uncovered_terms,
+)
+from repro.asr.lm import NGramLM, choose_domain_weight
+
+
+CORPUS = [
+    "i want to book a car in boston",
+    "the corporate program discount applies",
+    "corporate program members save money",
+    "book a car with the corporate program",
+]
+
+
+class TestFrequencyTermList:
+    def test_sorted_by_count(self):
+        entries = frequency_term_list(CORPUS, min_count=1)
+        counts = [entry.count for entry in entries]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_stopwords_removed(self):
+        entries = frequency_term_list(CORPUS, min_count=1)
+        terms = {entry.term for entry in entries}
+        assert "the" not in terms
+        assert "i" not in terms
+
+    def test_bigrams_surface(self):
+        entries = frequency_term_list(CORPUS, min_count=2)
+        terms = {entry.term for entry in entries}
+        assert "corporate program" in terms
+
+    def test_bigrams_optional(self):
+        entries = frequency_term_list(
+            CORPUS, min_count=1, include_bigrams=False
+        )
+        assert all(" " not in entry.term for entry in entries)
+
+    def test_min_count_filters(self):
+        entries = frequency_term_list(CORPUS, min_count=3)
+        assert all(entry.count >= 3 for entry in entries)
+
+    def test_coverage_monotone_to_one(self):
+        entries = frequency_term_list(CORPUS, min_count=1)
+        coverages = [entry.coverage for entry in entries]
+        assert coverages == sorted(coverages)
+        assert coverages[-1] == pytest.approx(1.0)
+
+    def test_limit(self):
+        entries = frequency_term_list(CORPUS, min_count=1, limit=3)
+        assert len(entries) == 3
+
+    def test_numbers_dropped(self):
+        entries = frequency_term_list(
+            ["pay 500 now", "pay 500 later"], min_count=1
+        )
+        assert all("500" not in entry.term for entry in entries)
+
+    def test_empty_corpus(self):
+        assert frequency_term_list([], min_count=1) == []
+
+
+class TestUncoveredTerms:
+    def test_known_surfaces_excluded(self):
+        entries = [
+            TermEntry("corporate program", 3, 0.5),
+            TermEntry("boston", 2, 0.8),
+            TermEntry("novelty", 1, 1.0),
+        ]
+        dictionary = DomainDictionary(
+            [
+                DictionaryEntry("corporate program", "discount",
+                                "discount"),
+                DictionaryEntry("boston", "boston", "place"),
+            ]
+        )
+        remaining = uncovered_terms(entries, dictionary)
+        assert [item.term for item in remaining] == ["novelty"]
+
+    def test_component_words_of_surfaces_excluded(self):
+        entries = [TermEntry("corporate", 3, 1.0)]
+        dictionary = DomainDictionary(
+            [DictionaryEntry("corporate program", "discount", "discount")]
+        )
+        assert uncovered_terms(entries, dictionary) == []
+
+
+class TestChooseDomainWeight:
+    def test_domain_heldout_prefers_high_weight(self):
+        general = NGramLM().fit(
+            [s.split() for s in (
+                "the weather is nice today",
+                "children played in the park",
+            )]
+        )
+        domain = NGramLM().fit(
+            [s.split() for s in (
+                "i want to book a car",
+                "the rate for a car is forty dollars",
+            )]
+        )
+        heldout = ["i want to book a car today"]
+        weight, avg = choose_domain_weight(general, domain, heldout)
+        assert weight >= 0.7
+        assert avg < 0.0  # a log-likelihood
+
+    def test_general_heldout_prefers_low_weight(self):
+        general = NGramLM().fit(
+            [s.split() for s in (
+                "the weather is nice today",
+                "children played in the park all day",
+            )]
+        )
+        domain = NGramLM().fit([["book", "a", "car"]])
+        heldout = ["the weather is nice in the park"]
+        weight, _ = choose_domain_weight(
+            general, domain, heldout, candidates=(0.2, 0.5, 0.8)
+        )
+        assert weight == 0.2
+
+    def test_empty_heldout_rejected(self):
+        lm = NGramLM().fit([["a"]])
+        with pytest.raises(ValueError):
+            choose_domain_weight(lm, lm, [])

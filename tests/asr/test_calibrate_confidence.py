@@ -1,0 +1,182 @@
+"""Tests for channel calibration and word-confidence decoding."""
+
+import pytest
+
+from repro.asr.acoustic import AcousticChannel, ChannelConfig
+from repro.asr.calibrate import (
+    WERTargets,
+    _apply_sigma,
+    calibrate_channel,
+    measure_wer,
+)
+from repro.asr.decoder import Decoder
+from repro.asr.lm import NGramLM
+from repro.asr.system import ASRSystem
+from repro.asr.vocabulary import NAME_CLASS, NUMBER_CLASS
+
+
+@pytest.fixture(scope="module")
+def tiny_sentences():
+    return [
+        "i want to book a car for john smith",
+        "the rate is forty dollars per day",
+        "my number is five five five eight six seven",
+        "mary walker wants a full size in boston",
+        "please confirm the reservation for seven days",
+    ] * 3
+
+
+class TestMeasureWer:
+    def test_reproducible_measurement(self, tiny_sentences):
+        system = ASRSystem.build_default()
+        a = measure_wer(system, tiny_sentences, reset_seed=5)
+        b = measure_wer(system, tiny_sentences, reset_seed=5)
+        assert a.wer() == b.wer()
+        assert a.wer(NAME_CLASS) == b.wer(NAME_CLASS)
+
+    def test_different_seeds_differ(self, tiny_sentences):
+        system = ASRSystem.build_default()
+        a = measure_wer(system, tiny_sentences, reset_seed=5)
+        b = measure_wer(system, tiny_sentences, reset_seed=6)
+        assert a.wer() != b.wer()
+
+
+class TestApplySigma:
+    def test_each_class_routed(self):
+        system = ASRSystem.build_default()
+        _apply_sigma(system, NAME_CLASS, 1.23)
+        assert system.channel.config.sigma_name == 1.23
+        _apply_sigma(system, NUMBER_CLASS, 2.34)
+        assert system.channel.config.sigma_number == 2.34
+        _apply_sigma(system, "overall", 3.45)
+        assert system.channel.config.sigma_general == 3.45
+
+    def test_unknown_class_rejected(self):
+        system = ASRSystem.build_default()
+        with pytest.raises(ValueError):
+            _apply_sigma(system, "martian", 1.0)
+
+
+class TestCalibrateChannel:
+    def test_sigma_monotone_in_wer(self, tiny_sentences):
+        """More score noise means more errors — the property the
+        bisection search relies on."""
+        system = ASRSystem.build_default()
+        _apply_sigma(system, "overall", 0.5)
+        low = measure_wer(system, tiny_sentences).wer()
+        _apply_sigma(system, "overall", 5.0)
+        high = measure_wer(system, tiny_sentences).wer()
+        assert high > low
+
+    def test_calibration_moves_toward_targets(self, tiny_sentences):
+        system = ASRSystem.build_default(
+            channel_config=ChannelConfig(
+                sigma_general=0.3, sigma_name=0.3, sigma_number=0.3
+            )
+        )
+        before = measure_wer(system, tiny_sentences).wer()
+        targets = WERTargets(overall=0.40, names=0.60, numbers=0.40)
+        after = calibrate_channel(system, tiny_sentences, targets=targets)
+        # Started nearly clean; calibration must push WER up toward 40%.
+        assert before < 0.2
+        assert after.wer() == pytest.approx(0.40, abs=0.12)
+
+
+class TestConfidenceDecoding:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.asr.vocabulary import Vocabulary
+
+        vocabulary = Vocabulary(
+            ["book", "a", "car", "smith", "smyth", "john", "jon", "the"]
+        )
+        lm = NGramLM().fit([["book", "a", "car"], ["john", "smith"]])
+        return vocabulary, lm
+
+    def test_posteriors_sum_to_one(self, setup):
+        vocabulary, lm = setup
+        channel = AcousticChannel(vocabulary)
+        network = channel.encode("book a car".split())
+        decoder = Decoder(lm)
+        for posterior in decoder.slot_posteriors(network):
+            assert sum(posterior.values()) == pytest.approx(1.0)
+
+    def test_clean_slot_is_confident(self, setup):
+        vocabulary, lm = setup
+        channel = AcousticChannel(
+            vocabulary,
+            ChannelConfig(
+                sigma_general=0.0,
+                sigma_name=0.0,
+                sigma_number=0.0,
+                deletion_rate=0.0,
+                insertion_rate=0.0,
+                extra_name_candidates=0,
+            ),
+        )
+        network = channel.encode(["car"])
+        decoder = Decoder(lm, lm_weight=0.2)
+        scored = decoder.decode_with_confidence(network)
+        assert scored[0][0] == "car"
+        assert scored[0][1] > 0.5
+
+    def test_truth_mass_drops_under_noise(self, setup):
+        vocabulary, lm = setup
+        clean = AcousticChannel(
+            vocabulary,
+            ChannelConfig(
+                sigma_general=0.0, sigma_name=0.0, sigma_number=0.0,
+                deletion_rate=0.0, insertion_rate=0.0,
+                extra_name_candidates=0,
+            ),
+        )
+        noisy = AcousticChannel(
+            vocabulary,
+            ChannelConfig(
+                sigma_general=4.0, sigma_name=4.0, sigma_number=4.0,
+                deletion_rate=0.0, insertion_rate=0.0,
+            ),
+        )
+        decoder = Decoder(lm, lm_weight=0.2)
+        clean_truth_mass = decoder.slot_posteriors(
+            clean.encode(["smith"])
+        )[0]["smith"]
+        # Under noise, the posterior mass on the *truly spoken* word
+        # drops on average (single draws can spike either way).
+        noisy.reset(3)
+        noisy_truth_mass = [
+            decoder.slot_posteriors(noisy.encode(["smith"]))[0].get(
+                "smith", 0.0
+            )
+            for _ in range(25)
+        ]
+        assert clean_truth_mass > sum(noisy_truth_mass) / len(
+            noisy_truth_mass
+        )
+
+    def test_confidence_alignment_with_words(self, setup):
+        vocabulary, lm = setup
+        channel = AcousticChannel(vocabulary)
+        channel.reset(9)
+        network = channel.encode("book a car john smith".split())
+        decoder = Decoder(lm)
+        words = decoder.decode(network)
+        scored = decoder.decode_with_confidence(network)
+        assert [word for word, _ in scored] == words
+        for _, confidence in scored:
+            assert 0.0 <= confidence <= 1.0
+
+
+class TestNotesChannel:
+    def test_notes_channel_expands_shorthand(self):
+        from repro.cleaning.pipeline import CleaningPipeline
+
+        pipeline = CleaningPipeline(spell_correct=False)
+        result = pipeline.clean(
+            "teh cust inf tht he needs a full size resv done",
+            channel="notes",
+        )
+        assert not result.discarded
+        assert "customer" in result.text
+        assert "informed" in result.text
+        assert "reservation" in result.text

@@ -1,0 +1,228 @@
+"""Tests for the acoustic channel, vocabulary and Viterbi decoder."""
+
+import pytest
+
+from repro.asr.acoustic import AcousticChannel, ChannelConfig
+from repro.asr.decoder import Decoder
+from repro.asr.lm import NGramLM
+from repro.asr.vocabulary import (
+    GENERAL_CLASS,
+    NAME_CLASS,
+    NUMBER_CLASS,
+    TokenClassifier,
+    Vocabulary,
+    build_vocabulary,
+)
+
+WORDS = [
+    "book", "a", "car", "smith", "smyth", "walker", "john", "jon",
+    "five", "nine", "four", "rate", "rental", "the", "for",
+]
+
+
+@pytest.fixture(scope="module")
+def vocabulary():
+    return Vocabulary(WORDS)
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return NGramLM().fit(
+        [
+            "book a car".split(),
+            "the rate for a car".split(),
+            "john smith".split(),
+        ]
+    )
+
+
+class TestTokenClassifier:
+    def test_name_detection(self):
+        classifier = TokenClassifier()
+        assert classifier.classify("smith") == NAME_CLASS
+        assert classifier.classify("JOHN") == NAME_CLASS
+
+    def test_number_detection(self):
+        classifier = TokenClassifier()
+        assert classifier.classify("five") == NUMBER_CLASS
+        assert classifier.classify("seventy") == NUMBER_CLASS
+
+    def test_general_fallback(self):
+        assert TokenClassifier().classify("car") == GENERAL_CLASS
+
+    def test_classify_all(self):
+        classifier = TokenClassifier()
+        assert classifier.classify_all(["john", "five", "car"]) == [
+            NAME_CLASS,
+            NUMBER_CLASS,
+            GENERAL_CLASS,
+        ]
+
+
+class TestVocabulary:
+    def test_contains(self, vocabulary):
+        assert "book" in vocabulary
+        assert "BOOK" in vocabulary
+        assert "zebra" not in vocabulary
+
+    def test_confusions_exclude_self(self, vocabulary):
+        assert all(
+            word != "smith" for word, _ in vocabulary.confusions("smith")
+        )
+
+    def test_confusions_phonetically_close(self, vocabulary):
+        confused = dict(vocabulary.confusions("smith"))
+        assert "smyth" in confused
+
+    def test_digit_confusions_always_included(self, vocabulary):
+        confused = dict(vocabulary.confusions("five"))
+        assert "nine" in confused or "four" in confused
+
+    def test_confusions_same_class_or_near_homophone(self, vocabulary):
+        from repro.util.phonetics import phonetic_similarity
+
+        classifier = vocabulary.classifier
+        for word, _ in vocabulary.confusions("john"):
+            in_class = classifier.classify(word) == NAME_CLASS
+            near_homophone = phonetic_similarity("john", word) >= 0.75
+            assert in_class or near_homophone
+
+    def test_confusions_cached(self, vocabulary):
+        first = vocabulary.confusions("walker")
+        assert vocabulary.confusions("walker") is first
+
+    def test_build_vocabulary_includes_lexicons(self):
+        vocab = build_vocabulary()
+        assert "reservation" in vocab
+        assert "smith" in vocab
+        assert "seven" in vocab
+        assert vocab.name_words
+
+
+class TestAcousticChannel:
+    def test_clean_channel_keeps_words(self, vocabulary):
+        config = ChannelConfig(
+            sigma_general=0.0,
+            sigma_name=0.0,
+            sigma_number=0.0,
+            deletion_rate=0.0,
+            insertion_rate=0.0,
+            extra_name_candidates=0,
+        )
+        channel = AcousticChannel(vocabulary, config)
+        network = channel.encode("book a car".split())
+        # With zero noise the true word has the top acoustic score.
+        for slot in network.slots:
+            assert slot.candidates[0][0] == slot.reference
+
+    def test_deletions_drop_slots(self, vocabulary):
+        config = ChannelConfig(deletion_rate=1.0, insertion_rate=0.0,
+                               name_deletion_multiplier=1.0)
+        channel = AcousticChannel(vocabulary, config)
+        network = channel.encode("book a car".split())
+        assert network.slots == []
+        assert network.reference_tokens == ["book", "a", "car"]
+
+    def test_insertions_add_filler_slots(self, vocabulary):
+        config = ChannelConfig(deletion_rate=0.0, insertion_rate=1.0)
+        channel = AcousticChannel(vocabulary, config)
+        network = channel.encode("book a car".split())
+        inserted = [slot for slot in network.slots if slot.kind == "ins"]
+        assert len(inserted) == 3
+        for slot in inserted:
+            assert slot.reference is None
+
+    def test_name_slots_get_extra_candidates(self, vocabulary):
+        with_pool = ChannelConfig(
+            deletion_rate=0.0, insertion_rate=0.0, extra_name_candidates=20
+        )
+        without_pool = ChannelConfig(
+            deletion_rate=0.0, insertion_rate=0.0, extra_name_candidates=0
+        )
+        pooled_slot = AcousticChannel(vocabulary, with_pool).encode(
+            ["smith"]
+        ).slots[0]
+        bare_slot = AcousticChannel(vocabulary, without_pool).encode(
+            ["smith"]
+        ).slots[0]
+        assert len(pooled_slot.candidates) > len(bare_slot.candidates)
+        # All of the vocabulary's other name words eventually appear.
+        pooled_words = set(pooled_slot.words())
+        assert {"john", "walker"} <= pooled_words
+
+    def test_classes_must_align(self, vocabulary):
+        channel = AcousticChannel(vocabulary)
+        with pytest.raises(ValueError):
+            channel.encode(["book", "car"], classes=["general"])
+
+    def test_reset_reproduces_noise(self, vocabulary):
+        channel = AcousticChannel(vocabulary)
+        channel.reset(42)
+        first = channel.encode("book a car".split())
+        channel.reset(42)
+        second = channel.encode("book a car".split())
+        assert [s.candidates for s in first.slots] == [
+            s.candidates for s in second.slots
+        ]
+
+
+class TestDecoder:
+    def test_decodes_clean_network_exactly(self, vocabulary, lm):
+        config = ChannelConfig(
+            sigma_general=0.0, sigma_name=0.0, sigma_number=0.0,
+            deletion_rate=0.0, insertion_rate=0.0,
+            extra_name_candidates=0,
+        )
+        channel = AcousticChannel(vocabulary, config)
+        decoder = Decoder(lm, lm_weight=0.1)
+        network = channel.encode("book a car".split())
+        assert decoder.decode(network) == ["book", "a", "car"]
+
+    def test_lm_breaks_acoustic_ties(self, vocabulary, lm):
+        from repro.asr.acoustic import Slot, ConfusionNetwork
+
+        network = ConfusionNetwork(
+            slots=[
+                Slot([("book", 0.0)], "book", GENERAL_CLASS),
+                Slot([("a", 0.0)], "a", GENERAL_CLASS),
+                # Tie acoustically; the LM has seen "a car".
+                Slot([("car", 0.0), ("walker", 0.0)], "car", GENERAL_CLASS),
+            ],
+            reference_tokens=["book", "a", "car"],
+            reference_classes=[GENERAL_CLASS] * 3,
+        )
+        decoder = Decoder(lm, lm_weight=2.0)
+        assert decoder.decode(network)[-1] == "car"
+
+    def test_empty_network(self, lm):
+        from repro.asr.acoustic import ConfusionNetwork
+
+        decoder = Decoder(lm)
+        network = ConfusionNetwork(
+            slots=[], reference_tokens=[], reference_classes=[]
+        )
+        assert decoder.decode(network) == []
+
+    def test_decode_to_text_upper(self, vocabulary, lm):
+        config = ChannelConfig(
+            sigma_general=0.0, sigma_name=0.0, sigma_number=0.0,
+            deletion_rate=0.0, insertion_rate=0.0,
+            extra_name_candidates=0,
+        )
+        channel = AcousticChannel(vocabulary, config)
+        decoder = Decoder(lm)
+        network = channel.encode("book a car".split())
+        assert decoder.decode_to_text(network, upper=True) == "BOOK A CAR"
+
+    def test_constraint_restricts_slot(self, vocabulary, lm):
+        channel = AcousticChannel(
+            vocabulary,
+            ChannelConfig(deletion_rate=0.0, insertion_rate=0.0),
+        )
+        decoder = Decoder(lm)
+        network = channel.encode(["smith"])
+
+        def constraint(slot):
+            return [("walker", 0.0)]
+
+        assert decoder.decode(network, constraint=constraint) == ["walker"]

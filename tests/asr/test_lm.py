@@ -1,0 +1,107 @@
+"""Tests for the interpolated n-gram language model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asr.lm import InterpolatedLM, NGramLM, build_interpolated_lm
+
+CORPUS = [
+    "i want to book a car".split(),
+    "i want to book a suv".split(),
+    "the rate for a car is forty dollars".split(),
+    "thank you for calling".split(),
+]
+
+
+@pytest.fixture(scope="module")
+def lm():
+    return NGramLM().fit(CORPUS)
+
+
+class TestNGramLM:
+    def test_probabilities_sum_reasonably(self, lm):
+        # Over the known vocabulary, conditional probs are a distribution
+        # (up to the reserved <unk> mass).
+        total = sum(
+            lm.probability(word, ("want",)) for word in lm.vocabulary
+        )
+        assert 0.9 < total <= 1.0 + 1e-6
+
+    def test_seen_bigram_beats_unseen(self, lm):
+        assert lm.probability("to", ("want",)) > lm.probability(
+            "dollars", ("want",)
+        )
+
+    def test_trigram_context_used(self, lm):
+        with_context = lm.probability("book", ("want", "to"))
+        without = lm.probability("book", ())
+        assert with_context > without
+
+    def test_unknown_word_gets_floor(self, lm):
+        prob = lm.probability("zzzzz")
+        assert 0.0 < prob < 0.05
+
+    def test_logprob_is_log_of_probability(self, lm):
+        assert lm.logprob("car", ("a",)) == pytest.approx(
+            math.log(lm.probability("car", ("a",)))
+        )
+
+    def test_case_insensitive(self, lm):
+        assert lm.probability("CAR", ("A",)) == lm.probability("car", ("a",))
+
+    def test_sentence_logprob_finite(self, lm):
+        assert math.isfinite(
+            lm.sentence_logprob("i want to book a car".split())
+        )
+
+    def test_perplexity_lower_on_training_like_text(self, lm):
+        train_like = [["i", "want", "to", "book", "a", "car"]]
+        shuffled = [["car", "a", "book", "to", "want", "i"]]
+        assert lm.perplexity(train_like) < lm.perplexity(shuffled)
+
+    def test_perplexity_empty_corpus_rejected(self, lm):
+        with pytest.raises(ValueError):
+            lm.perplexity([])
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            NGramLM(order=4)
+
+    def test_invalid_lambdas(self):
+        with pytest.raises(ValueError):
+            NGramLM(order=2, lambdas=(0.9, 0.2))
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=5))
+    def test_probability_in_unit_interval(self, context):
+        lm = NGramLM().fit(CORPUS)
+        assert 0.0 < lm.probability("car", tuple(context)) <= 1.0
+
+
+class TestInterpolatedLM:
+    def test_domain_weight_shifts_mass(self):
+        general = NGramLM().fit([["the", "weather", "is", "nice"]])
+        domain = NGramLM().fit([["book", "a", "car"]])
+        high_domain = InterpolatedLM([(domain, 0.9), (general, 0.1)])
+        low_domain = InterpolatedLM([(domain, 0.1), (general, 0.9)])
+        assert high_domain.probability("car", ("a",)) > low_domain.probability(
+            "car", ("a",)
+        )
+
+    def test_weights_must_sum_to_one(self):
+        lm = NGramLM().fit(CORPUS)
+        with pytest.raises(ValueError):
+            InterpolatedLM([(lm, 0.5), (lm, 0.2)])
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError):
+            InterpolatedLM([])
+
+    def test_build_interpolated_lm_accepts_strings(self):
+        lm = build_interpolated_lm(
+            ["the weather is nice"], ["book a car now"]
+        )
+        assert "car" in lm.vocabulary
+        assert lm.probability("car", ("a",)) > 0

@@ -1,0 +1,91 @@
+"""Tests for WER computation and per-class attribution."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asr.wer import WERBreakdown, word_error_rate
+
+tokens = st.lists(st.sampled_from("abcde"), min_size=0, max_size=10)
+
+
+class TestWordErrorRate:
+    def test_perfect(self):
+        assert word_error_rate("a b c".split(), "a b c".split()) == 0.0
+
+    def test_one_substitution(self):
+        assert word_error_rate("a b c".split(), "a x c".split()) == (
+            pytest.approx(1 / 3)
+        )
+
+    def test_deletion_and_insertion(self):
+        # S=0 D=1 I=1 N=3 -> 2/3
+        assert word_error_rate(
+            "a b c".split(), "a c d".split()
+        ) == pytest.approx(2 / 3)
+
+    def test_wer_can_exceed_one(self):
+        assert word_error_rate(["a"], ["x", "y", "z"]) > 1.0
+
+    @given(tokens, tokens)
+    def test_non_negative(self, ref, hyp):
+        if not ref:
+            return
+        assert word_error_rate(ref, hyp) >= 0.0
+
+
+class TestWERBreakdown:
+    def test_per_class_substitution_attribution(self):
+        breakdown = WERBreakdown()
+        breakdown.add(
+            ["my", "name", "is", "john"],
+            ["my", "name", "is", "jon"],
+            ["general", "general", "general", "name"],
+        )
+        assert breakdown.wer("name") == 1.0
+        assert breakdown.wer("general") == 0.0
+        assert breakdown.wer() == pytest.approx(0.25)
+
+    def test_deletion_attribution(self):
+        breakdown = WERBreakdown()
+        breakdown.add(
+            ["five", "five", "nine"],
+            ["five", "nine"],
+            ["number", "number", "number"],
+        )
+        assert breakdown.counts("number").deletions == 1
+
+    def test_insertions_go_to_general(self):
+        breakdown = WERBreakdown()
+        breakdown.add(
+            ["call", "me"],
+            ["call", "me", "now"],
+            ["general", "general"],
+        )
+        assert breakdown.counts("general").insertions == 1
+        assert breakdown.wer() == pytest.approx(0.5)
+
+    def test_accumulates_across_utterances(self):
+        breakdown = WERBreakdown()
+        breakdown.add(["a"], ["a"])
+        breakdown.add(["b"], ["x"])
+        assert breakdown.overall.reference_words == 2
+        assert breakdown.wer() == pytest.approx(0.5)
+
+    def test_class_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WERBreakdown().add(["a", "b"], ["a"], ["general"])
+
+    def test_case_normalised(self):
+        breakdown = WERBreakdown()
+        breakdown.add(["JOHN"], ["john"], ["name"])
+        assert breakdown.wer("name") == 0.0
+
+    def test_empty_class_wer_zero(self):
+        assert WERBreakdown().wer("name") == 0.0
+
+    @given(tokens)
+    def test_identity_has_zero_wer(self, ref):
+        breakdown = WERBreakdown()
+        breakdown.add(ref, ref)
+        assert breakdown.wer() == 0.0

@@ -1,0 +1,90 @@
+"""Tests for the word-spotting baseline."""
+
+import pytest
+
+from repro.asr.acoustic import ConfusionNetwork, Slot
+from repro.asr.wordspot import (
+    KeywordHit,
+    KeywordSpotter,
+    phrase_spotter_for_category,
+)
+from repro.asr.vocabulary import GENERAL_CLASS
+
+
+def network_from(slot_candidates):
+    slots = [
+        Slot(candidates=list(candidates), reference=None,
+             token_class=GENERAL_CLASS)
+        for candidates in slot_candidates
+    ]
+    return ConfusionNetwork(
+        slots=slots, reference_tokens=[], reference_classes=[]
+    )
+
+
+class TestKeywordSpotter:
+    def test_spots_dominant_keyword(self):
+        network = network_from([[("discount", 0.5), ("the", -0.5)]])
+        spotter = KeywordSpotter({"discount"})
+        hits = spotter.spot(network)
+        assert len(hits) == 1
+        assert hits[0].keyword == "discount"
+        assert hits[0].score == pytest.approx(1.0)
+
+    def test_threshold_rejects_weak_evidence(self):
+        network = network_from([[("the", 0.5), ("discount", -0.5)]])
+        assert not KeywordSpotter({"discount"}, threshold=0.0).spot(network)
+        assert KeywordSpotter({"discount"}, threshold=-2.0).spot(network)
+
+    def test_keyword_only_slot_is_infinite_evidence(self):
+        network = network_from([[("discount", -3.0)]])
+        hits = KeywordSpotter({"discount"}).spot(network)
+        assert hits and hits[0].score == float("inf")
+
+    def test_multiple_slots_multiple_hits(self):
+        network = network_from(
+            [
+                [("discount", 0.4), ("x", 0.0)],
+                [("club", 0.4), ("y", 0.0)],
+            ]
+        )
+        spotter = KeywordSpotter({"discount", "club"})
+        assert spotter.spotted_keywords(network) == {"discount", "club"}
+
+    def test_contains_any(self):
+        network = network_from([[("nothing", 0.0)]])
+        assert not KeywordSpotter({"discount"}).contains_any(network)
+
+    def test_case_normalised(self):
+        spotter = KeywordSpotter({"DISCOUNT"})
+        network = network_from([[("discount", 1.0), ("a", 0.0)]])
+        assert spotter.contains_any(network)
+
+    def test_empty_keywords_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordSpotter(set())
+
+    def test_slot_index_recorded(self):
+        network = network_from(
+            [[("a", 0.0)], [("discount", 1.0), ("b", 0.0)]]
+        )
+        hits = KeywordSpotter({"discount"}).spot(network)
+        assert hits[0].slot_index == 1
+
+
+class TestPhraseSpotterBuilder:
+    def test_splits_multiword_surfaces(self):
+        spotter = phrase_spotter_for_category(["motor club discount"])
+        assert spotter.keywords == {"motor", "club", "discount"}
+
+    def test_short_words_dropped(self):
+        spotter = phrase_spotter_for_category(["go to club"])
+        assert "to" not in spotter.keywords
+        assert "go" not in spotter.keywords
+
+    def test_accepts_dictionary_entries(self):
+        from repro.annotation.dictionary import DictionaryEntry
+
+        entry = DictionaryEntry("corporate program", "discount", "discount")
+        spotter = phrase_spotter_for_category([entry])
+        assert "corporate" in spotter.keywords

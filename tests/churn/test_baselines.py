@@ -1,0 +1,75 @@
+"""Tests for the baseline churn classifiers."""
+
+from collections import Counter
+
+import pytest
+
+from repro.churn.baselines import HybridKnnLr, KeywordRuleBaseline
+from tests.churn.test_churn import toy_training_set
+
+
+class TestHybridKnnLr:
+    def test_learns_separable_data(self):
+        features, labels, extractor = toy_training_set(20)
+        model = HybridKnnLr(k=3).fit(features, labels)
+        churn_prob = model.predict_proba(
+            [extractor.extract("i want to disconnect my connection")]
+        )[0]
+        loyal_prob = model.predict_proba(
+            [extractor.extract("please send me my balance")]
+        )[0]
+        assert churn_prob > 0.5
+        assert loyal_prob < 0.5
+
+    def test_probabilities_bounded(self):
+        features, labels, _ = toy_training_set(10)
+        model = HybridKnnLr(k=3).fit(features, labels)
+        for probability in model.predict_proba(features):
+            assert 0.0 <= probability <= 1.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            HybridKnnLr(k=0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            HybridKnnLr().fit([Counter({"a": 1})], [True])
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            HybridKnnLr().predict_proba([Counter()])
+
+    def test_unseen_features_handled(self):
+        features, labels, _ = toy_training_set(10)
+        model = HybridKnnLr(k=3).fit(features, labels)
+        probability = model.predict_proba([Counter({"w:novel": 2})])[0]
+        assert 0.0 <= probability <= 1.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            HybridKnnLr().fit([Counter()], [True, False])
+
+
+class TestKeywordRuleBaseline:
+    def test_flags_churn_keywords(self):
+        _, _, extractor = toy_training_set(1)
+        model = KeywordRuleBaseline()
+        assert model.predict(
+            [extractor.extract("please disconnect my line")]
+        ) == [True]
+
+    def test_misses_implicit_churners(self):
+        _, _, extractor = toy_training_set(1)
+        model = KeywordRuleBaseline()
+        # Implicit churn language without the magic keywords.
+        assert model.predict(
+            [extractor.extract("your competitor has a cheaper plan")]
+        ) == [False]
+
+    def test_stateless_fit(self):
+        model = KeywordRuleBaseline()
+        assert model.fit([], []) is model
+
+    def test_concept_feature_triggers(self):
+        model = KeywordRuleBaseline()
+        assert model.predict([Counter({"c:churn intent": 3})]) == [True]

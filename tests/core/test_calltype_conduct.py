@@ -1,0 +1,140 @@
+"""Tests for call-type classification and agent-conduct mining."""
+
+import pytest
+
+from repro.core import BIVoCConfig, run_insight_analysis
+from repro.core.calltype import (
+    CallTypeClassifier,
+    evaluate_call_routing,
+)
+from repro.core.usecases.agent_productivity import (
+    conduct_outcome_correlation,
+    mine_agent_conduct,
+)
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_car_rental(
+        CarRentalConfig(
+            n_agents=20,
+            n_days=6,
+            calls_per_agent_per_day=8,
+            n_customers=300,
+            seed=4,
+        )
+    )
+
+
+class TestCallTypeClassifier:
+    @pytest.fixture(scope="class")
+    def split(self, corpus):
+        texts = [t.text for t in corpus.transcripts]
+        labels = [
+            corpus.truths[t.call_id].call_type
+            for t in corpus.transcripts
+        ]
+        cut = len(texts) * 3 // 4
+        return texts[:cut], labels[:cut], texts[cut:], labels[cut:]
+
+    def test_full_transcript_classification(self, split):
+        train_x, train_y, test_x, test_y = split
+        classifier = CallTypeClassifier().fit(train_x, train_y)
+        report = evaluate_call_routing(classifier, test_x, test_y)
+        # Full transcripts contain the outcome language; accuracy is
+        # near-perfect.
+        assert report.accuracy > 0.9
+
+    def test_confusion_matrix_sums(self, split):
+        train_x, train_y, test_x, test_y = split
+        classifier = CallTypeClassifier().fit(train_x, train_y)
+        report = evaluate_call_routing(classifier, test_x, test_y)
+        assert sum(report.confusion.values()) == report.total
+
+    def test_opening_only_routing_finds_service(self, corpus):
+        """Routing from the opening utterance: service calls separable,
+        reservation-vs-unbooked is not decided yet (that is Table III's
+        whole point)."""
+        openings = []
+        labels = []
+        for transcript in corpus.transcripts:
+            customer = [
+                text
+                for speaker, text in transcript.turns
+                if speaker == "customer"
+            ]
+            openings.append(" ".join(customer[:1]))
+            labels.append(corpus.truths[transcript.call_id].call_type)
+        cut = len(openings) * 3 // 4
+        classifier = CallTypeClassifier().fit(
+            openings[:cut], labels[:cut]
+        )
+        service_total = service_hit = 0
+        for opening, label in zip(openings[cut:], labels[cut:]):
+            predicted = classifier.predict(opening)
+            if label == "service":
+                service_total += 1
+                service_hit += predicted == "service"
+        assert service_total > 0
+        assert service_hit / service_total > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CallTypeClassifier().fit(["a"], ["x", "y"])
+        with pytest.raises(ValueError):
+            CallTypeClassifier().fit(["a", "b"], ["x", "x"])
+        with pytest.raises(RuntimeError):
+            CallTypeClassifier().predict("hello")
+
+    def test_scores_are_probabilities(self, split):
+        train_x, train_y, _, _ = split
+        classifier = CallTypeClassifier().fit(train_x, train_y)
+        scores = classifier.predict_scores(train_x[0])
+        assert set(scores) == {"reservation", "unbooked", "service"}
+        for value in scores.values():
+            assert 0.0 <= value <= 1.0
+
+
+class TestAgentConduct:
+    @pytest.fixture(scope="class")
+    def conduct(self, corpus):
+        study = run_insight_analysis(
+            corpus, BIVoCConfig(use_asr=False, link_mode="content")
+        )
+        return mine_agent_conduct(study.analysis, corpus.database)
+
+    def test_one_row_per_agent(self, conduct, corpus):
+        assert len(conduct) == corpus.config.n_agents
+
+    def test_rates_bounded(self, conduct):
+        for row in conduct:
+            assert 0.0 <= row.value_selling_rate <= 1.0
+            assert 0.0 <= row.discount_rate <= 1.0
+            assert 0.0 <= row.booking_ratio <= 1.0
+
+    def test_mined_rates_track_agent_skill(self, conduct, corpus):
+        """Agents' mined value-selling rates correlate with their true
+        skill parameter (conduct mining sees through to behaviour)."""
+        skill_by_name = {
+            agent.name: agent.skill for agent in corpus.agents
+        }
+        paired = [
+            (skill_by_name[row.agent_name], row.value_selling_rate)
+            for row in conduct
+        ]
+        # Simple sign check on the covariance.
+        mean_skill = sum(s for s, _ in paired) / len(paired)
+        mean_rate = sum(r for _, r in paired) / len(paired)
+        cov = sum(
+            (s - mean_skill) * (r - mean_rate) for s, r in paired
+        )
+        assert cov > 0
+
+    def test_correlation_requires_three_agents(self):
+        with pytest.raises(ValueError):
+            conduct_outcome_correlation([])
+
+    def test_correlation_in_valid_range(self, conduct):
+        r = conduct_outcome_correlation(conduct)
+        assert -1.0 <= r <= 1.0

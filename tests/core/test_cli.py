@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tables_defaults(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.agents == 30
+        assert not args.asr
+
+    def test_churn_options(self):
+        args = build_parser().parse_args(
+            ["churn", "--scale", "0.01", "--channel", "sms"]
+        )
+        assert args.scale == 0.01
+        assert args.channel == "sms"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dance"])
+
+
+class TestCommands:
+    def test_tables_runs(self, capsys):
+        rc = main(
+            ["tables", "--agents", "8", "--days", "2", "--seed", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "Table IV" in out
+        assert "Table II" in out
+
+    def test_asr_runs(self, capsys):
+        rc = main(["asr", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Names" in out
+
+    def test_churn_runs(self, capsys):
+        rc = main(
+            ["churn", "--scale", "0.02", "--customers", "1200",
+             "--seed", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "detection" in out
+
+    def test_training_runs_small(self, capsys):
+        rc = main(["training", "--days", "6", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out

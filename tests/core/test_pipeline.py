@@ -1,0 +1,135 @@
+"""Tests for the assembled BIVoC pipeline."""
+
+import pytest
+
+from repro.core.config import BIVoCConfig
+from repro.core.pipeline import BIVoCSystem, CallRecordLinker
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_car_rental(
+        CarRentalConfig(
+            n_agents=12,
+            n_days=3,
+            calls_per_agent_per_day=4,
+            n_customers=120,
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_analysis(corpus):
+    system = BIVoCSystem(BIVoCConfig(use_asr=False, link_mode="content"))
+    return system.process_call_center(corpus)
+
+
+class TestConfig:
+    def test_invalid_link_mode(self):
+        with pytest.raises(ValueError):
+            BIVoCConfig(link_mode="telepathy")
+
+
+class TestCallRecordLinker:
+    def test_links_clean_transcript_to_right_record(self, corpus):
+        linker = CallRecordLinker(corpus.database)
+        transcript = corpus.transcripts[0]
+        truth = corpus.truths[transcript.call_id]
+        record = linker.link(
+            transcript.customer_text, transcript.agent_name, transcript.day
+        )
+        assert record is not None
+        assert record["customer_ref"] == truth.customer_entity_id
+
+    def test_unknown_agent_day_returns_none(self, corpus):
+        linker = CallRecordLinker(corpus.database)
+        assert linker.link("my name is john", "nobody special", 99) is None
+
+    def test_no_identity_tokens_returns_none(self, corpus):
+        linker = CallRecordLinker(corpus.database)
+        transcript = corpus.transcripts[0]
+        assert (
+            linker.link(
+                "completely generic words", transcript.agent_name,
+                transcript.day,
+            )
+            is None
+        )
+
+
+class TestCleanPipeline:
+    def test_all_calls_processed(self, corpus, clean_analysis):
+        assert len(clean_analysis.calls) == len(corpus.transcripts)
+        assert len(clean_analysis.index) == len(corpus.transcripts)
+
+    def test_link_rate_high_on_clean_text(self, clean_analysis):
+        assert clean_analysis.linked_fraction > 0.95
+
+    def test_intent_detection_matches_truth(self, corpus, clean_analysis):
+        correct = total = 0
+        for call in clean_analysis.calls:
+            truth = corpus.truths[call.call_id]
+            if truth.intent == "service":
+                continue
+            total += 1
+            if call.detected_intent == truth.intent:
+                correct += 1
+        assert correct / total > 0.95
+
+    def test_utterance_flags_match_truth(self, corpus, clean_analysis):
+        for call in clean_analysis.calls:
+            truth = corpus.truths[call.call_id]
+            assert call.value_selling == truth.used_value_selling
+            assert call.discount == truth.used_discount
+
+    def test_index_carries_structured_fields(self, clean_analysis):
+        from repro.mining.index import field_key
+
+        index = clean_analysis.index
+        reserved = index.count(field_key("call_type", "reservation"))
+        unbooked = index.count(field_key("call_type", "unbooked"))
+        assert reserved > 0
+        assert unbooked > 0
+
+    def test_metadata_mode_links_everything(self, corpus):
+        system = BIVoCSystem(
+            BIVoCConfig(use_asr=False, link_mode="metadata")
+        )
+        analysis = system.process_call_center(corpus)
+        assert analysis.linked_fraction == 1.0
+        for call in analysis.calls:
+            truth = corpus.truths[call.call_id]
+            assert call.linked_record["call_type"] == truth.call_type
+
+
+class TestASRPipeline:
+    def test_asr_path_runs_and_degrades_gracefully(self, corpus):
+        system = BIVoCSystem(BIVoCConfig(use_asr=True, link_mode="content"))
+        analysis = system.process_call_center(corpus)
+        # ASR noise reduces but must not destroy linking and detection.
+        # Agent+day blocking keeps linking strong even at 45% WER;
+        # multi-token intent cues attenuate hard (documented in
+        # EXPERIMENTS.md) but a usable subset must survive.
+        assert analysis.linked_fraction > 0.8
+        assert analysis.stats["intent_detected"] > 0.1 * len(analysis.calls)
+
+
+class TestBookingRatio:
+    def test_overall_ratio_near_calibration(self, corpus):
+        ratio = BIVoCSystem.booking_ratio(corpus.database)
+        assert 0.35 < ratio < 0.6
+
+    def test_per_agent_ratio(self, corpus):
+        agent = corpus.agents[0]
+        ratio = BIVoCSystem.booking_ratio(
+            corpus.database, agent_name=agent.name
+        )
+        assert 0.0 <= ratio <= 1.0
+
+    def test_unknown_agent_zero(self, corpus):
+        assert (
+            BIVoCSystem.booking_ratio(corpus.database, agent_name="ghost")
+            == 0.0
+        )

@@ -1,0 +1,167 @@
+"""Tests for the two use-case drivers (paper Sections V and VI)."""
+
+import pytest
+
+from repro.core.config import BIVoCConfig
+from repro.core.usecases.agent_productivity import (
+    run_insight_analysis,
+    run_training_experiment,
+)
+from repro.core.usecases.churn import run_churn_study
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+from repro.synth.telecom import TelecomConfig, generate_telecom
+
+
+@pytest.fixture(scope="module")
+def car_corpus():
+    return generate_car_rental(
+        CarRentalConfig(
+            n_agents=20,
+            n_days=4,
+            calls_per_agent_per_day=6,
+            n_customers=250,
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def study(car_corpus):
+    return run_insight_analysis(
+        car_corpus, BIVoCConfig(use_asr=False, link_mode="content")
+    )
+
+
+class TestInsightAnalysis:
+    def test_table3_shape(self, study):
+        shares = study.intent_shares()
+        strong = shares["strong"]["reservation"]
+        weak = shares["weak"]["reservation"]
+        # Paper Table III: 63% vs 32%; generous bands for small corpora.
+        assert strong == pytest.approx(0.63, abs=0.12)
+        assert weak == pytest.approx(0.32, abs=0.12)
+        assert strong > weak + 0.15
+
+    def test_table4_shape(self, study):
+        shares = study.utterance_shares()
+        value_selling = shares["value_selling"]["True"]["reservation"]
+        discount = shares["discount"]["True"]["reservation"]
+        assert value_selling == pytest.approx(0.59, abs=0.12)
+        assert discount == pytest.approx(0.72, abs=0.12)
+        # Both utterances beat the base rate, as in the paper.  (The
+        # discount > value-selling ordering is asserted at bench scale;
+        # at this corpus size the two overlap within noise.)
+        base = shares["value_selling"]["False"]["reservation"]
+        assert value_selling > base
+        assert discount > base
+
+    def test_table2_planted_preferences_recovered(self, study):
+        table = study.location_vehicle_table
+        strongest = table.strongest(8, min_count=3)
+        pairs = {(c.row_value, c.col_value) for c in strongest}
+        # At least one planted heavy cell must surface.
+        planted = {
+            ("seattle", "suv"),
+            ("new york", "luxury"),
+            ("boston", "full-size"),
+            ("los angeles", "convertible"),
+            ("miami", "convertible"),
+            ("denver", "suv"),
+        }
+        assert pairs & planted
+
+    def test_drilldown_reaches_documents(self, study):
+        table = study.location_vehicle_table
+        strongest = table.strongest(1, min_count=3)[0]
+        docs = table.documents(strongest.row_value, strongest.col_value)
+        assert len(docs) == strongest.count
+
+
+class TestTrainingExperiment:
+    def test_improvement_and_marginal_significance(self):
+        outcome, post_corpus = run_training_experiment(
+            CarRentalConfig(
+                n_agents=90,
+                n_days=10,
+                calls_per_agent_per_day=12,
+                n_customers=1500,
+                seed=23,
+                build_transcripts=False,
+            )
+        )
+        # Paper: +3% booking ratio.  Bands cover sampling noise.
+        assert 0.005 < outcome.improvement < 0.07
+        # Before training the groups were comparable.
+        assert abs(outcome.pre_gap) < 0.04
+        assert outcome.pre_ttest.p_value > 0.05
+        # Group sizes per the paper: 20 trained vs 70 control.
+        assert len(outcome.trained_ratios) == 20
+        assert len(outcome.control_ratios) == 70
+        assert not post_corpus.transcripts  # fast path skipped them
+
+    def test_training_flags_only_in_post_period(self):
+        outcome, post_corpus = run_training_experiment(
+            CarRentalConfig(
+                n_agents=10,
+                n_days=2,
+                calls_per_agent_per_day=4,
+                n_customers=60,
+                seed=3,
+                build_transcripts=False,
+            ),
+            n_trained=3,
+        )
+        trained = [a for a in post_corpus.agents if a.trained]
+        assert len(trained) == 3
+
+
+class TestChurnStudy:
+    @pytest.fixture(scope="class")
+    def telecom_corpus(self):
+        return generate_telecom(
+            TelecomConfig(scale=0.03, n_customers=1500)
+        )
+
+    def test_email_study_reproduces_shape(self, telecom_corpus):
+        result = run_churn_study(telecom_corpus, channel="email")
+        # ~18% of emails unlinkable (paper VI).
+        assert result.unlinked_fraction == pytest.approx(0.18, abs=0.07)
+        # ~3% of linked training emails from churners.
+        assert result.train_churner_fraction == pytest.approx(
+            0.03, abs=0.025
+        )
+        # Detection in the paper's neighbourhood (53.6%); small-corpus
+        # variance is large, so the band is wide.
+        assert 0.2 <= result.detection_rate <= 0.9
+
+    def test_sms_study_runs(self, telecom_corpus):
+        result = run_churn_study(telecom_corpus, channel="sms")
+        assert result.train_churner_fraction == pytest.approx(
+            0.076, abs=0.04
+        )
+        assert result.detection_rate >= 0.0
+
+    def test_both_channels_study(self, telecom_corpus):
+        result = run_churn_study(telecom_corpus, channel="both")
+        assert result.total_messages == len(telecom_corpus.emails) + len(
+            telecom_corpus.sms
+        )
+        assert result.detection_rate > 0.2
+        # Combined churner share sits between the two channel rates.
+        assert 0.02 < result.train_churner_fraction < 0.12
+
+    def test_unknown_channel_rejected(self, telecom_corpus):
+        with pytest.raises(ValueError):
+            run_churn_study(telecom_corpus, channel="fax")
+
+    def test_insufficient_corpus_raises(self):
+        # No churner emails at all -> training set has a single class.
+        no_signal = generate_telecom(
+            TelecomConfig(
+                scale=0.001,
+                n_customers=200,
+                email_churner_fraction=1e-9,
+            )
+        )
+        with pytest.raises(RuntimeError):
+            run_churn_study(no_signal, channel="email")

@@ -1,0 +1,182 @@
+"""Integration tests: the full BIVoC flows at small scale.
+
+Each test mirrors one paper experiment end to end (same code path as
+the corresponding bench, smaller corpus, looser bands); see
+EXPERIMENTS.md for the bench-scale measured-vs-paper numbers.
+"""
+
+import pytest
+
+from repro.asr.calibrate import measure_wer
+from repro.asr.system import ASRSystem
+from repro.asr.vocabulary import NAME_CLASS
+from repro.core import BIVoCConfig, run_insight_analysis
+from repro.core.usecases.churn import run_churn_study
+from repro.mining.assoc2d import associate
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+from repro.synth.telecom import TelecomConfig, generate_telecom
+
+
+@pytest.fixture(scope="module")
+def car_corpus():
+    return generate_car_rental(
+        CarRentalConfig(
+            n_agents=25,
+            n_days=4,
+            calls_per_agent_per_day=6,
+            n_customers=300,
+            seed=13,
+        )
+    )
+
+
+class TestE1TableI:
+    def test_wer_bands(self, car_corpus):
+        system = ASRSystem.build_default(
+            extra_sentences=[t.text for t in car_corpus.transcripts[:25]]
+        )
+        breakdown = measure_wer(
+            system,
+            [t.text for t in car_corpus.transcripts[25:65]],
+            reset_seed=99,
+        )
+        assert 0.30 < breakdown.wer() < 0.60
+        assert breakdown.wer(NAME_CLASS) > breakdown.wer()
+
+
+class TestE3E4E5Tables:
+    @pytest.fixture(scope="class")
+    def study(self, car_corpus):
+        return run_insight_analysis(
+            car_corpus, BIVoCConfig(use_asr=False, link_mode="content")
+        )
+
+    def test_table3_direction_and_levels(self, study):
+        shares = study.intent_shares()
+        assert shares["strong"]["reservation"] > 0.5
+        assert shares["weak"]["reservation"] < 0.45
+
+    def test_table4_direction(self, study):
+        shares = study.utterance_shares()
+        for dimension in ("value_selling", "discount"):
+            assert (
+                shares[dimension]["True"]["reservation"]
+                > shares[dimension]["False"]["reservation"]
+            )
+
+    def test_table2_association_surfaces_planted_pairs(self, study):
+        table = study.location_vehicle_table
+        top = table.strongest(8, min_count=2)
+        assert top, "association table must not be empty"
+
+    def test_index_consistency_with_warehouse(self, study, car_corpus):
+        """Every linked call's indexed outcome matches the warehouse."""
+        calls_table = car_corpus.database.table("calls")
+        checked = 0
+        for call in study.analysis.calls:
+            if call.linked_record is None:
+                continue
+            # Content linking resolves to the correct (agent, day)
+            # block; verify the outcome actually exists there.
+            record = call.linked_record
+            assert record["call_type"] in (
+                "reservation",
+                "unbooked",
+                "service",
+            )
+            assert calls_table.get(record.entity_id) == record
+            checked += 1
+        assert checked > 0.9 * len(study.analysis.calls)
+
+
+class TestE7Churn:
+    def test_study_at_small_scale(self):
+        corpus = generate_telecom(
+            TelecomConfig(scale=0.02, n_customers=1200, seed=31)
+        )
+        result = run_churn_study(corpus, channel="email")
+        assert result.unlinked_fraction == pytest.approx(0.18, abs=0.08)
+        assert 0.0 <= result.detection_rate <= 1.0
+        assert result.message_report.false_positive_rate < 0.3
+
+
+class TestCrossSubsystemInvariants:
+    def test_asr_pipeline_matches_direct_asr(self, car_corpus):
+        """The pipeline's per-turn ASR uses the same machinery as the
+        standalone system; spot-check a transcription is reproducible."""
+        config = BIVoCConfig(use_asr=True, asr_seed=4242)
+        from repro.core.pipeline import BIVoCSystem
+
+        system = BIVoCSystem(config)
+        first = system.process_call_center(car_corpus)
+        second = BIVoCSystem(config).process_call_center(car_corpus)
+        assert [c.full_text for c in first.calls[:10]] == [
+            c.full_text for c in second.calls[:10]
+        ]
+
+    def test_association_counts_match_index(self, car_corpus):
+        study = run_insight_analysis(
+            car_corpus, BIVoCConfig(use_asr=False)
+        )
+        index = study.analysis.index
+        table = associate(
+            index, ("field", "detected_intent"), ("field", "call_type")
+        )
+        for cell in table.cells():
+            docs = table.documents(cell.row_value, cell.col_value)
+            assert len(docs) == cell.count
+
+
+class TestFig4Scenario:
+    """The paper's Fig 4 view: 'association [of] the mentions of
+    competitor credit cards in the email with the category assigned to
+    the email' — here, competitor mentions x churn status."""
+
+    def test_competitor_mentions_associate_with_churn(self):
+        from repro.annotation.domains import build_telecom_engine
+        from repro.cleaning.pipeline import CleaningPipeline
+        from repro.mining.assoc2d import associate
+        from repro.mining.index import ConceptIndex
+        from repro.mining.reports import render_drilldown
+        from repro.synth.telecom import TelecomConfig, generate_telecom
+
+        corpus = generate_telecom(
+            TelecomConfig(scale=0.02, n_customers=1200, seed=51)
+        )
+        engine = build_telecom_engine()
+        pipeline = CleaningPipeline(spell_correct=False)
+        index = ConceptIndex(keep_documents=True)
+        # Both channels: churner email volume alone is tiny (3% of a
+        # small corpus) and one driver is only a fifth of the planted
+        # driver language.
+        channelled = [("email", m) for m in corpus.emails] + [
+            ("sms", m) for m in corpus.sms
+        ]
+        for channel, message in channelled:
+            if message.sender_entity_id is None:
+                continue
+            cleaned = pipeline.clean(message.raw_text, channel=channel)
+            if cleaned.discarded:
+                continue
+            index.add(
+                message.message_id,
+                annotated=engine.annotate(cleaned.text),
+                fields={"churned": message.from_churner},
+                text=cleaned.text,
+            )
+        table = associate(
+            index,
+            ("concept", "competitor_tariff"),
+            ("field", "churned"),
+        )
+        cell = table.cell("competitor_tariff", "True")
+        # Competitor mentions are over-represented among churner email.
+        churner_rate = cell.count / cell.col_total
+        overall_rate = cell.row_total / cell.grand_total
+        assert churner_rate > overall_rate
+
+        # Fig 4's drill-down to individual documents works here too.
+        report = render_drilldown(
+            table, "competitor_tariff", "True", index, limit=3
+        )
+        assert "documents" in report

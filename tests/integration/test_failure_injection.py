@@ -1,0 +1,169 @@
+"""Failure-injection tests: the system must degrade, not crash.
+
+Each test pushes a subsystem outside its comfort zone — total acoustic
+dropout, adversarial text, empty warehouses, degenerate corpora — and
+asserts a sane, documented behaviour.
+"""
+
+import pytest
+
+from repro.annotation.domains import build_car_rental_engine
+from repro.asr.acoustic import AcousticChannel, ChannelConfig
+from repro.asr.decoder import Decoder
+from repro.asr.lm import NGramLM
+from repro.asr.system import ASRSystem
+from repro.cleaning.pipeline import CleaningPipeline
+from repro.core import BIVoCConfig
+from repro.core.pipeline import BIVoCSystem
+from repro.linking.single import EntityLinker
+from repro.mining.index import ConceptIndex
+from repro.store.database import Database
+from repro.store.schema import AttributeType, Schema
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return generate_car_rental(
+        CarRentalConfig(
+            n_agents=6,
+            n_days=2,
+            calls_per_agent_per_day=3,
+            n_customers=40,
+            seed=2,
+        )
+    )
+
+
+class TestTotalAcousticDropout:
+    def test_pipeline_survives_full_deletion_channel(self, small_corpus):
+        """Every word deleted: transcripts are empty, nothing links,
+        no intent is detected — and nothing crashes."""
+        system = BIVoCSystem(BIVoCConfig(use_asr=True))
+        analysis_system = system
+        asr = analysis_system._build_asr(small_corpus)
+        asr.channel.config = ChannelConfig(
+            deletion_rate=1.0, insertion_rate=0.0,
+            name_deletion_multiplier=1.0,
+        )
+        # Monkey-wire the broken ASR through the internal path.
+        customer, agent = analysis_system._transcribe_turns(
+            asr, small_corpus.transcripts[0]
+        )
+        assert all(part == "" for part in customer + agent)
+
+    def test_decoder_on_empty_vocabulary_lm(self):
+        lm = NGramLM()  # never fitted: empty vocabulary
+        from repro.asr.acoustic import ConfusionNetwork, Slot
+
+        network = ConfusionNetwork(
+            slots=[
+                Slot([("anything", 0.0)], "anything", "general"),
+            ],
+            reference_tokens=["anything"],
+            reference_classes=["general"],
+        )
+        assert Decoder(lm).decode(network) == ["anything"]
+
+
+class TestAdversarialText:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return CleaningPipeline(spell_correct=True)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "     ",
+            "\n\n\n",
+            "@@@@ #### $$$$",
+            "a" * 500,
+            "from: \nsubject: \n\n> > > >",
+            "1234567890 " * 40,
+            "éèê unicode soup 你好",
+        ],
+    )
+    def test_cleaning_never_crashes(self, pipeline, text):
+        for channel in ("email", "sms"):
+            result = pipeline.clean(text, channel=channel)
+            assert isinstance(result.discarded, bool)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "!!!", "a", "the " * 100, "\x00\x01", "9" * 60],
+    )
+    def test_annotation_never_crashes(self, text):
+        engine = build_car_rental_engine()
+        document = engine.annotate(text)
+        assert document.concepts == sorted(
+            document.concepts, key=lambda c: (c.start, c.end)
+        )
+
+    def test_asr_on_out_of_vocabulary_text(self):
+        system = ASRSystem.build_default()
+        transcription = system.transcribe("xylophone quixotic zygote")
+        assert isinstance(transcription.hypothesis_tokens, list)
+
+
+class TestDegenerateStructures:
+    def test_linker_on_empty_table(self):
+        database = Database()
+        database.create_table(
+            "customers",
+            Schema.build(("name", AttributeType.NAME, True)),
+        )
+        database.build_indexes()
+        linker = EntityLinker(database, "customers")
+        result = linker.link("my name is john smith")
+        assert not result.linked
+
+    def test_association_on_single_valued_dimension(self):
+        from repro.mining.assoc2d import associate
+
+        index = ConceptIndex()
+        for i in range(10):
+            index.add(i, fields={"a": "only", "b": f"v{i % 2}"})
+        table = associate(index, ("field", "a"), ("field", "b"))
+        assert table.row_values == ["only"]
+        for cell in table.cells():
+            # A constant dimension carries no association signal.
+            assert cell.strength <= 1.5
+
+    def test_channel_with_zero_noise_roundtrips(self, small_corpus):
+        from repro.asr.vocabulary import build_vocabulary
+
+        vocabulary = build_vocabulary(
+            extra_sentences=[t.text for t in small_corpus.transcripts]
+        )
+        channel = AcousticChannel(
+            vocabulary,
+            ChannelConfig(
+                sigma_general=0.0,
+                sigma_name=0.0,
+                sigma_number=0.0,
+                deletion_rate=0.0,
+                insertion_rate=0.0,
+                extra_name_candidates=0,
+            ),
+        )
+        text = small_corpus.transcripts[0].text.lower().split()
+        network = channel.encode(text)
+        best = [slot.candidates[0][0] for slot in network.slots]
+        assert best == text
+
+    def test_empty_concept_index_operations(self):
+        index = ConceptIndex()
+        assert len(index) == 0
+        assert index.count(("concept", "x", "y")) == 0
+        assert index.values_of_dimension(("field", "z")) == []
+
+
+class TestTwoPassPipeline:
+    def test_two_pass_config_runs_end_to_end(self, small_corpus):
+        system = BIVoCSystem(
+            BIVoCConfig(use_asr=True, two_pass=True, asr_seed=9)
+        )
+        analysis = system.process_call_center(small_corpus)
+        assert len(analysis.calls) == len(small_corpus.transcripts)
+        assert analysis.linked_fraction > 0.8

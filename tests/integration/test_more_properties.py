@@ -1,0 +1,136 @@
+"""Second round of property-based tests: cleaning, annotation, store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annotation.domains import build_car_rental_engine
+from repro.cleaning.sms import SmsNormalizer
+from repro.cleaning.spelling import SpellCorrector
+from repro.store.database import Database
+from repro.store.query import Query, count_by
+from repro.store.schema import AttributeType, Schema
+
+words_text = st.lists(
+    st.sampled_from(
+        "please confirm the rate for a car in boston is good thanks "
+        "pls u r gr8 2 know suv".split()
+    ),
+    min_size=0,
+    max_size=12,
+).map(" ".join)
+
+
+class TestNormalizerProperties:
+    @given(words_text)
+    @settings(max_examples=60)
+    def test_idempotent(self, text):
+        normalizer = SmsNormalizer()
+        once = normalizer.normalize(text)
+        assert normalizer.normalize(once) == once
+
+    @given(words_text)
+    @settings(max_examples=60)
+    def test_token_count_preserved(self, text):
+        # Lingo expansion is word-for-word except multiword expansions
+        # ("asap"), which the sampled vocabulary avoids.
+        normalizer = SmsNormalizer()
+        assert len(normalizer.normalize(text).split()) == len(text.split())
+
+
+class TestSpellingProperties:
+    @given(words_text)
+    @settings(max_examples=40)
+    def test_known_words_never_corrupted(self, text):
+        corrector = SpellCorrector()
+        for token in text.split():
+            if corrector.known(token):
+                assert corrector.correct_word(token) == token
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=4,
+                   max_size=10))
+    @settings(max_examples=60)
+    def test_corrections_are_known_words(self, word):
+        corrector = SpellCorrector()
+        corrected = corrector.correct_word(word)
+        if corrected != word:
+            assert corrector.known(corrected)
+
+
+class TestAnnotationProperties:
+    @given(words_text)
+    @settings(max_examples=40)
+    def test_concept_spans_inside_document(self, text):
+        engine = build_car_rental_engine()
+        document = engine.annotate(text)
+        for concept in document.concepts:
+            assert 0 <= concept.start < concept.end <= len(
+                document.tokens
+            )
+            surface_tokens = document.tokens[concept.start : concept.end]
+            assert concept.surface == " ".join(surface_tokens)
+
+    @given(words_text)
+    @settings(max_examples=40)
+    def test_annotation_deterministic(self, text):
+        engine = build_car_rental_engine()
+        a = engine.annotate(text)
+        b = engine.annotate(text)
+        assert a.concepts == b.concepts
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["reservation", "unbooked", "service"]),
+        st.integers(0, 4),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+class TestStoreQueryProperties:
+    @given(rows_strategy)
+    @settings(max_examples=50)
+    def test_group_by_partitions(self, rows):
+        database = Database()
+        table = database.create_table(
+            "calls",
+            Schema.build(
+                ("call_type", AttributeType.CATEGORY),
+                ("day", AttributeType.NUMBER),
+            ),
+        )
+        for call_type, day in rows:
+            table.insert({"call_type": call_type, "day": day})
+        groups = Query(table).group_by("call_type")
+        assert sum(len(group) for group in groups.values()) == len(rows)
+        counts = count_by(table, "call_type")
+        for value, group in groups.items():
+            assert counts[value] == len(group)
+
+    @given(rows_strategy)
+    @settings(max_examples=50)
+    def test_where_filters_are_conjunctive(self, rows):
+        database = Database()
+        table = database.create_table(
+            "calls",
+            Schema.build(
+                ("call_type", AttributeType.CATEGORY),
+                ("day", AttributeType.NUMBER),
+            ),
+        )
+        for call_type, day in rows:
+            table.insert({"call_type": call_type, "day": day})
+        narrowed = (
+            Query(table)
+            .where_equals("call_type", "reservation")
+            .where(lambda e: e["day"] >= 2)
+            .count()
+        )
+        brute = sum(
+            1
+            for call_type, day in rows
+            if call_type == "reservation" and day >= 2
+        )
+        assert narrowed == brute

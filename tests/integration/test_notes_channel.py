@@ -1,0 +1,89 @@
+"""Integration: agent notes flow end to end through cleaning + mining."""
+
+import pytest
+
+from repro.annotation.domains import build_car_rental_engine
+from repro.cleaning.pipeline import CleaningPipeline
+from repro.mining.assoc2d import associate
+from repro.mining.index import ConceptIndex
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+from repro.synth.notes import AgentNoteGenerator
+
+
+@pytest.fixture(scope="module")
+def notes_index():
+    corpus = generate_car_rental(
+        CarRentalConfig(
+            n_agents=20,
+            n_days=4,
+            calls_per_agent_per_day=8,
+            n_customers=300,
+            seed=33,
+        )
+    )
+    notes = AgentNoteGenerator(seed=33).notes_for_corpus(corpus)
+    pipeline = CleaningPipeline(spell_correct=True)
+    engine = build_car_rental_engine()
+    calls = corpus.database.table("calls")
+    index = ConceptIndex()
+    kept = 0
+    for note in notes:
+        cleaned = pipeline.clean(note.text, channel="notes")
+        if cleaned.discarded:
+            continue
+        record = calls.get(note.call_id)
+        index.add(
+            note.call_id,
+            annotated=engine.annotate(cleaned.text),
+            fields={"call_type": record["call_type"]},
+        )
+        kept += 1
+    return corpus, index, kept, len(notes)
+
+
+class TestNotesEndToEnd:
+    def test_nearly_all_notes_survive_cleaning(self, notes_index):
+        _, _, kept, total = notes_index
+        assert kept / total > 0.95
+
+    def test_vehicle_concepts_extracted_from_notes(self, notes_index):
+        corpus, index, _, _ = notes_index
+        from repro.mining.index import concept_key
+
+        total_vehicle_mentions = sum(
+            index.count(concept_key("vehicle type", vehicle))
+            for vehicle in (
+                "suv", "mid-size", "full-size", "luxury", "compact",
+                "convertible",
+            )
+        )
+        # Notes for sales calls name the vehicle.
+        assert total_vehicle_mentions > 0.5 * len(index)
+
+    def test_planted_association_recovered_from_notes_alone(
+        self, notes_index
+    ):
+        _, index, _, _ = notes_index
+        table = associate(
+            index, ("concept", "place"), ("concept", "vehicle type")
+        )
+        top = {
+            (c.row_value, c.col_value)
+            for c in table.strongest(6, min_count=4)
+        }
+        planted = {
+            ("seattle", "suv"),
+            ("new york", "luxury"),
+            ("boston", "full-size"),
+            ("los angeles", "convertible"),
+            ("miami", "convertible"),
+            ("denver", "suv"),
+        }
+        assert top & planted
+
+    def test_outcome_field_joined(self, notes_index):
+        _, index, _, _ = notes_index
+        from repro.mining.index import field_key
+
+        assert index.count(field_key("call_type", "reservation")) > 0
+        assert index.count(field_key("call_type", "unbooked")) > 0

@@ -1,0 +1,170 @@
+"""Property-based tests over cross-module invariants."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asr.lm import NGramLM
+from repro.linking.fagin import fagin_merge, full_scan_merge, threshold_merge
+from repro.mining.assoc2d import associate
+from repro.mining.index import ConceptIndex
+from repro.mining.trends import emerging_concepts, trend_series
+
+# --------------------------------------------------------------------------
+# ConceptIndex + association analysis vs a brute-force oracle.
+# --------------------------------------------------------------------------
+
+doc_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["r0", "r1", "r2"]),
+        st.sampled_from(["c0", "c1", "c2"]),
+        st.integers(0, 3),  # timestamp bucket
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(doc_strategy)
+@settings(max_examples=40)
+def test_association_counts_match_bruteforce(docs):
+    index = ConceptIndex()
+    for doc_id, (row, col, ts) in enumerate(docs):
+        index.add(doc_id, fields={"row": row, "col": col}, timestamp=ts)
+    table = associate(index, ("field", "row"), ("field", "col"))
+    for cell in table.cells():
+        brute = sum(
+            1
+            for row, col, _ in docs
+            if row == cell.row_value and col == cell.col_value
+        )
+        assert cell.count == brute
+        assert cell.row_total == sum(
+            1 for row, _, _ in docs if row == cell.row_value
+        )
+        # Drill-down agrees with the count.
+        assert len(table.documents(cell.row_value, cell.col_value)) == (
+            cell.count
+        )
+
+
+@given(doc_strategy)
+@settings(max_examples=30)
+def test_trend_series_conserves_mass(docs):
+    index = ConceptIndex()
+    for doc_id, (row, col, ts) in enumerate(docs):
+        index.add(doc_id, fields={"row": row}, timestamp=ts)
+    from repro.mining.index import field_key
+
+    for value in index.values_of_dimension(("field", "row")):
+        series = trend_series(index, field_key("row", value))
+        assert sum(count for _, count in series) == index.count(
+            field_key("row", value)
+        )
+
+
+@given(doc_strategy)
+@settings(max_examples=20)
+def test_emerging_concepts_sorted_by_slope(docs):
+    index = ConceptIndex()
+    for doc_id, (row, _, ts) in enumerate(docs):
+        index.add(doc_id, fields={"row": row}, timestamp=ts)
+    ranked = emerging_concepts(
+        index, ("field", "row"), buckets=[0, 1, 2, 3], min_total=1
+    )
+    slopes = [slope for _, slope, _ in ranked]
+    assert slopes == sorted(slopes, reverse=True)
+
+
+# --------------------------------------------------------------------------
+# Ranked-list merges agree with each other on arbitrary inputs.
+# --------------------------------------------------------------------------
+
+
+def _ranked_lists():
+    key = st.sampled_from(list("abcdefg"))
+    entry = st.tuples(key, st.floats(0.0, 1.0, allow_nan=False))
+
+    def dedupe(entries):
+        best = {}
+        for k, score in entries:
+            best[k] = max(best.get(k, 0.0), score)
+        return sorted(best.items(), key=lambda pair: -pair[1])
+
+    one = st.lists(entry, min_size=0, max_size=8).map(dedupe)
+    return st.lists(one, min_size=1, max_size=4)
+
+
+@given(_ranked_lists(), st.integers(1, 3))
+@settings(max_examples=60)
+def test_merge_top_k_scores_agree(lists, k):
+    scan = full_scan_merge(lists, k=k)
+    ta = threshold_merge(lists, k=k)
+    fa = fagin_merge(lists, k=k)
+    scan_scores = [score for _, score in scan.ranked]
+    for other in (ta, fa):
+        other_scores = [score for _, score in other.ranked]
+        assert len(other_scores) == len(scan_scores)
+        for a, b in zip(scan_scores, other_scores):
+            assert a == pytest.approx(b)
+
+
+# --------------------------------------------------------------------------
+# Language-model distributional sanity on random corpora.
+# --------------------------------------------------------------------------
+
+corpus_strategy = st.lists(
+    st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=6),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(corpus_strategy)
+@settings(max_examples=30)
+def test_lm_conditional_distribution_sums_below_one(corpus):
+    lm = NGramLM().fit(corpus)
+    for context in ((), ("a",), ("a", "b")):
+        total = sum(
+            lm.probability(word, context) for word in lm.vocabulary
+        )
+        assert total <= 1.0 + 1e-9
+
+
+@given(corpus_strategy)
+@settings(max_examples=30)
+def test_lm_sentence_logprob_monotone_in_length(corpus):
+    lm = NGramLM().fit(corpus)
+    short = ["a"]
+    long = ["a", "b", "c"]
+    assert lm.sentence_logprob(long) <= lm.sentence_logprob(short)
+
+
+# --------------------------------------------------------------------------
+# Churn classifier probability sanity on random sparse features.
+# --------------------------------------------------------------------------
+
+features_strategy = st.lists(
+    st.dictionaries(
+        st.sampled_from(["w:a", "w:b", "w:c", "c:x"]),
+        st.integers(1, 4),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=4,
+    max_size=12,
+)
+
+
+@given(features_strategy)
+@settings(max_examples=30)
+def test_nb_probabilities_valid_on_random_data(raw_features):
+    from repro.churn.classifier import MultinomialNaiveBayes
+
+    features = [Counter(f) for f in raw_features]
+    labels = [i % 2 == 0 for i in range(len(features))]
+    model = MultinomialNaiveBayes().fit(features, labels)
+    for probability in model.predict_proba(features):
+        assert 0.0 <= probability <= 1.0

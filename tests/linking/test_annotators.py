@@ -1,0 +1,126 @@
+"""Tests for the typed-token annotators."""
+
+import pytest
+
+from repro.linking.annotators import (
+    AmountAnnotator,
+    AnnotatorSuite,
+    CardAnnotator,
+    DateAnnotator,
+    NameAnnotator,
+    PhoneAnnotator,
+    build_default_annotators,
+)
+from repro.store.schema import AttributeType
+
+
+class TestNameAnnotator:
+    def test_adjacent_name_words_grouped(self):
+        tokens = NameAnnotator().annotate("my name is john smith thanks")
+        assert any(t.value == "john smith" for t in tokens)
+
+    def test_lone_surname(self):
+        tokens = NameAnnotator().annotate("this is smith calling")
+        assert any(t.value == "smith" for t in tokens)
+
+    def test_no_names(self):
+        assert NameAnnotator().annotate("the rate is too high") == []
+
+    def test_case_insensitive(self):
+        tokens = NameAnnotator().annotate("MY NAME IS JOHN SMITH")
+        assert any("john" in t.value for t in tokens)
+
+    def test_typed_as_name(self):
+        for token in NameAnnotator().annotate("john smith"):
+            assert token.attr_type is AttributeType.NAME
+
+
+class TestPhoneAnnotator:
+    def test_written_digits(self):
+        tokens = PhoneAnnotator().annotate("call me at 5558675309 please")
+        assert any(t.value == "5558675309" for t in tokens)
+
+    def test_spoken_digit_words(self):
+        text = "my number is five five five eight six seven five three"
+        tokens = PhoneAnnotator().annotate(text)
+        assert any(t.value == "55586753" for t in tokens)
+
+    def test_short_runs_ignored(self):
+        assert PhoneAnnotator().annotate("i have two three cars") == []
+
+    def test_interrupted_runs_split(self):
+        text = "five five five stop eight six seven five three zero nine"
+        tokens = PhoneAnnotator().annotate(text)
+        values = {t.value for t in tokens}
+        assert "8675309" in values
+        assert "555" not in values  # below min_digits
+
+
+class TestDateAnnotator:
+    def test_iso_date(self):
+        tokens = DateAnnotator().annotate("born 1972-04-08 in boston")
+        assert any(t.value == "1972-04-08" for t in tokens)
+
+    def test_spoken_date(self):
+        text = "my date of birth is april eight nineteen seventy two"
+        tokens = DateAnnotator().annotate(text)
+        assert any(t.value == "1972-04-08" for t in tokens)
+
+    def test_spoken_date_compound_day(self):
+        text = "born on march twenty three nineteen eighty"
+        tokens = DateAnnotator().annotate(text)
+        assert any(t.value == "1980-03-23" for t in tokens)
+
+    def test_month_without_year_ignored(self):
+        assert DateAnnotator().annotate("i will come in april maybe") == []
+
+
+class TestAmountAnnotator:
+    def test_currency_prefix(self):
+        tokens = AmountAnnotator().annotate("payment of rs. 500 received")
+        assert any(t.value == "500" for t in tokens)
+
+    def test_dollar_suffix(self):
+        tokens = AmountAnnotator().annotate("it costs 42 dollars per day")
+        assert any(t.value == "42" for t in tokens)
+
+    def test_spoken_amount(self):
+        tokens = AmountAnnotator().annotate("just forty two dollars")
+        assert any(t.value == "42" for t in tokens)
+
+
+class TestCardAnnotator:
+    def test_sixteen_digit_card(self):
+        tokens = CardAnnotator().annotate("card 4111 1111 1111 1111 charged")
+        assert any(t.value == "4111111111111111" for t in tokens)
+
+    def test_ten_digit_phone_not_card(self):
+        # A bare 10-digit phone number must not be typed as a card.
+        tokens = CardAnnotator().annotate("call 5558675309")
+        assert tokens == []
+
+
+class TestAnnotatorSuite:
+    def test_default_suite_extracts_multiple_types(self):
+        suite = build_default_annotators()
+        text = (
+            "my name is john smith my number is 5558675309 and my date "
+            "of birth is 1972-04-08"
+        )
+        types = {t.attr_type for t in suite.annotate(text)}
+        assert {
+            AttributeType.NAME,
+            AttributeType.PHONE,
+            AttributeType.DATE,
+        } <= types
+
+    def test_tokens_of_type(self):
+        suite = build_default_annotators()
+        names = suite.tokens_of_type("john smith said hi", AttributeType.NAME)
+        assert names and all(
+            t.attr_type is AttributeType.NAME for t in names
+        )
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            AnnotatorSuite([])

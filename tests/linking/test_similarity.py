@@ -1,0 +1,121 @@
+"""Tests for the per-attribute similarity measures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linking.similarity import (
+    SimilarityRegistry,
+    date_similarity,
+    default_registry,
+    digits_similarity,
+    exact_similarity,
+    name_similarity,
+    numeric_similarity,
+    string_similarity,
+)
+from repro.store.schema import AttributeType
+
+
+class TestNameSimilarity:
+    def test_identical(self):
+        assert name_similarity("john smith", "john smith") == pytest.approx(
+            1.0
+        )
+
+    def test_partial_recognition_surname_only(self):
+        # "only the surname or the given name may get recognized"
+        assert name_similarity("smith", "john smith") > 0.9
+
+    def test_similar_sounding_substitution(self):
+        assert name_similarity("jon smith", "john smith") > 0.8
+
+    def test_unrelated(self):
+        assert name_similarity("mary walker", "john smith") < 0.6
+
+    def test_empty(self):
+        assert name_similarity("", "john smith") == 0.0
+
+    def test_word_order_insensitive(self):
+        assert name_similarity("smith john", "john smith") == pytest.approx(
+            1.0
+        )
+
+
+class TestDigitsSimilarity:
+    def test_identical(self):
+        assert digits_similarity("5558675309", "5558675309") == 1.0
+
+    def test_partial_six_of_ten(self):
+        # The paper's canonical case: 6 of 10 digits recognised.
+        assert digits_similarity("867530", "5558675309") >= 0.6
+
+    def test_substituted_digits_still_score(self):
+        assert digits_similarity("5558675301", "5558675309") >= 0.9
+
+    def test_formatting_ignored(self):
+        assert digits_similarity("(555) 867-5309", "5558675309") == 1.0
+
+    def test_no_digits(self):
+        assert digits_similarity("abc", "5558675309") == 0.0
+
+    @given(st.text(alphabet="0123456789", min_size=1, max_size=12))
+    def test_self_similarity_one(self, digits):
+        assert digits_similarity(digits, digits) == 1.0
+
+
+class TestDateSimilarity:
+    def test_exact(self):
+        assert date_similarity("1972-04-08", "1972-04-08") == 1.0
+
+    def test_one_component_wrong(self):
+        assert date_similarity("1972-04-09", "1972-04-08") == pytest.approx(
+            2 / 3
+        )
+
+    def test_non_iso_falls_back_to_exact(self):
+        assert date_similarity("april 8", "april 8") == 1.0
+        assert date_similarity("april 8", "1972-04-08") == 0.0
+
+
+class TestNumericSimilarity:
+    def test_exact(self):
+        assert numeric_similarity("42", "42") == 1.0
+
+    def test_close_values(self):
+        assert numeric_similarity("100", "95") > 0.9
+
+    def test_far_values(self):
+        assert numeric_similarity("10", "1000") < 0.1
+
+    def test_comma_separators(self):
+        assert numeric_similarity("2,013", "2013") == 1.0
+
+    def test_non_numeric(self):
+        assert numeric_similarity("abc", "42") == 0.0
+
+
+class TestRegistry:
+    def test_default_measures_wired(self):
+        registry = default_registry()
+        assert registry.measure_for(AttributeType.NAME) is name_similarity
+        assert (
+            registry.measure_for(AttributeType.PHONE) is digits_similarity
+        )
+
+    def test_none_attribute_scores_zero(self):
+        registry = default_registry()
+        assert registry.similarity(AttributeType.NAME, "john", None) == 0.0
+
+    def test_custom_measure_plugs_in(self):
+        registry = SimilarityRegistry()
+        registry.register(AttributeType.NAME, lambda a, b: 0.42)
+        assert registry.similarity(AttributeType.NAME, "x", "y") == 0.42
+
+    def test_unregistered_type_uses_string_fallback(self):
+        registry = SimilarityRegistry()
+        assert registry.measure_for(AttributeType.PLACE) is string_similarity
+
+    def test_exact_similarity(self):
+        assert exact_similarity("SUV", "suv") == 1.0
+        assert exact_similarity("suv", "sedan") == 0.0

@@ -1,0 +1,184 @@
+"""Tests for the concept index and relative-frequency analysis."""
+
+import pytest
+
+from repro.annotation.concepts import AnnotatedDocument, Concept
+from repro.mining.index import ConceptIndex, concept_key, field_key
+from repro.mining.relfreq import relative_frequency
+
+
+def make_doc(doc_id, pairs):
+    concepts = [
+        Concept(canonical, category, canonical, i, i + 1)
+        for i, (category, canonical) in enumerate(pairs)
+    ]
+    return AnnotatedDocument(
+        doc_id=doc_id, text="", tokens=[], concepts=concepts
+    )
+
+
+@pytest.fixture
+def index():
+    """Six calls: SUVs cluster in seattle, reservations with discounts."""
+    index = ConceptIndex()
+    rows = [
+        (0, [("vehicle", "suv"), ("place", "seattle")], "reservation"),
+        (1, [("vehicle", "suv"), ("place", "seattle")], "reservation"),
+        (2, [("vehicle", "luxury"), ("place", "new york")], "unbooked"),
+        (3, [("vehicle", "suv"), ("place", "boston")], "unbooked"),
+        (4, [("vehicle", "compact"), ("place", "seattle")], "reservation"),
+        (5, [("vehicle", "luxury"), ("place", "new york")], "reservation"),
+        (6, [("vehicle", "compact"), ("place", "boston")], "unbooked"),
+        (7, [("vehicle", "compact"), ("place", "new york")], "unbooked"),
+    ]
+    for doc_id, pairs, outcome in rows:
+        index.add(
+            doc_id,
+            annotated=make_doc(doc_id, pairs),
+            fields={"call_type": outcome},
+            timestamp=doc_id % 3,
+        )
+    return index
+
+
+class TestConceptIndex:
+    def test_len_and_contains(self, index):
+        assert len(index) == 8
+        assert 0 in index
+        assert 99 not in index
+
+    def test_count(self, index):
+        assert index.count(concept_key("vehicle", "suv")) == 3
+        assert index.count(field_key("call_type", "reservation")) == 4
+        assert index.count(field_key("call_type", "unbooked")) == 4
+
+    def test_count_pair_mixing_sides(self, index):
+        pair = index.count_pair(
+            concept_key("vehicle", "suv"),
+            field_key("call_type", "reservation"),
+        )
+        assert pair == 2
+
+    def test_documents_with(self, index):
+        assert index.documents_with(concept_key("place", "seattle")) == {
+            0,
+            1,
+            4,
+        }
+
+    def test_values_of_dimension(self, index):
+        assert index.values_of_dimension(("concept", "vehicle")) == [
+            "compact",
+            "luxury",
+            "suv",
+        ]
+        assert index.values_of_dimension(("field", "call_type")) == [
+            "reservation",
+            "unbooked",
+        ]
+
+    def test_duplicate_doc_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.add(0, fields={"x": 1})
+
+    def test_none_fields_skipped(self):
+        index = ConceptIndex()
+        index.add(0, fields={"cost": None, "kind": "a"})
+        assert index.count(field_key("kind", "a")) == 1
+        assert index.values_of_dimension(("field", "cost")) == []
+
+    def test_keys_of(self, index):
+        keys = index.keys_of(0)
+        assert concept_key("vehicle", "suv") in keys
+        assert field_key("call_type", "reservation") in keys
+
+    def test_timestamp_recorded(self, index):
+        assert index.timestamp_of(4) == 1
+
+
+class TestRelativeFrequency:
+    def test_seattle_focus_reveals_suv(self, index):
+        results = relative_frequency(
+            index,
+            [concept_key("place", "seattle")],
+            ("concept", "vehicle"),
+        )
+        assert results[0].key == concept_key("vehicle", "suv")
+        assert results[0].relative_frequency > 1.0
+
+    def test_overall_frequencies_correct(self, index):
+        results = relative_frequency(
+            index,
+            [concept_key("place", "seattle")],
+            ("concept", "vehicle"),
+        )
+        suv = next(
+            r for r in results if r.key == concept_key("vehicle", "suv")
+        )
+        assert suv.overall_frequency == pytest.approx(3 / 8)
+        assert suv.focus_frequency == pytest.approx(2 / 3)
+
+    def test_multiple_focus_keys_intersect(self, index):
+        results = relative_frequency(
+            index,
+            [
+                concept_key("place", "seattle"),
+                field_key("call_type", "reservation"),
+            ],
+            ("concept", "vehicle"),
+        )
+        keys = [r.key for r in results]
+        assert concept_key("vehicle", "suv") in keys
+
+    def test_min_focus_count_filters(self, index):
+        results = relative_frequency(
+            index,
+            [concept_key("place", "seattle")],
+            ("concept", "vehicle"),
+            min_focus_count=2,
+        )
+        assert all(r.focus_count >= 2 for r in results)
+
+    def test_empty_focus_rejected(self, index):
+        with pytest.raises(ValueError):
+            relative_frequency(index, [], ("concept", "vehicle"))
+
+
+class TestDrilldownText:
+    def test_text_retained_when_requested(self):
+        index = ConceptIndex(keep_documents=True)
+        index.add(0, fields={"a": "x"}, text="hello world")
+        assert index.text_of(0) == "hello world"
+
+    def test_text_defaults_to_annotated(self):
+        index = ConceptIndex(keep_documents=True)
+        index.add(0, annotated=make_doc(0, [("vehicle", "suv")]))
+        assert index.text_of(0) == ""
+
+    def test_text_of_requires_flag(self):
+        index = ConceptIndex()
+        index.add(0, fields={"a": "x"})
+        with pytest.raises(RuntimeError):
+            index.text_of(0)
+
+    def test_text_of_unknown_document(self):
+        index = ConceptIndex(keep_documents=True)
+        with pytest.raises(KeyError):
+            index.text_of(99)
+
+    def test_render_drilldown(self):
+        from repro.mining.assoc2d import associate
+        from repro.mining.reports import render_drilldown
+
+        index = ConceptIndex(keep_documents=True)
+        for i in range(4):
+            index.add(
+                i,
+                fields={"place": "seattle", "vehicle": "suv"},
+                text=f"call number {i} about an suv in seattle",
+            )
+        table = associate(index, ("field", "place"), ("field", "vehicle"))
+        text = render_drilldown(table, "seattle", "suv", index, limit=2)
+        assert "4 documents" in text
+        assert "call number 0" in text
+        assert "and 2 more" in text

@@ -1,0 +1,87 @@
+"""Tests for the contact-center KPI reports."""
+
+import pytest
+
+from repro.mining.kpi import (
+    agent_kpis,
+    daily_booking_series,
+    leaderboard,
+    render_kpi_report,
+)
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_car_rental(
+        CarRentalConfig(
+            n_agents=8,
+            n_days=3,
+            calls_per_agent_per_day=5,
+            n_customers=80,
+            seed=9,
+        )
+    )
+
+
+class TestAgentKpis:
+    def test_one_row_per_agent(self, corpus):
+        kpis = agent_kpis(corpus.database)
+        assert len(kpis) == 8
+        assert [k.agent_name for k in kpis] == sorted(
+            k.agent_name for k in kpis
+        )
+
+    def test_call_counts_partition(self, corpus):
+        for kpi in agent_kpis(corpus.database):
+            assert (
+                kpi.reservations + kpi.unbooked + kpi.service_calls
+                == kpi.total_calls
+            )
+
+    def test_totals_match_warehouse(self, corpus):
+        kpis = agent_kpis(corpus.database)
+        assert sum(k.total_calls for k in kpis) == len(
+            corpus.database.table("calls")
+        )
+
+    def test_booking_ratio_bounds(self, corpus):
+        for kpi in agent_kpis(corpus.database):
+            assert 0.0 <= kpi.booking_ratio <= 1.0
+
+    def test_revenue_only_from_reservations(self, corpus):
+        calls = corpus.database.table("calls")
+        expected = sum(
+            record["booking_cost"] or 0 for record in calls
+        )
+        kpis = agent_kpis(corpus.database)
+        assert sum(k.revenue for k in kpis) == pytest.approx(expected)
+
+    def test_revenue_per_call(self, corpus):
+        kpi = agent_kpis(corpus.database)[0]
+        assert kpi.revenue_per_call == pytest.approx(
+            kpi.revenue / kpi.total_calls
+        )
+
+
+class TestSeriesAndLeaderboard:
+    def test_daily_series_covers_all_days(self, corpus):
+        series = daily_booking_series(corpus.database)
+        assert [day for day, _, _ in series] == [0, 1, 2]
+
+    def test_daily_volume_sums(self, corpus):
+        series = daily_booking_series(corpus.database)
+        assert sum(volume for _, _, volume in series) == len(
+            corpus.database.table("calls")
+        )
+
+    def test_leaderboard_sorted_desc(self, corpus):
+        board = leaderboard(corpus.database, top=5)
+        ratios = [kpi.booking_ratio for kpi in board]
+        assert ratios == sorted(ratios, reverse=True)
+        assert len(board) <= 5
+
+    def test_render_report(self, corpus):
+        text = render_kpi_report(corpus.database, top=3)
+        assert "Agent leaderboard" in text
+        assert "Daily booking ratio" in text

@@ -1,0 +1,116 @@
+"""Tests for the database container and query layer."""
+
+import pytest
+
+from repro.store.database import Database
+from repro.store.query import Query, count_by, ratio_by
+from repro.store.schema import AttributeType, Schema
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "customers",
+        Schema.build(
+            ("name", AttributeType.NAME, True),
+            ("phone", AttributeType.PHONE, True),
+            ("segment", AttributeType.CATEGORY),
+        ),
+    )
+    customers = database.table("customers")
+    customers.insert_many(
+        [
+            {"name": "John Smith", "phone": "5558675309", "segment": "gold"},
+            {"name": "Mary Walker", "phone": "4441239999", "segment": "new"},
+            {"name": "Jon Smythe", "phone": "5550000000", "segment": "gold"},
+        ]
+    )
+    database.build_indexes()
+    return database
+
+
+class TestDatabase:
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.create_table("customers", Schema.build(("a", AttributeType.ID)))
+
+    def test_unknown_table(self, db):
+        with pytest.raises(KeyError):
+            db.table("missing")
+
+    def test_table_names(self, db):
+        assert db.table_names == ["customers"]
+
+    def test_candidates_fuzzy_name(self, db):
+        found = db.candidates("customers", "name", "Jon Smith")
+        names = [entity["name"] for entity in found]
+        assert "John Smith" in names
+
+    def test_candidates_partial_phone(self, db):
+        found = db.candidates("customers", "phone", "8675309")
+        assert found[0]["name"] == "John Smith"
+
+    def test_unindexed_attribute_raises(self, db):
+        with pytest.raises(KeyError):
+            db.index_for("customers", "segment")
+
+    def test_has_index(self, db):
+        assert db.has_index("customers", "name")
+        assert not db.has_index("customers", "segment")
+
+    def test_rebuild_after_insert(self, db):
+        db.table("customers").insert(
+            {"name": "Zoe Quartz", "phone": "1112223333"}
+        )
+        db.build_indexes()
+        found = db.candidates("customers", "name", "Zoe Quartz")
+        assert any(e["name"] == "Zoe Quartz" for e in found)
+
+    def test_schema_tuple_shorthand(self):
+        database = Database()
+        table = database.create_table(
+            "t", [("a", AttributeType.STRING), ("b", AttributeType.NUMBER)]
+        )
+        assert table.schema.names == ["a", "b"]
+
+
+class TestQuery:
+    def test_where_chain(self, db):
+        table = db.table("customers")
+        gold = Query(table).where_equals("segment", "gold")
+        assert gold.count() == 2
+        gold_smiths = gold.where(lambda e: "Smith" in e["name"])
+        assert gold_smiths.count() == 1
+
+    def test_queries_are_immutable(self, db):
+        base = Query(db.table("customers"))
+        filtered = base.where_equals("segment", "gold")
+        assert base.count() == 3
+        assert filtered.count() == 2
+
+    def test_values(self, db):
+        names = Query(db.table("customers")).values("name")
+        assert len(names) == 3
+
+    def test_group_by(self, db):
+        groups = Query(db.table("customers")).group_by("segment")
+        assert {k: len(v) for k, v in groups.items()} == {"gold": 2, "new": 1}
+
+
+class TestAggregations:
+    def test_count_by(self, db):
+        counts = count_by(db.table("customers"), "segment")
+        assert counts["gold"] == 2
+
+    def test_ratio_by_simple(self, db):
+        ratio = ratio_by(db.table("customers"), "segment", "gold")
+        assert ratio == pytest.approx(2 / 3)
+
+    def test_ratio_by_restricted_denominator(self, db):
+        table = db.table("customers")
+        ratio = ratio_by(table, "segment", "gold", failure_value="platinum")
+        assert ratio == 1.0  # no platinum rows: denominator is gold only
+
+    def test_ratio_by_empty(self):
+        assert ratio_by([], "x", "y") == 0.0

@@ -1,0 +1,83 @@
+"""Tests for JSON persistence of the structured store."""
+
+import json
+
+import pytest
+
+from repro.store.database import Database
+from repro.store.persist import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+from repro.store.schema import AttributeType, Schema
+
+
+@pytest.fixture
+def db():
+    database = Database("wh")
+    customers = database.create_table(
+        "customers",
+        Schema.build(
+            ("name", AttributeType.NAME, True),
+            ("phone", AttributeType.PHONE, True),
+            ("age", AttributeType.NUMBER),
+        ),
+    )
+    customers.insert_many(
+        [
+            {"name": "john smith", "phone": "5558675309", "age": 34},
+            {"name": "mary walker", "phone": "4441239999"},
+        ]
+    )
+    database.build_indexes()
+    return database
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, db):
+        restored = database_from_dict(database_to_dict(db))
+        assert restored.table_names == db.table_names
+        original = db.table("customers")
+        copy = restored.table("customers")
+        assert len(copy) == len(original)
+        for entity in original:
+            assert copy.get(entity.entity_id).values == entity.values
+
+    def test_schema_preserved(self, db):
+        restored = database_from_dict(database_to_dict(db))
+        schema = restored.table("customers").schema
+        assert schema["name"].type is AttributeType.NAME
+        assert schema["name"].indexed
+        assert not schema["age"].indexed
+
+    def test_indexes_rebuilt(self, db):
+        restored = database_from_dict(database_to_dict(db))
+        found = restored.candidates("customers", "name", "jon smith")
+        assert any(e["name"] == "john smith" for e in found)
+
+    def test_indexes_optional(self, db):
+        restored = database_from_dict(
+            database_to_dict(db), build_indexes=False
+        )
+        assert not restored.has_index("customers", "name")
+
+    def test_file_round_trip(self, db, tmp_path):
+        path = tmp_path / "wh.json"
+        save_database(db, path)
+        restored = load_database(path)
+        assert len(restored.table("customers")) == 2
+
+    def test_json_serialisable(self, db):
+        json.dumps(database_to_dict(db))  # must not raise
+
+    def test_none_values_preserved(self, db):
+        restored = database_from_dict(database_to_dict(db))
+        assert restored.table("customers").get(1)["age"] is None
+
+    def test_non_contiguous_ids_rejected(self, db):
+        payload = database_to_dict(db)
+        payload["tables"]["customers"]["rows"][0]["entity_id"] = 7
+        with pytest.raises(ValueError):
+            database_from_dict(payload)

@@ -1,0 +1,69 @@
+"""Tests for schemas and attributes."""
+
+import pytest
+
+from repro.store.schema import Attribute, AttributeType, Schema
+
+
+class TestAttribute:
+    def test_defaults(self):
+        attr = Attribute("name")
+        assert attr.type is AttributeType.STRING
+        assert not attr.indexed
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute("")
+
+    def test_frozen(self):
+        attr = Attribute("x")
+        with pytest.raises(AttributeError):
+            attr.name = "y"
+
+
+class TestSchema:
+    def make(self):
+        return Schema.build(
+            ("customer_name", AttributeType.NAME, True),
+            ("phone", AttributeType.PHONE, True),
+            ("age", AttributeType.NUMBER),
+        )
+
+    def test_build_and_lookup(self):
+        schema = self.make()
+        assert schema["customer_name"].type is AttributeType.NAME
+        assert "phone" in schema
+        assert "missing" not in schema
+
+    def test_names_ordered(self):
+        assert self.make().names == ["customer_name", "phone", "age"]
+
+    def test_len_and_iter(self):
+        schema = self.make()
+        assert len(schema) == 3
+        assert [a.name for a in schema] == schema.names
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema.build(("a", AttributeType.STRING), ("a", AttributeType.NAME))
+
+    def test_missing_lookup_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            self.make()["nope"]
+
+    def test_attributes_of_type(self):
+        schema = self.make()
+        assert [a.name for a in schema.attributes_of_type(AttributeType.PHONE)] == [
+            "phone"
+        ]
+
+    def test_indexed_attributes(self):
+        schema = self.make()
+        assert [a.name for a in schema.indexed_attributes()] == [
+            "customer_name",
+            "phone",
+        ]
+
+    def test_build_accepts_attribute_instances(self):
+        schema = Schema.build(Attribute("x", AttributeType.DATE))
+        assert schema["x"].type is AttributeType.DATE

@@ -1,0 +1,88 @@
+"""Tests for tables and entities."""
+
+import pytest
+
+from repro.store.schema import AttributeType, Schema
+from repro.store.table import Entity, Table
+
+
+@pytest.fixture
+def customers():
+    schema = Schema.build(
+        ("name", AttributeType.NAME, True),
+        ("city", AttributeType.PLACE),
+        ("age", AttributeType.NUMBER),
+    )
+    table = Table("customers", schema)
+    table.insert_many(
+        [
+            {"name": "John Smith", "city": "New York", "age": 34},
+            {"name": "Mary Walker", "city": "Boston"},
+            {"name": "Raj Patel", "city": "Seattle", "age": 41},
+        ]
+    )
+    return table
+
+
+class TestTable:
+    def test_insert_assigns_sequential_ids(self, customers):
+        assert [e.entity_id for e in customers] == [0, 1, 2]
+
+    def test_unknown_attribute_rejected(self, customers):
+        with pytest.raises(KeyError):
+            customers.insert({"name": "X", "salary": 10})
+
+    def test_missing_attributes_become_none(self, customers):
+        assert customers.get(1).values["age"] is None
+
+    def test_get_unknown_id(self, customers):
+        with pytest.raises(KeyError):
+            customers.get(99)
+
+    def test_len_and_contains(self, customers):
+        assert len(customers) == 3
+        assert 0 in customers
+        assert 99 not in customers
+
+    def test_scan_with_predicate(self, customers):
+        old = list(customers.scan(lambda e: (e.get("age") or 0) > 35))
+        assert [e["name"] for e in old] == ["Raj Patel"]
+
+    def test_column_skips_none(self, customers):
+        assert customers.column("age") == [34, 41]
+
+    def test_column_unknown_attribute(self, customers):
+        with pytest.raises(KeyError):
+            customers.column("salary")
+
+    def test_schema_type_check(self):
+        with pytest.raises(TypeError):
+            Table("t", schema="not-a-schema")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Table("", Schema.build(("a", AttributeType.STRING)))
+
+
+class TestEntity:
+    def test_equality_by_table_and_id(self):
+        a = Entity(1, "customers", {"x": 1})
+        b = Entity(1, "customers", {"x": 2})
+        c = Entity(1, "transactions", {"x": 1})
+        assert a == b
+        assert a != c
+
+    def test_hashable(self):
+        assert len({Entity(1, "t", {}), Entity(1, "t", {})}) == 1
+
+    def test_get_with_default(self):
+        entity = Entity(0, "t", {"a": None, "b": 2})
+        assert entity.get("a", "fallback") == "fallback"
+        assert entity.get("b") == 2
+        assert entity.get("missing", 7) == 7
+
+    def test_getitem_and_contains(self):
+        entity = Entity(0, "t", {"a": 1})
+        assert entity["a"] == 1
+        assert "a" in entity
+        assert "z" not in entity

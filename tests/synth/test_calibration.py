@@ -1,0 +1,97 @@
+"""Tests for the outcome-model calibration solver."""
+
+import pytest
+
+from repro.synth.calibration import (
+    BehaviourRates,
+    CalibratedOutcomeModel,
+    OutcomeTargets,
+    calibrate_outcome_model,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return calibrate_outcome_model()
+
+
+class TestCalibration:
+    def test_hits_paper_marginals(self, model):
+        implied = model.implied_marginals()
+        assert implied["book_given_strong"] == pytest.approx(0.63, abs=5e-3)
+        assert implied["book_given_weak"] == pytest.approx(0.32, abs=5e-3)
+        assert implied["book_given_value_selling"] == pytest.approx(
+            0.59, abs=5e-3
+        )
+        assert implied["book_given_discount"] == pytest.approx(0.72, abs=5e-3)
+
+    def test_effects_positive(self, model):
+        # The paper finds both value selling and discounts help bookings.
+        assert model.effect_value_selling > 0
+        assert model.effect_discount > 0
+
+    def test_strong_start_helps(self, model):
+        assert model.theta_strong > model.theta_weak
+
+    def test_probability_monotone_in_actions(self, model):
+        base = model.probability("weak", False, False)
+        with_discount = model.probability("weak", False, True)
+        with_both = model.probability("weak", True, True)
+        assert base < with_discount < with_both
+
+    def test_probability_unknown_intent(self, model):
+        with pytest.raises(ValueError):
+            model.probability("confused", False, False)
+
+    def test_custom_targets(self):
+        targets = OutcomeTargets(
+            book_given_strong=0.7,
+            book_given_weak=0.25,
+            book_given_value_selling=0.6,
+            book_given_discount=0.65,
+        )
+        model = calibrate_outcome_model(targets=targets)
+        implied = model.implied_marginals()
+        assert implied["book_given_strong"] == pytest.approx(0.7, abs=5e-3)
+
+    def test_expected_rate_responds_to_behaviour(self, model):
+        base = model.expected_booking_rate(BehaviourRates())
+        boosted = model.expected_booking_rate(
+            BehaviourRates(
+                value_selling_given_strong=0.8,
+                value_selling_given_weak=0.8,
+                discount_given_weak=0.7,
+            )
+        )
+        assert boosted > base + 0.01
+
+
+class TestBehaviourRates:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            BehaviourRates(p_strong=0.0)
+        with pytest.raises(ValueError):
+            BehaviourRates(discount_given_weak=1.0)
+
+
+class TestImpliedMarginals:
+    def test_probabilities_in_unit_interval(self, model):
+        implied = model.implied_marginals()
+        for value in implied.values():
+            assert 0.0 < value < 1.0
+
+    def test_overall_rate_between_conditionals(self, model):
+        implied = model.implied_marginals()
+        assert (
+            implied["book_given_weak"]
+            < implied["overall_booking_rate"]
+            < implied["book_given_strong"]
+        )
+
+    def test_marginals_under_alternative_behaviour(self, model):
+        shifted = model.implied_marginals(
+            BehaviourRates(discount_given_weak=0.6)
+        )
+        # More discounts to weak starts raises the weak-start book rate.
+        base = model.implied_marginals()
+        assert shifted["book_given_weak"] > base["book_given_weak"]

@@ -1,0 +1,216 @@
+"""Tests for the car-rental corpus generator."""
+
+import pytest
+
+from repro.synth.calibration import BehaviourRates
+from repro.synth.carrental import (
+    CarRentalConfig,
+    TrainingEffect,
+    generate_car_rental,
+    solve_training_scale,
+)
+from repro.synth.lexicon import CITY_VEHICLE_WEIGHTS
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_car_rental(
+        CarRentalConfig(
+            n_agents=30,
+            n_days=4,
+            calls_per_agent_per_day=6,
+            n_customers=300,
+            seed=7,
+        )
+    )
+
+
+class TestStructure:
+    def test_call_count(self, corpus):
+        assert len(corpus.transcripts) == corpus.config.n_calls
+        assert len(corpus.truths) == corpus.config.n_calls
+
+    def test_tables_present(self, corpus):
+        assert corpus.database.table_names == ["agents", "calls", "customers"]
+        assert len(corpus.database.table("calls")) == corpus.config.n_calls
+
+    def test_every_call_has_matching_record(self, corpus):
+        calls = corpus.database.table("calls")
+        for call_id, truth in corpus.truths.items():
+            record = calls.get(call_id)
+            assert record["agent_name"] == truth.agent_name
+            assert record["call_type"] == truth.call_type
+            assert record["customer_ref"] == truth.customer_entity_id
+
+    def test_reservations_have_cost_and_confirmation(self, corpus):
+        for record in corpus.database.table("calls"):
+            if record["call_type"] == "reservation":
+                assert record["booking_cost"] > 0
+                assert record["confirmation"].startswith("CR")
+            else:
+                assert record["confirmation"] is None
+
+    def test_indexes_built(self, corpus):
+        assert corpus.database.has_index("customers", "name")
+        assert corpus.database.has_index("customers", "phone")
+
+    def test_deterministic(self):
+        config = CarRentalConfig(
+            n_agents=5, n_days=1, calls_per_agent_per_day=2, n_customers=20
+        )
+        a = generate_car_rental(config)
+        b = generate_car_rental(config)
+        assert [t.text for t in a.transcripts] == [
+            t.text for t in b.transcripts
+        ]
+
+    def test_different_seeds_differ(self):
+        base = CarRentalConfig(
+            n_agents=5, n_days=1, calls_per_agent_per_day=4, n_customers=20
+        )
+        other = CarRentalConfig(
+            n_agents=5,
+            n_days=1,
+            calls_per_agent_per_day=4,
+            n_customers=20,
+            seed=99,
+        )
+        a = generate_car_rental(base)
+        b = generate_car_rental(other)
+        assert [t.text for t in a.transcripts] != [
+            t.text for t in b.transcripts
+        ]
+
+
+class TestTranscripts:
+    def test_identity_mentioned(self, corpus):
+        customers = corpus.database.table("customers")
+        for transcript in corpus.transcripts[:50]:
+            truth = corpus.truths[transcript.call_id]
+            person = customers.get(truth.customer_entity_id)
+            assert person["name"] in transcript.customer_text
+
+    def test_agent_name_in_greeting(self, corpus):
+        for transcript in corpus.transcripts[:20]:
+            assert transcript.agent_name in transcript.turns[0][1]
+
+    def test_speaker_separation(self, corpus):
+        transcript = corpus.transcripts[0]
+        assert transcript.customer_text
+        assert transcript.agent_text
+        assert transcript.text.split() == (
+            " ".join(t for _, t in transcript.turns).split()
+        )
+
+    def test_value_selling_truth_reflected_in_text(self, corpus):
+        # Every call flagged as discount contains a discount-ish phrase.
+        discount_words = ("discount", "corporate", "motor club",
+                          "buying club", "promotional")
+        for transcript in corpus.transcripts:
+            truth = corpus.truths[transcript.call_id]
+            if truth.used_discount:
+                assert any(
+                    word in transcript.agent_text for word in discount_words
+                ), transcript.agent_text
+
+
+class TestPlantedAssociations:
+    def test_conditional_booking_rates_near_targets(self, corpus):
+        sales = corpus.sales_truths
+
+        def rate(predicate):
+            selected = [t for t in sales if predicate(t)]
+            booked = sum(
+                1 for t in selected if t.call_type == "reservation"
+            )
+            return booked / len(selected)
+
+        assert rate(lambda t: t.intent == "strong") == pytest.approx(
+            0.63, abs=0.08
+        )
+        assert rate(lambda t: t.intent == "weak") == pytest.approx(
+            0.32, abs=0.08
+        )
+        assert rate(lambda t: t.used_discount) == pytest.approx(
+            0.72, abs=0.10
+        )
+
+    def test_city_vehicle_preference_planted(self, corpus):
+        # Seattle's dominant type (weight 6) should clearly beat its
+        # rarest (weight 1) in the generated calls.
+        seattle = [
+            t for t in corpus.truths.values() if t.city == "seattle"
+        ]
+        if len(seattle) < 30:
+            pytest.skip("too few seattle calls at this corpus size")
+        suv = sum(1 for t in seattle if t.car_type == "suv")
+        luxury = sum(1 for t in seattle if t.car_type == "luxury")
+        assert suv > luxury
+
+    def test_weights_table_covers_all_cities(self, corpus):
+        cities = {t.city for t in corpus.truths.values()}
+        assert cities <= set(CITY_VEHICLE_WEIGHTS)
+
+
+class TestTrainingIntervention:
+    def test_trained_agents_flagged(self):
+        config = CarRentalConfig(
+            n_agents=10,
+            n_days=1,
+            calls_per_agent_per_day=2,
+            n_customers=30,
+            trained_agent_ids=frozenset({0, 1}),
+        )
+        corpus = generate_car_rental(config)
+        trained = [a for a in corpus.agents if a.trained]
+        assert {a.agent_id for a in trained} == {0, 1}
+
+    def test_training_raises_discount_rate_for_weak(self):
+        config = CarRentalConfig()
+        from repro.synth.carrental import AgentProfile
+
+        agent = AgentProfile(0, "x y", skill=0.5, logit_offset=0.0)
+        base_v, base_d = agent.utterance_rates(
+            "weak", config.behaviour, config.training
+        )
+        agent.trained = True
+        boosted_v, boosted_d = agent.utterance_rates(
+            "weak", config.behaviour, config.training
+        )
+        assert boosted_v > base_v
+        assert boosted_d > base_d
+
+    def test_solve_training_scale_hits_target(self):
+        from repro.synth.calibration import calibrate_outcome_model
+
+        model = calibrate_outcome_model()
+        behaviour = BehaviourRates()
+        effect = TrainingEffect()
+        scale = solve_training_scale(
+            model, behaviour, effect, target_delta=0.03
+        )
+        assert 0.0 < scale <= 1.0
+        # Verify the scaled effect indeed delivers ~3 points.
+        scaled = effect.scaled(scale)
+        boosted = BehaviourRates(
+            value_selling_given_strong=min(
+                behaviour.value_selling_given_strong
+                + scaled.value_selling_boost,
+                0.98,
+            ),
+            value_selling_given_weak=min(
+                behaviour.value_selling_given_weak
+                + scaled.value_selling_boost,
+                0.98,
+            ),
+            discount_given_strong=behaviour.discount_given_strong,
+            discount_given_weak=min(
+                behaviour.discount_given_weak + scaled.discount_weak_boost,
+                0.98,
+            ),
+        )
+        delta = model.expected_booking_rate(
+            boosted
+        ) - model.expected_booking_rate(behaviour)
+        if scale < 1.0:
+            assert delta == pytest.approx(0.03, abs=2e-3)

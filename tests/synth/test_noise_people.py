@@ -1,0 +1,132 @@
+"""Tests for the text noiser, person generator and spoken renderings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.synth.banking import generate_banking_calls
+from repro.synth.noise import NoiseConfig, TextNoiser
+from repro.synth.people import (
+    PersonGenerator,
+    spoken_date,
+    spoken_number,
+    spoken_phone,
+)
+
+
+class TestTextNoiser:
+    def test_zero_noise_is_identity(self):
+        noiser = TextNoiser(NoiseConfig.clean(), seed=1)
+        text = "please confirm the receipt of payment"
+        assert noiser.apply(text) == text
+
+    def test_sms_noise_applies_lingo(self):
+        noiser = TextNoiser(NoiseConfig(lingo_rate=1.0, typo_rate=0.0),
+                            seed=1)
+        assert noiser.apply("please confirm") == "pls confrm"
+
+    def test_typos_change_text(self):
+        noiser = TextNoiser(NoiseConfig(typo_rate=1.0), seed=3)
+        clean = "the quick brown fox jumps over the lazy dog"
+        assert noiser.apply(clean) != clean
+
+    def test_deterministic_per_seed(self):
+        text = "please confirm the receipt of payment for the account"
+        a = TextNoiser(NoiseConfig.for_sms(), seed=5).apply(text)
+        b = TextNoiser(NoiseConfig.for_sms(), seed=5).apply(text)
+        assert a == b
+
+    def test_truncation_shortens(self):
+        config = NoiseConfig(typo_rate=0.0, truncation_rate=1.0)
+        noiser = TextNoiser(config, seed=1)
+        text = " ".join(["word"] * 20)
+        assert len(noiser.apply(text).split()) < 20
+
+    def test_multilingual_fragment_appended(self):
+        config = NoiseConfig(typo_rate=0.0, multilingual_rate=1.0)
+        noiser = TextNoiser(config, seed=1)
+        out = noiser.apply("my bill is too high")
+        assert len(out.split()) > 5
+
+    def test_empty_text(self):
+        noiser = TextNoiser(NoiseConfig.for_sms(), seed=1)
+        assert noiser.apply("") == ""
+
+    @given(st.text(alphabet="abcdefgh ", min_size=1, max_size=60))
+    def test_never_raises(self, text):
+        noiser = TextNoiser(NoiseConfig.for_sms(), seed=2)
+        noiser.apply(text)
+
+    def test_corrupt_word_keeps_short_words(self):
+        noiser = TextNoiser(NoiseConfig(), seed=1)
+        assert noiser.corrupt_word("a") == "a"
+
+
+class TestPersonGenerator:
+    def test_unique_phones(self):
+        people = PersonGenerator(seed=1).generate_many(200)
+        phones = [p.phone for p in people]
+        assert len(set(phones)) == len(phones)
+
+    def test_phone_shape(self):
+        person = PersonGenerator(seed=2).generate()
+        assert len(person.phone) == 10
+        assert person.phone.isdigit()
+        assert person.phone[0] != "0"
+
+    def test_dob_iso_format(self):
+        person = PersonGenerator(seed=3).generate()
+        year, month, day = person.dob.split("-")
+        assert 1945 <= int(year) <= 1994
+        assert 1 <= int(month) <= 12
+        assert 1 <= int(day) <= 28
+
+    def test_deterministic(self):
+        a = PersonGenerator(seed=4).generate_many(10)
+        b = PersonGenerator(seed=4).generate_many(10)
+        assert a == b
+
+    def test_name_is_first_plus_last(self):
+        person = PersonGenerator(seed=5).generate()
+        assert person.name == f"{person.first_name} {person.last_name}"
+
+
+class TestSpokenRenderings:
+    def test_spoken_phone(self):
+        assert spoken_phone("42") == "four two"
+
+    def test_spoken_phone_ignores_punctuation(self):
+        assert spoken_phone("4-2") == "four two"
+
+    def test_spoken_number_teens(self):
+        assert spoken_number(14) == "fourteen"
+
+    def test_spoken_number_composite(self):
+        assert spoken_number(42) == "forty two"
+
+    def test_spoken_number_tens(self):
+        assert spoken_number(70) == "seventy"
+
+    def test_spoken_number_out_of_range(self):
+        with pytest.raises(ValueError):
+            spoken_number(100)
+
+    def test_spoken_date(self):
+        assert spoken_date("1972-04-08") == (
+            "april eight nineteen seventy two"
+        )
+
+
+class TestBankingCalls:
+    def test_count_and_shape(self):
+        calls = generate_banking_calls(n_calls=10, seed=1)
+        assert len(calls) == 10
+        for call in calls:
+            assert call.text
+            speakers = {speaker for speaker, _ in call.turns}
+            assert speakers == {"agent", "customer"}
+
+    def test_deterministic(self):
+        a = generate_banking_calls(n_calls=5, seed=9)
+        b = generate_banking_calls(n_calls=5, seed=9)
+        assert [c.text for c in a] == [c.text for c in b]

@@ -1,0 +1,114 @@
+"""Tests for agent notes and the Fig-1 artifact."""
+
+import pytest
+
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+from repro.synth.fig1 import fig1_examples, render_fig1
+from repro.synth.notes import (
+    AgentNoteGenerator,
+    note_shorthand_table,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_car_rental(
+        CarRentalConfig(
+            n_agents=5,
+            n_days=2,
+            calls_per_agent_per_day=4,
+            n_customers=40,
+            seed=8,
+        )
+    )
+
+
+class TestAgentNotes:
+    def test_one_note_per_call(self, corpus):
+        notes = AgentNoteGenerator().notes_for_corpus(corpus)
+        assert len(notes) == len(corpus.truths)
+        assert {n.call_id for n in notes} == set(corpus.truths)
+
+    def test_note_reflects_call_type(self, corpus):
+        generator = AgentNoteGenerator(seed=3)
+        for truth in list(corpus.truths.values())[:20]:
+            note = generator.note_for(truth)
+            if truth.call_type == "reservation":
+                assert (
+                    "confirmed" in note.clean_text
+                    or "reservation done" in note.clean_text
+                )
+            elif truth.call_type == "unbooked":
+                assert (
+                    "not ready" in note.clean_text
+                    or "will call back" in note.clean_text
+                    or "think about it" in note.clean_text
+                )
+
+    def test_city_usually_mentioned(self, corpus):
+        generator = AgentNoteGenerator(seed=3)
+        truths = list(corpus.truths.values())[:20]
+        mentions = sum(
+            1
+            for truth in truths
+            if truth.city in generator.note_for(truth).clean_text
+        )
+        # Most templates carry the city; at least half the notes do.
+        assert mentions >= len(truths) // 2
+
+    def test_shorthand_applied(self, corpus):
+        generator = AgentNoteGenerator(seed=3, shorthand_rate=1.0,
+                                       typo_rate=0.0)
+        notes = generator.notes_for_corpus(corpus, limit=10)
+        joined = " ".join(n.text for n in notes)
+        assert "cust" in joined or "tht" in joined or "teh" in joined
+
+    def test_deterministic(self, corpus):
+        a = AgentNoteGenerator(seed=5).notes_for_corpus(corpus, limit=5)
+        b = AgentNoteGenerator(seed=5).notes_for_corpus(corpus, limit=5)
+        assert a == b
+
+    def test_shorthand_table_single_words(self):
+        table = note_shorthand_table()
+        assert table["cust"] == "customer"
+        assert all(" " not in key for key in table)
+
+    def test_normaliser_recovers_shorthand(self, corpus):
+        from repro.cleaning.sms import SmsNormalizer
+
+        normalizer = SmsNormalizer(domain_terms=note_shorthand_table())
+        generator = AgentNoteGenerator(seed=3, shorthand_rate=1.0,
+                                       typo_rate=0.0)
+        note = generator.note_for(next(iter(corpus.truths.values())))
+        recovered = normalizer.normalize(note.text)
+        # Normalisation moves the note back toward its clean form.
+        clean_words = set(note.clean_text.split())
+        before = len(set(note.text.split()) & clean_words)
+        after = len(set(recovered.split()) & clean_words)
+        assert after >= before
+
+
+class TestFig1:
+    def test_all_channels_present(self):
+        examples = fig1_examples(seed=61)
+        assert set(examples) == {
+            "contact center notes",
+            "email",
+            "sms",
+            "call transcript",
+        }
+        for text in examples.values():
+            assert text.strip()
+
+    def test_call_transcript_is_uppercase(self):
+        examples = fig1_examples(seed=61)
+        transcript = examples["call transcript"]
+        assert transcript == transcript.upper()
+
+    def test_email_has_headers(self):
+        examples = fig1_examples(seed=61)
+        assert examples["email"].startswith("from:")
+
+    def test_render(self):
+        text = render_fig1(seed=61)
+        assert "--- sms ---" in text

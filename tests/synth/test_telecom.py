@@ -1,0 +1,114 @@
+"""Tests for the telecom churn corpus generator."""
+
+import pytest
+
+from repro.synth.telecom import TelecomConfig, generate_telecom
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_telecom(TelecomConfig(scale=0.01, n_customers=500))
+
+
+class TestVolumes:
+    def test_email_and_sms_counts_scale(self, corpus):
+        config = corpus.config
+        assert len(corpus.emails) == config.n_emails
+        assert len(corpus.sms) == config.n_sms
+        # SMS volume dominates email volume, as in the paper.
+        assert len(corpus.sms) > 4 * len(corpus.emails)
+
+    def test_full_scale_matches_paper_volumes(self):
+        config = TelecomConfig(scale=1.0)
+        assert config.n_emails == 47460
+        assert config.n_sms == 289314
+
+
+class TestProportions:
+    def test_churner_share_of_customer_emails(self, corpus):
+        customer_emails = [
+            m for m in corpus.emails if m.sender_entity_id is not None
+        ]
+        share = sum(1 for m in customer_emails if m.from_churner) / len(
+            customer_emails
+        )
+        assert share == pytest.approx(0.03, abs=0.02)
+
+    def test_churner_share_of_customer_sms(self, corpus):
+        customer_sms = [
+            m for m in corpus.sms if m.sender_entity_id is not None
+        ]
+        share = sum(1 for m in customer_sms if m.from_churner) / len(
+            customer_sms
+        )
+        assert share == pytest.approx(0.076, abs=0.02)
+
+    def test_non_customer_email_share(self, corpus):
+        non_spam = [m for m in corpus.emails if not m.is_spam]
+        unlinked = sum(
+            1 for m in non_spam if m.sender_entity_id is None
+        ) / len(non_spam)
+        assert unlinked == pytest.approx(0.18, abs=0.05)
+
+    def test_prepaid_share(self, corpus):
+        customers = corpus.database.table("customers")
+        prepaid = sum(
+            1 for c in customers if c["plan_type"] == "prepaid"
+        ) / len(customers)
+        assert prepaid == pytest.approx(0.78, abs=0.06)
+
+
+class TestContent:
+    def test_churner_messages_carry_more_drivers(self, corpus):
+        churner = [m for m in corpus.messages if m.from_churner]
+        non_churner = [
+            m
+            for m in corpus.messages
+            if not m.from_churner and m.sender_entity_id is not None
+        ]
+        churner_rate = sum(len(m.driver_keys) for m in churner) / len(churner)
+        other_rate = sum(len(m.driver_keys) for m in non_churner) / len(
+            non_churner
+        )
+        assert churner_rate > 2 * other_rate
+
+    def test_email_has_headers_and_disclaimer(self, corpus):
+        email = next(
+            m for m in corpus.emails if m.sender_entity_id is not None
+        )
+        assert email.raw_text.startswith("from:")
+        assert "subject:" in email.raw_text
+
+    def test_customer_email_carries_identity(self, corpus):
+        customers = corpus.database.table("customers")
+        linked = [
+            m for m in corpus.emails if m.sender_entity_id is not None
+        ]
+        for email in linked[:30]:
+            sender = customers.get(email.sender_entity_id)
+            assert sender["name"] in email.raw_text
+            assert sender["phone"] in email.raw_text
+
+    def test_spam_flagged(self, corpus):
+        spam = [m for m in corpus.emails if m.is_spam]
+        assert spam
+        for message in spam:
+            assert message.sender_entity_id is None
+
+    def test_non_english_sms_present(self, corpus):
+        assert any(m.is_non_english for m in corpus.sms)
+
+    def test_churn_month_only_for_churners(self, corpus):
+        for customer in corpus.database.table("customers"):
+            if customer["churned"]:
+                assert customer["churn_month"] is not None
+            else:
+                assert customer["churn_month"] is None
+
+    def test_deterministic(self):
+        config = TelecomConfig(scale=0.002, n_customers=100)
+        a = generate_telecom(config)
+        b = generate_telecom(config)
+        assert [m.raw_text for m in a.messages] == [
+            m.raw_text for m in b.messages
+        ]

@@ -1,0 +1,127 @@
+"""Tests for the grapheme-to-phoneme model and phonetic similarity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.phonetics import (
+    CONFUSABLE_DIGITS,
+    PHONES,
+    phone_substitution_cost,
+    phonetic_similarity,
+    soundex,
+    to_phones,
+)
+
+word_strategy = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestToPhones:
+    def test_all_outputs_in_inventory(self):
+        for word in ["reservation", "discount", "chicago", "smith", "quote"]:
+            for phone in to_phones(word):
+                assert phone in PHONES
+
+    def test_digraphs(self):
+        assert to_phones("cash") == ("K", "AE", "SH")
+
+    def test_soft_c(self):
+        assert to_phones("city")[0] == "S"
+
+    def test_hard_c(self):
+        assert to_phones("car")[0] == "K"
+
+    def test_silent_final_e(self):
+        assert to_phones("rate")[-1] != "EH"
+
+    def test_digits_expand_to_spoken_words(self):
+        assert to_phones("7") == to_phones("seven")
+        assert to_phones("42") == to_phones("four") + to_phones("two")
+
+    def test_case_insensitive(self):
+        assert to_phones("SMITH") == to_phones("smith")
+
+    @given(word_strategy)
+    def test_never_raises_and_valid(self, word):
+        for phone in to_phones(word):
+            assert phone in PHONES
+
+
+class TestPhoneSubstitutionCost:
+    def test_identity_free(self):
+        assert phone_substitution_cost("S", "S") == 0.0
+
+    def test_voicing_pair_cheap(self):
+        assert phone_substitution_cost("P", "B") == 0.25
+
+    def test_same_class(self):
+        assert phone_substitution_cost("P", "K") == 0.5
+
+    def test_cross_class_full_cost(self):
+        assert phone_substitution_cost("S", "AA") == 1.0
+
+    def test_symmetric(self):
+        for a, b in [("P", "B"), ("S", "AA"), ("IY", "IH")]:
+            assert phone_substitution_cost(a, b) == phone_substitution_cost(
+                b, a
+            )
+
+
+class TestPhoneticSimilarity:
+    def test_identical(self):
+        assert phonetic_similarity("smith", "smith") == 1.0
+
+    def test_homophone_like_pairs_are_close(self):
+        assert phonetic_similarity("smith", "smyth") > 0.8
+
+    def test_unrelated_words_are_far(self):
+        assert phonetic_similarity("smith", "rental") < 0.5
+
+    def test_similar_sounding_names(self):
+        # Similar-sounding names get substituted by ASR (paper IV-A).
+        assert phonetic_similarity("jon", "john") > phonetic_similarity(
+            "jon", "patricia"
+        )
+
+    @given(word_strategy, word_strategy)
+    def test_bounds(self, a, b):
+        assert 0.0 <= phonetic_similarity(a, b) <= 1.0
+
+    @given(word_strategy, word_strategy)
+    def test_symmetry(self, a, b):
+        assert phonetic_similarity(a, b) == pytest.approx(
+            phonetic_similarity(b, a)
+        )
+
+
+class TestSoundex:
+    def test_known_equivalence(self):
+        assert soundex("Robert") == soundex("Rupert") == "R163"
+
+    def test_different_names_differ(self):
+        assert soundex("Smith") != soundex("Walker")
+
+    def test_smith_smyth_collide(self):
+        assert soundex("Smith") == soundex("Smyth")
+
+    def test_empty(self):
+        assert soundex("") == "0000"
+
+    def test_length_always_four(self):
+        for word in ["a", "ab", "tymczak", "pfister"]:
+            assert len(soundex(word)) == 4
+
+
+class TestConfusableDigits:
+    def test_all_digits_covered(self):
+        assert set(CONFUSABLE_DIGITS) == set("0123456789")
+
+    def test_confusions_are_digits(self):
+        for alternatives in CONFUSABLE_DIGITS.values():
+            assert alternatives
+            for alt in alternatives:
+                assert alt in "0123456789"

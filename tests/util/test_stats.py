@@ -1,0 +1,66 @@
+"""Tests for the t-test and proportion-test helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.stats import proportion_ztest, ttest_independent, welch_ttest
+
+
+class TestTTest:
+    def test_identical_samples_not_significant(self):
+        result = ttest_independent([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert result.p_value == pytest.approx(1.0)
+        assert not result.significant()
+
+    def test_clearly_different_samples(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(0.60, 0.02, size=30)
+        b = rng.normal(0.50, 0.02, size=30)
+        result = ttest_independent(a, b)
+        assert result.significant(alpha=0.01)
+        assert result.mean_difference > 0.05
+
+    def test_df_pooled(self):
+        result = ttest_independent([1, 2, 3, 4], [5, 6, 7])
+        assert result.df == 5
+
+    def test_welch_handles_unequal_variance(self):
+        rng = np.random.default_rng(11)
+        a = rng.normal(0, 1, 50)
+        b = rng.normal(0, 10, 50)
+        result = welch_ttest(a, b)
+        assert result.df < 98  # Welch df shrinks below pooled df
+
+    def test_requires_two_observations(self):
+        with pytest.raises(ValueError):
+            ttest_independent([1.0], [1.0, 2.0])
+
+    def test_means_reported(self):
+        result = ttest_independent([2.0, 4.0], [1.0, 3.0])
+        assert result.mean_a == pytest.approx(3.0)
+        assert result.mean_b == pytest.approx(2.0)
+
+
+class TestProportionZTest:
+    def test_equal_proportions(self):
+        z, p = proportion_ztest(50, 100, 50, 100)
+        assert z == pytest.approx(0.0)
+        assert p == pytest.approx(1.0)
+
+    def test_clear_difference(self):
+        z, p = proportion_ztest(700, 1000, 500, 1000)
+        assert z > 5
+        assert p < 1e-6
+
+    def test_direction(self):
+        z, _ = proportion_ztest(30, 100, 60, 100)
+        assert z < 0
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            proportion_ztest(1, 0, 1, 10)
+
+    def test_degenerate_all_success(self):
+        z, p = proportion_ztest(10, 10, 10, 10)
+        assert z == 0.0
+        assert p == 1.0

@@ -1,0 +1,36 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.util.tabletext import format_table
+
+
+class TestFormatTable:
+    def test_simple_table(self):
+        text = format_table(["a", "b"], [["x", 1]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "+" in lines[1]
+        assert "x" in lines[2]
+
+    def test_title_prepended(self):
+        text = format_table(["a"], [["x"]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_numeric_right_aligned_by_default(self):
+        text = format_table(["name", "wer"], [["names", 65], ["numbers", 5]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("65")
+        assert rows[1].endswith(" 5")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456]], align=["r"])
+        assert "0.1235" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
