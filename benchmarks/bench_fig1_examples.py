@@ -8,7 +8,7 @@ each channel's noise signature.
 
 import pytest
 
-from repro.synth.fig1 import fig1_examples
+from repro.core.fig1 import fig1_examples
 
 
 def test_fig1_channel_examples(benchmark):

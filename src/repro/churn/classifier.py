@@ -16,6 +16,8 @@ import math
 
 import numpy as np
 
+from repro.util.rng import derive_rng
+
 
 class MultinomialNaiveBayes:
     """Binary multinomial NB over sparse feature counts."""
@@ -140,7 +142,7 @@ class LogisticRegression:
         # Scale features to unit max to keep gradient descent stable.
         self._scale = np.maximum(np.abs(X).max(axis=0), 1.0)
         X = X / self._scale
-        rng = np.random.default_rng(self.seed)
+        rng = derive_rng(self.seed, "churn-logreg-init")
         weights = rng.normal(0.0, 0.01, X.shape[1])
         sample_weights = np.where(y == 1.0, self.positive_weight, 1.0)
         n = X.shape[0]

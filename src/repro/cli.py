@@ -7,6 +7,7 @@ regenerated without writing code:
     python -m repro asr                 # Table I
     python -m repro training            # the SecV-C A/B experiment
     python -m repro churn               # the SecVI churn study
+    python -m repro lint                # static-analysis guardrails
 """
 
 import argparse
@@ -152,6 +153,50 @@ def cmd_churn(args):
     return 0
 
 
+def _default_lint_paths():
+    """What ``bivoc lint`` checks when no path is given.
+
+    The in-repo source tree (``src/repro``) when run from a checkout,
+    otherwise the installed package directory.
+    """
+    import pathlib
+
+    import repro
+
+    checkout = pathlib.Path("src/repro")
+    if (checkout / "__init__.py").exists():
+        return [str(checkout)]
+    return [str(pathlib.Path(repro.__file__).parent)]
+
+
+def cmd_lint(args):
+    """Run the project linter (see :mod:`repro.devtools`)."""
+    from repro.devtools import lint_paths, render_json, render_text
+
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    exclude = tuple(
+        part for part in args.exclude.split(",") if part
+    )
+    try:
+        report = lint_paths(
+            args.paths or _default_lint_paths(),
+            select=select,
+            ignore=ignore,
+            exclude=exclude,
+        )
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"bivoc lint: {exc}", file=sys.stderr)
+        return 2
+    rendered = (
+        render_json(report)
+        if args.format == "json"
+        else render_text(report)
+    )
+    print(rendered)
+    return report.exit_code(fail_on=args.fail_on)
+
+
 def build_parser():
     """Build the argparse parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -187,6 +232,43 @@ def build_parser():
     churn.add_argument("--channel", choices=("email", "sms"),
                        default="email")
     churn.set_defaults(func=cmd_churn)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project's static-analysis guardrails",
+        description=(
+            "Checks the layer contract, import cycles, determinism "
+            "rules (derive_rng discipline, no wall clock), paper-"
+            "citation validity and general hygiene. Exit code 0 means "
+            "clean at the chosen --fail-on threshold."
+        ),
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or package directories (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    lint.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run exclusively",
+    )
+    lint.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--exclude", default="__pycache__",
+        help="comma-separated path components to skip "
+             "(default: __pycache__)",
+    )
+    lint.add_argument(
+        "--fail-on", choices=("error", "warning"), default="warning",
+        help="lowest severity that makes the exit code non-zero",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

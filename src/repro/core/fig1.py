@@ -5,6 +5,11 @@ emails, SMS and ASR call transcripts, each with its characteristic
 noise.  :func:`fig1_examples` renders one generated example per channel
 so the reproduction has the same illustrative artefact, drawn from the
 same generators the experiments use.
+
+This lives in :mod:`repro.core` (not :mod:`repro.synth`) because the
+call-transcript channel runs text through the ASR engine, and the
+layer contract forbids ``synth`` -> ``asr`` imports (``asr`` consumes
+``synth`` lexica, so the reverse edge would be a cycle).
 """
 
 from repro.asr.system import ASRSystem

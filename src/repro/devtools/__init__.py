@@ -1,0 +1,55 @@
+"""`bivoc lint`: project-specific static analysis for the reproduction.
+
+The reproduction's correctness rests on invariants no off-the-shelf
+linter knows about, so this package machine-checks them:
+
+* **Layer contract** (:mod:`repro.devtools.layering`) — the subsystem
+  packages form a DAG of layers mirroring the paper's architecture
+  (Fig 3); `util` imports nothing from :mod:`repro`, `mining` never
+  imports `asr`, and so on.  The checker builds the real import graph
+  (:mod:`repro.devtools.modgraph`), rejects contract violations and
+  detects import cycles.
+* **Determinism** — every random draw must flow through
+  :func:`repro.util.rng.derive_rng` so adding a consumer of randomness
+  never perturbs existing streams, and algorithm code must not read
+  the wall clock.
+* **Paper fidelity** (:mod:`repro.devtools.paper`) — docstring
+  citations (``Eqn 2``, ``Table III``, ``Section IV-B``) are validated
+  against a registry of the paper's numbered artifacts.
+* **General hygiene** — mutable default arguments, bare ``except:``,
+  float-equality asserts in tests, missing public docstrings, stale
+  ``__all__`` exports.
+
+Everything is stdlib-only (``ast`` + ``importlib``); run it as
+``bivoc lint`` or through :func:`lint_paths`.
+"""
+
+from repro.devtools.violations import Severity, Violation
+from repro.devtools.modgraph import ModuleGraph, build_module_graph
+from repro.devtools.layering import (
+    DEFAULT_CONTRACT,
+    LayerContract,
+    check_layering,
+)
+from repro.devtools.paper import PaperRegistry, default_registry
+from repro.devtools.rules import ALL_RULE_IDS, default_rules
+from repro.devtools.runner import LintReport, lint_paths
+from repro.devtools.report import render_json, render_text
+
+__all__ = [
+    "Severity",
+    "Violation",
+    "ModuleGraph",
+    "build_module_graph",
+    "LayerContract",
+    "DEFAULT_CONTRACT",
+    "check_layering",
+    "PaperRegistry",
+    "default_registry",
+    "ALL_RULE_IDS",
+    "default_rules",
+    "LintReport",
+    "lint_paths",
+    "render_text",
+    "render_json",
+]

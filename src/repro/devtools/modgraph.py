@@ -1,0 +1,186 @@
+"""Static import graph of a package tree.
+
+Builds the module-level import graph of a package directory with
+nothing but :mod:`ast` — no code is executed — so the layering checker
+can reason about the architecture of ``src/repro`` (or any synthetic
+package a test constructs).  Edges keep the line number of the import
+statement that created them, so layer violations point at real code.
+"""
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class ModuleGraph:
+    """Import graph: ``modules`` maps name -> file, ``edges`` name -> name.
+
+    ``edges[src][dst]`` is the line number of the first import of
+    ``dst`` inside ``src``.  Only edges between modules *inside* the
+    graph are kept; stdlib and third-party imports are ignored.
+    """
+
+    package: str
+    modules: "dict[str, Path]" = field(default_factory=dict)
+    edges: "dict[str, dict[str, int]]" = field(default_factory=dict)
+
+    def add_edge(self, src, dst, line):
+        """Record ``src`` importing ``dst`` at ``line`` (first one wins)."""
+        self.edges.setdefault(src, {})
+        if dst not in self.edges[src]:
+            self.edges[src][dst] = line
+
+    def subpackage_of(self, module):
+        """Top-level subsystem a module belongs to.
+
+        ``repro.asr.decoder`` -> ``asr``; top-level modules map to
+        their own name (``repro.cli`` -> ``cli``); the package root
+        ``repro`` maps to the empty string.
+        """
+        parts = module.split(".")
+        if len(parts) == 1:
+            return ""
+        return parts[1]
+
+    def find_cycles(self):
+        """Strongly connected components with more than one module
+        (or a self-import), as sorted module-name tuples.
+
+        Iterative Tarjan, so deep graphs cannot hit the recursion
+        limit.  Returned components are sorted for determinism.
+        """
+        index = {}
+        lowlink = {}
+        on_stack = set()
+        stack = []
+        counter = [0]
+        components = []
+
+        for root in sorted(self.modules):
+            if root in index:
+                continue
+            work = [(root, iter(sorted(self.edges.get(root, ()))))]
+            index[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in self.modules:
+                        continue
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append(
+                            (succ, iter(sorted(self.edges.get(succ, ()))))
+                        )
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1 or node in self.edges.get(
+                        node, {}
+                    ):
+                        components.append(tuple(sorted(component)))
+        return sorted(components)
+
+
+def _module_name(package_dir, path):
+    """Dotted module name of ``path`` relative to the package parent."""
+    relative = path.relative_to(package_dir.parent).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _resolve_relative(module, is_package, level, target):
+    """Resolve a ``from ...x import y`` to an absolute dotted name."""
+    parts = module.split(".")
+    # A package's __init__ counts as one level shallower than its
+    # submodules: ``from . import x`` inside pkg/__init__.py is pkg.x.
+    if not is_package:
+        parts = parts[:-1]
+    if level > 1:
+        parts = parts[: len(parts) - (level - 1)]
+    if not parts:
+        return None
+    if target:
+        parts = parts + target.split(".")
+    return ".".join(parts)
+
+
+def build_module_graph(package_dir):
+    """Parse every ``*.py`` under ``package_dir`` into a :class:`ModuleGraph`.
+
+    ``package_dir`` must be the package root itself (the directory
+    holding the top ``__init__.py``), e.g. ``src/repro``.  Unparseable
+    files are skipped here — the lint runner reports syntax errors
+    separately.
+    """
+    package_dir = Path(package_dir).resolve()
+    package = package_dir.name
+    graph = ModuleGraph(package=package)
+
+    for path in sorted(package_dir.rglob("*.py")):
+        graph.modules[_module_name(package_dir, path)] = path
+
+    for module, path in graph.modules.items():
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError:
+            continue
+        is_package = path.name == "__init__.py"
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    _record(graph, module, alias.name, node.lineno)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = _resolve_relative(
+                        module, is_package, node.level, node.module
+                    )
+                else:
+                    base = node.module
+                if base is None:
+                    continue
+                for alias in node.names:
+                    # ``from pkg import sub`` may name a submodule.
+                    if f"{base}.{alias.name}" in graph.modules:
+                        graph.add_edge(
+                            module, f"{base}.{alias.name}", node.lineno
+                        )
+                    else:
+                        _record(graph, module, base, node.lineno)
+    return graph
+
+
+def _record(graph, module, target, line):
+    """Add an edge to ``target`` or its closest enclosing graph module."""
+    parts = target.split(".")
+    while parts:
+        candidate = ".".join(parts)
+        if candidate in graph.modules:
+            if candidate != module:
+                graph.add_edge(module, candidate, line)
+            return
+        parts.pop()

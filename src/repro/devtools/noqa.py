@@ -1,0 +1,45 @@
+"""Line suppressions: ``# bivoc: noqa[rule-id]``.
+
+A finding on a line carrying a suppression comment for its rule (or a
+blanket ``# bivoc: noqa``) is dropped from the report and counted as
+suppressed.  Suppressions are deliberately line-scoped — there is no
+file-level escape hatch, so every waiver is visible next to the code
+it excuses and can carry its justification in the same comment.
+"""
+
+import re
+
+_NOQA_RE = re.compile(
+    r"#\s*bivoc:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\- ]+)\])?",
+)
+
+#: Sentinel meaning "every rule" for a blanket ``# bivoc: noqa``.
+ALL_RULES = "*"
+
+
+def suppressions(lines):
+    """Map line number (1-based) -> set of suppressed rule ids.
+
+    A blanket ``# bivoc: noqa`` maps to ``{ALL_RULES}``.
+    """
+    table = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        spec = match.group("rules")
+        if spec is None:
+            table[lineno] = {ALL_RULES}
+        else:
+            table[lineno] = {
+                rule.strip() for rule in spec.split(",") if rule.strip()
+            }
+    return table
+
+
+def is_suppressed(violation, table):
+    """Whether ``violation`` is waived by a suppression ``table``."""
+    rules = table.get(violation.line)
+    if not rules:
+        return False
+    return ALL_RULES in rules or violation.rule_id in rules

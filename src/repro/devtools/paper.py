@@ -1,0 +1,232 @@
+"""Registry of the paper's numbered artifacts, for citation checking.
+
+Docstrings throughout the reproduction cite the source paper
+(Subramaniam et al., ICDE 2009) by its numbered artifacts — ``Eqn 2``,
+``Table III``, ``Fig 4``, ``Section IV-B``.  A citation naming an
+artifact the paper does not have (a fifth table, a ninth equation) is
+a bug in the documentation: it sends a reader hunting for something
+that does not exist and usually means a docstring survived a refactor
+it should not have.  :class:`PaperRegistry` validates extracted citations
+against the real inventory.
+"""
+
+import re
+from dataclasses import dataclass, field
+
+_ROMAN_VALUES = {"I": 1, "V": 5, "X": 10}
+
+#: ``Sec V-C`` / ``Section IV-D.2`` / ``SecVI`` — roman section, optional
+#: subsection letter, optional numbered sub-subsection.
+_CITATION_RE = re.compile(
+    r"""
+    \b(?:
+        (?P<eqn_kind>Equation|Eqn|Eq)\.?\s*(?P<eqn>\d+)
+      | (?P<fig_kind>Figure|Fig)\.?\s*(?P<fig>\d+)
+      | (?P<table_kind>Tables|Table)\s*
+            (?P<tables>[IVX]+(?:\s*[-–—]\s*[IVX]+
+                               |(?:\s*,\s*|\s+and\s+)[IVX]+)*)
+      | Table\s+(?P<table_arabic>\d+)
+      | (?P<sec_kind>Section|Sec)\.?\s*
+            (?P<sec>[IVX]+)(?:-(?P<sub>[A-Z])(?:\.(?P<subsub>\d+))?)?
+    )
+    """,
+    re.VERBOSE,
+)
+
+_TABLE_SPLIT_RE = re.compile(r"\s*(?:[-–—]|,|\band\b)\s*")
+
+
+def roman_value(numeral):
+    """Integer value of a roman numeral (I/V/X alphabet).
+
+    Returns ``None`` for malformed numerals like ``IIX``.
+    """
+    total = 0
+    previous = 0
+    for char in reversed(numeral):
+        value = _ROMAN_VALUES.get(char)
+        if value is None:
+            return None
+        if value < previous:
+            total -= value
+        else:
+            total += value
+            previous = value
+    # Round-trip to reject non-canonical spellings (e.g. ``IIII``).
+    if int_to_roman(total) != numeral:
+        return None
+    return total
+
+
+def int_to_roman(number):
+    """Canonical roman numeral for 1..39 (enough for paper sections)."""
+    if not 1 <= number <= 39:
+        return ""
+    out = []
+    for value, glyph in ((10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I")):
+        while number >= value:
+            out.append(glyph)
+            number -= value
+    return "".join(out)
+
+
+@dataclass(frozen=True)
+class Citation:
+    """One extracted citation: artifact kind, identifier, text offset."""
+
+    kind: str  # "eqn" | "fig" | "table" | "section"
+    ident: str
+    offset: int  # character offset of the match inside the scanned text
+
+
+@dataclass(frozen=True)
+class PaperRegistry:
+    """The numbered inventory of one paper.
+
+    ``sections`` maps roman section numerals to the set of subsection
+    letters the paper actually has; ``subsections`` maps
+    ``"IV-A"``-style keys to the set of numbered sub-subsections.
+    """
+
+    tables: "frozenset[str]" = frozenset()
+    figures: "frozenset[int]" = frozenset()
+    equations: "frozenset[int]" = frozenset()
+    sections: "dict[str, frozenset[str]]" = field(default_factory=dict)
+    subsections: "dict[str, frozenset[int]]" = field(default_factory=dict)
+
+    def extract(self, text):
+        """All :class:`Citation` objects found in ``text``."""
+        citations = []
+        for match in _CITATION_RE.finditer(text):
+            if match.group("eqn"):
+                citations.append(
+                    Citation("eqn", match.group("eqn"), match.start())
+                )
+            elif match.group("fig"):
+                citations.append(
+                    Citation("fig", match.group("fig"), match.start())
+                )
+            elif match.group("table_arabic"):
+                citations.append(
+                    Citation(
+                        "table", match.group("table_arabic"), match.start()
+                    )
+                )
+            elif match.group("tables"):
+                for numeral in self._expand_tables(match.group("tables")):
+                    citations.append(
+                        Citation("table", numeral, match.start())
+                    )
+            elif match.group("sec"):
+                ident = match.group("sec")
+                if match.group("sub"):
+                    ident += "-" + match.group("sub")
+                    if match.group("subsub"):
+                        ident += "." + match.group("subsub")
+                citations.append(Citation("section", ident, match.start()))
+        return citations
+
+    @staticmethod
+    def _expand_tables(spec):
+        """``"II-IV"`` -> II, III, IV; ``"III and IV"`` -> III, IV."""
+        parts = [p for p in _TABLE_SPLIT_RE.split(spec.strip()) if p]
+        if "-" in spec or "–" in spec or "—" in spec:
+            if len(parts) == 2:
+                lo, hi = roman_value(parts[0]), roman_value(parts[1])
+                if lo is not None and hi is not None and lo <= hi:
+                    return [int_to_roman(n) for n in range(lo, hi + 1)]
+        return parts
+
+    def problem(self, citation):
+        """Explain why a citation is invalid, or ``None`` if it is fine."""
+        kind, ident = citation.kind, citation.ident
+        if kind == "eqn":
+            if int(ident) not in self.equations:
+                return (
+                    f"the paper has no Eqn {ident} "
+                    f"(equations: {_fmt_ints(self.equations)})"
+                )
+            return None
+        if kind == "fig":
+            if int(ident) not in self.figures:
+                return (
+                    f"the paper has no Fig {ident} "
+                    f"(figures: {_fmt_ints(self.figures)})"
+                )
+            return None
+        if kind == "table":
+            if ident.isdigit():
+                return (
+                    f"the paper numbers tables in roman numerals; "
+                    f"write 'Table {int_to_roman(int(ident))}' "
+                    f"instead of 'Table {ident}'"
+                )
+            if roman_value(ident) is None:
+                return f"malformed roman numeral in 'Table {ident}'"
+            if ident not in self.tables:
+                return (
+                    f"the paper has no Table {ident} "
+                    f"(tables: {', '.join(sorted(self.tables, key=roman_value))})"
+                )
+            return None
+        # section
+        roman, _, rest = ident.partition("-")
+        if roman_value(roman) is None:
+            return f"malformed roman numeral in 'Section {ident}'"
+        if roman not in self.sections:
+            known = ", ".join(
+                sorted(self.sections, key=roman_value)
+            )
+            return (
+                f"the paper has no Section {roman} (sections: {known})"
+            )
+        if not rest:
+            return None
+        letter, _, digit = rest.partition(".")
+        if letter not in self.sections[roman]:
+            return (
+                f"the paper has no Section {roman}-{letter} "
+                f"(subsections of {roman}: "
+                f"{', '.join(sorted(self.sections[roman])) or 'none'})"
+            )
+        if digit:
+            allowed = self.subsections.get(f"{roman}-{letter}", frozenset())
+            if int(digit) not in allowed:
+                return (
+                    f"the paper has no Section {roman}-{letter}.{digit} "
+                    f"(numbered parts: {_fmt_ints(allowed)})"
+                )
+        return None
+
+
+def _fmt_ints(values):
+    return ", ".join(str(v) for v in sorted(values)) or "none"
+
+
+def default_registry():
+    """The BIVoC paper's inventory (ICDE 2009, DOI 10.1109/ICDE.2009.41).
+
+    Tables I-IV, Figures 1-4, Equations 1-4; Sections I-VII with the
+    subsections the paper actually numbers (IV-A data processing,
+    IV-B linking, IV-C annotation, IV-D indexing/reporting; V-A..V-C
+    for the agent-productivity study).
+    """
+    return PaperRegistry(
+        tables=frozenset({"I", "II", "III", "IV"}),
+        figures=frozenset({1, 2, 3, 4}),
+        equations=frozenset({1, 2, 3, 4}),
+        sections={
+            "I": frozenset(),
+            "II": frozenset({"A", "B"}),
+            "III": frozenset({"A", "B"}),
+            "IV": frozenset({"A", "B", "C", "D"}),
+            "V": frozenset({"A", "B", "C"}),
+            "VI": frozenset({"A", "B"}),
+            "VII": frozenset(),
+        },
+        subsections={
+            "IV-A": frozenset({1, 2}),
+            "IV-B": frozenset({1, 2}),
+            "IV-D": frozenset({1, 2}),
+        },
+    )

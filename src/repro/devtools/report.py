@@ -1,0 +1,48 @@
+"""Rendering a lint run: human text or machine JSON.
+
+Both renderers consume the :class:`~repro.devtools.runner.LintReport`
+the runner produces; JSON output is the contract CI and editors parse,
+so its shape (``violations`` / ``summary`` keys, per-violation fields
+from :meth:`Violation.as_dict`) is covered by tests.
+"""
+
+import json
+
+
+def render_text(report):
+    """One line per finding plus a summary, as a single string."""
+    out = [v.render() for v in report.violations]
+    counts = report.counts_by_severity()
+    if report.violations:
+        breakdown = ", ".join(
+            f"{count} {severity}{'s' if count != 1 else ''}"
+            for severity, count in sorted(counts.items())
+        )
+        out.append("")
+        out.append(
+            f"{len(report.violations)} finding"
+            f"{'s' if len(report.violations) != 1 else ''} "
+            f"({breakdown}) in {report.files_scanned} files"
+        )
+    else:
+        out.append(f"clean: {report.files_scanned} files, 0 findings")
+    if report.suppressed:
+        out.append(
+            f"{report.suppressed} suppressed by '# bivoc: noqa'"
+        )
+    return "\n".join(out)
+
+
+def render_json(report):
+    """The report as a JSON document (stable key order, 2-space indent)."""
+    payload = {
+        "violations": [v.as_dict() for v in report.violations],
+        "summary": {
+            "files_scanned": report.files_scanned,
+            "total": len(report.violations),
+            "suppressed": report.suppressed,
+            "by_severity": report.counts_by_severity(),
+            "by_rule": report.counts_by_rule(),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

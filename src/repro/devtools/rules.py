@@ -1,0 +1,567 @@
+"""The pluggable AST rule engine behind ``bivoc lint``.
+
+Each rule is a small class with a ``rule_id``, a default severity, an
+``applies(ctx)`` predicate (some rules only make sense in source
+modules, some only in tests) and a ``check(ctx)`` generator yielding
+:class:`~repro.devtools.violations.Violation` objects.  The runner
+parses each file once into a :class:`FileContext` and hands it to
+every applicable rule.
+
+Adding a rule means subclassing :class:`Rule` and appending it to
+``RULE_CLASSES`` — nothing else needs to change; reporting, ``noqa``
+suppression, rule selection and the CLI pick it up automatically.
+"""
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.paper import default_registry
+from repro.devtools.violations import Severity, Violation
+
+
+@dataclass
+class FileContext:
+    """One parsed file plus everything rules need to judge it."""
+
+    path: Path
+    display_path: str
+    tree: ast.Module
+    source: str
+    lines: "list[str]" = field(default_factory=list)
+    is_test: bool = False
+    module: str = ""  # dotted name when known, e.g. "repro.util.rng"
+
+    @classmethod
+    def parse(cls, path, source=None, display_path=None, is_test=None,
+              module=""):
+        """Parse ``path`` (raises ``SyntaxError`` for broken files).
+
+        ``is_test`` defaults to a filename heuristic: ``test_*.py`` and
+        ``*_test.py`` are test files; everything else is source.
+        """
+        path = Path(path)
+        if source is None:
+            source = path.read_text(encoding="utf-8")
+        if is_test is None:
+            is_test = path.name.startswith("test_") or path.name.endswith(
+                "_test.py"
+            )
+        return cls(
+            path=path,
+            display_path=display_path or str(path),
+            tree=ast.parse(source),
+            source=source,
+            lines=source.splitlines(),
+            is_test=is_test,
+            module=module,
+        )
+
+
+def dotted_name(node):
+    """``a.b.c`` for a Name/Attribute chain, or ``None`` otherwise."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """Base class for all lint rules."""
+
+    rule_id = ""
+    severity = Severity.ERROR
+    description = ""
+
+    def applies(self, ctx):
+        """Whether this rule runs on ``ctx`` (default: every file)."""
+        return True
+
+    def check(self, ctx):
+        """Yield violations for ``ctx``."""
+        raise NotImplementedError
+
+    def violation(self, ctx, node_or_line, message, col=None):
+        """Build a :class:`Violation` at an AST node or a line number."""
+        if isinstance(node_or_line, int):
+            line, column = node_or_line, col or 0
+        else:
+            line = node_or_line.lineno
+            column = node_or_line.col_offset if col is None else col
+        return Violation(
+            path=ctx.display_path,
+            line=line,
+            col=column,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+class _SourceOnlyRule(Rule):
+    """Rules that only make sense outside the test suite."""
+
+    def applies(self, ctx):
+        return not ctx.is_test
+
+
+def _module_aliases(tree, module_name):
+    """Names a file binds to ``module_name`` or its members.
+
+    Returns ``(module_names, member_names)``: ``import numpy as np``
+    puts ``np`` in module_names for ``numpy``; ``from numpy.random
+    import default_rng as rng`` puts ``rng`` in member_names for
+    ``numpy.random``.
+    """
+    modules = set()
+    members = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module_name:
+                    if alias.asname:
+                        modules.add(alias.asname)
+                    elif "." not in alias.name:
+                        modules.add(alias.name)
+        elif isinstance(node, ast.ImportFrom) and not node.level:
+            if node.module == module_name:
+                for alias in node.names:
+                    members[alias.asname or alias.name] = alias.name
+    return modules, members
+
+
+class NoUnseededRng(_SourceOnlyRule):
+    """Every random draw must flow through ``repro.util.rng``.
+
+    ``np.random.default_rng()``, ``np.random.seed()``, legacy
+    ``np.random.<dist>()`` calls and stdlib ``random`` calls create
+    streams whose state is not derived from ``(seed, label)``; adding
+    one silently perturbs every downstream stream.  Only
+    ``util/rng.py`` itself may touch the raw constructors.
+    """
+
+    rule_id = "no-unseeded-rng"
+    description = (
+        "random draws must come from repro.util.rng.derive_rng, not "
+        "raw numpy/stdlib RNG constructors"
+    )
+
+    def applies(self, ctx):
+        """Source files only, except the sanctioned ``util/rng.py``."""
+        if ctx.is_test:
+            return False
+        # The one sanctioned home of raw RNG construction.
+        return not str(ctx.path).replace("\\", "/").endswith("util/rng.py")
+
+    def check(self, ctx):
+        """Flag raw numpy/stdlib RNG construction and draws."""
+        numpy_aliases = {"numpy", "np"}
+        stdlib_random = {"random"}
+        _, np_random_members = _module_aliases(ctx.tree, "numpy.random")
+        _, random_members = _module_aliases(ctx.tree, "random")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if (
+                len(parts) >= 3
+                and parts[0] in numpy_aliases
+                and parts[1] == "random"
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"'{name}()' bypasses the derived-stream discipline; "
+                    f"use repro.util.rng.derive_rng(seed, label)",
+                )
+            elif len(parts) == 2 and parts[0] in stdlib_random:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"stdlib '{name}()' is unseeded global state; use "
+                    f"repro.util.rng.derive_rng(seed, label)",
+                )
+            elif len(parts) == 1 and parts[0] in np_random_members:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"'{parts[0]}()' (numpy.random."
+                    f"{np_random_members[parts[0]]}) bypasses "
+                    f"derive_rng; use repro.util.rng.derive_rng",
+                )
+            elif len(parts) == 1 and parts[0] in random_members:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"'{parts[0]}()' (random.{random_members[parts[0]]}) "
+                    f"is unseeded global state; use derive_rng",
+                )
+
+
+class NoWallclockInAlgo(_SourceOnlyRule):
+    """Algorithm code must not read the wall clock.
+
+    ``time.time()`` / ``datetime.now()`` make outputs depend on when
+    the pipeline ran, which breaks reproducibility of every paper
+    artifact.  Timestamps in the synthetic corpora are generated from
+    seeded streams instead.
+    """
+
+    rule_id = "no-wallclock-in-algo"
+    description = (
+        "no time.time()/datetime.now() in algorithm modules; "
+        "reproductions must not depend on when they run"
+    )
+
+    _TIME_CALLS = {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.perf_counter",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+
+    def check(self, ctx):
+        """Flag wall-clock reads via ``time``/``datetime``."""
+        time_modules, time_members = _module_aliases(ctx.tree, "time")
+        dt_modules, dt_members = _module_aliases(ctx.tree, "datetime")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            flagged = name in self._TIME_CALLS and (
+                name.split(".")[0]
+                in time_modules | dt_modules | set(dt_members)
+            )
+            # ``from time import time`` -> bare ``time()`` call.
+            bare = (
+                "." not in name
+                and name in time_members
+                and time_members[name]
+                in {"time", "time_ns", "monotonic", "perf_counter"}
+            )
+            if flagged or bare:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"'{name}()' reads the wall clock; derive timestamps "
+                    f"from the seeded corpus instead",
+                )
+
+
+class NoMutableDefaultArg(Rule):
+    """Mutable default arguments are shared across calls."""
+
+    rule_id = "no-mutable-default-arg"
+    description = "default argument values must be immutable"
+
+    _MUTABLE_CALLS = {
+        "list", "dict", "set", "bytearray",
+        "collections.defaultdict", "collections.Counter",
+        "collections.OrderedDict", "collections.deque",
+        "defaultdict", "Counter", "OrderedDict", "deque",
+    }
+
+    def check(self, ctx):
+        """Flag list/dict/set (and friends) default values."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.violation(
+                        ctx,
+                        default,
+                        f"mutable default argument in '{node.name}()'; "
+                        f"use None and create the object in the body",
+                    )
+
+    def _is_mutable(self, node):
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+             ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name in self._MUTABLE_CALLS
+        return False
+
+
+class NoBareExcept(Rule):
+    """``except:`` swallows KeyboardInterrupt/SystemExit and typos."""
+
+    rule_id = "no-bare-except"
+    description = "except clauses must name an exception type"
+
+    def check(self, ctx):
+        """Flag ``except:`` handlers with no exception type."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "bare 'except:'; catch a specific exception "
+                    "(at minimum 'except Exception:')",
+                )
+
+
+def _is_inexact_float(node):
+    """A float literal that short binary fractions cannot represent.
+
+    Comparing a computed float to ``0.45`` with ``==`` is almost
+    always a latent failure; comparing to ``0.5`` or ``1.0`` (exact
+    dyadic values, typical of pass-through constants and exact
+    divisions) is tolerated.
+    """
+    if not isinstance(node, ast.Constant):
+        return False
+    value = node.value
+    if not isinstance(value, float) or value != value:  # NaN guard
+        return False
+    return not float(value * 256.0).is_integer()
+
+
+class NoFloatEqAssert(Rule):
+    """Tests must not assert exact equality against inexact floats."""
+
+    rule_id = "no-float-eq-assert"
+    description = (
+        "use pytest.approx/math.isclose instead of == against "
+        "non-dyadic float literals in tests"
+    )
+
+    def applies(self, ctx):
+        """Test files only; source code is free to compare exactly."""
+        return ctx.is_test
+
+    def check(self, ctx):
+        """Flag ``==``/``!=`` against inexact float literals."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assert):
+                continue
+            for comparison in ast.walk(node.test):
+                if not isinstance(comparison, ast.Compare):
+                    continue
+                operands = [comparison.left] + list(
+                    comparison.comparators
+                )
+                for i, op in enumerate(comparison.ops):
+                    if not isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    if _is_inexact_float(
+                        operands[i]
+                    ) or _is_inexact_float(operands[i + 1]):
+                        yield self.violation(
+                            ctx,
+                            comparison,
+                            "float equality assert against an inexact "
+                            "literal; use pytest.approx(...) or "
+                            "math.isclose(...)",
+                        )
+                        break
+
+
+class PublicApiDocstring(_SourceOnlyRule):
+    """Public API needs docstrings: modules, top-level defs, methods."""
+
+    rule_id = "public-api-docstring"
+    description = (
+        "public modules, functions, classes and methods of public "
+        "classes must carry a docstring"
+    )
+
+    def check(self, ctx):
+        """Flag missing module, function, class and method docstrings."""
+        if not ast.get_docstring(ctx.tree):
+            yield self.violation(
+                ctx, 1, "module is missing a docstring"
+            )
+        yield from self._scan(ctx, ctx.tree.body, prefix="")
+
+    def _scan(self, ctx, body, prefix):
+        for node in body:
+            if not isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue  # private (incl. dunder): not public API
+            if not ast.get_docstring(node):
+                kind = (
+                    "class"
+                    if isinstance(node, ast.ClassDef)
+                    else "function"
+                )
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"public {kind} '{prefix}{node.name}' is missing "
+                    f"a docstring",
+                )
+            if isinstance(node, ast.ClassDef):
+                yield from self._scan(
+                    ctx, node.body, prefix=f"{prefix}{node.name}."
+                )
+
+
+class PaperRefValid(_SourceOnlyRule):
+    """Docstring citations must name artifacts the paper has."""
+
+    rule_id = "paper-ref-valid"
+    description = (
+        "Eqn/Table/Fig/Section citations in docstrings must exist in "
+        "the source paper"
+    )
+
+    def __init__(self, registry=None):
+        self.registry = registry or default_registry()
+
+    def check(self, ctx):
+        """Validate every docstring citation against the registry."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node,
+                (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef,
+                 ast.ClassDef),
+            ):
+                continue
+            docstring = ast.get_docstring(node, clean=False)
+            if not docstring:
+                continue
+            doc_node = node.body[0].value
+            for citation in self.registry.extract(docstring):
+                problem = self.registry.problem(citation)
+                if problem is None:
+                    continue
+                offset_line = docstring.count("\n", 0, citation.offset)
+                yield self.violation(
+                    ctx,
+                    doc_node.lineno + offset_line,
+                    problem,
+                )
+
+
+class AllExportsExist(Rule):
+    """Every name in ``__all__`` must actually be defined/imported."""
+
+    rule_id = "all-exports-exist"
+    description = "__all__ entries must be defined or imported names"
+
+    def check(self, ctx):
+        """Flag ``__all__`` names the module never binds."""
+        exported = None
+        export_node = None
+        defined = set()
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                defined.add(node.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    defined.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        return  # star import: statically unverifiable
+                    defined.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for name_node in ast.walk(target):
+                        if isinstance(name_node, ast.Name):
+                            defined.add(name_node.id)
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == "__all__"
+                    ):
+                        exported = node.value
+                        export_node = node
+        if exported is None:
+            return
+        if not isinstance(exported, (ast.List, ast.Tuple)):
+            yield self.violation(
+                ctx,
+                export_node,
+                "__all__ must be a literal list/tuple of names so it "
+                "can be statically verified",
+            )
+            return
+        for element in exported.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                yield self.violation(
+                    ctx, element,
+                    "__all__ entries must be string literals",
+                )
+                continue
+            if element.value not in defined:
+                yield self.violation(
+                    ctx,
+                    element,
+                    f"__all__ exports '{element.value}' but the module "
+                    f"never defines or imports it",
+                )
+
+
+#: Registration order is report order for same-location findings.
+RULE_CLASSES = [
+    NoUnseededRng,
+    NoWallclockInAlgo,
+    NoMutableDefaultArg,
+    NoBareExcept,
+    NoFloatEqAssert,
+    PublicApiDocstring,
+    PaperRefValid,
+    AllExportsExist,
+]
+
+#: Rule ids checkable through this engine, plus the two graph-level
+#: checks the runner wires in (kept here so ``--select`` validates).
+GRAPH_RULE_IDS = ("layer-contract", "import-cycle")
+ALL_RULE_IDS = tuple(
+    cls.rule_id for cls in RULE_CLASSES
+) + GRAPH_RULE_IDS
+
+
+def default_rules():
+    """Fresh instances of every registered AST rule."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+def check_file(ctx, rules=None):
+    """Run ``rules`` (default: all) over one parsed file, sorted."""
+    violations = []
+    for rule in rules if rules is not None else default_rules():
+        if rule.applies(ctx):
+            violations.extend(rule.check(ctx))
+    return sorted(violations)

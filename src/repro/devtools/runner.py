@@ -1,0 +1,175 @@
+"""The lint runner: collect files, run every checker, fold the report.
+
+Orchestrates the three analysis levels:
+
+1. per-file AST rules (:mod:`repro.devtools.rules`),
+2. ``# bivoc: noqa`` suppression filtering (:mod:`repro.devtools.noqa`),
+3. package-level layering + cycle checks
+   (:mod:`repro.devtools.layering`) whenever a linted directory is
+   itself a package root (holds an ``__init__.py``).
+
+The public entry point is :func:`lint_paths`; ``bivoc lint`` is a thin
+CLI shell around it.
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools import noqa
+from repro.devtools.layering import DEFAULT_CONTRACT, check_layering
+from repro.devtools.modgraph import build_module_graph
+from repro.devtools.rules import (
+    ALL_RULE_IDS,
+    FileContext,
+    default_rules,
+)
+from repro.devtools.violations import Severity, Violation
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: "list[Violation]" = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+
+    def counts_by_rule(self):
+        """``{rule_id: count}`` over the surviving violations."""
+        return dict(
+            Counter(v.rule_id for v in self.violations).most_common()
+        )
+
+    def counts_by_severity(self):
+        """``{severity: count}`` over the surviving violations."""
+        return dict(
+            Counter(v.severity for v in self.violations).most_common()
+        )
+
+    def exit_code(self, fail_on=Severity.WARNING):
+        """0 if no violation at or above ``fail_on`` severity, else 1."""
+        threshold = Severity.rank(fail_on)
+        return (
+            1
+            if any(
+                Severity.rank(v.severity) >= threshold
+                for v in self.violations
+            )
+            else 0
+        )
+
+
+def _select_rules(select=None, ignore=None):
+    """Instantiate the active rule set; validate requested ids."""
+    known = set(ALL_RULE_IDS)
+    for requested in list(select or ()) + list(ignore or ()):
+        if requested not in known:
+            raise ValueError(
+                f"unknown rule id: {requested!r} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+    rules = default_rules()
+    if select:
+        rules = [r for r in rules if r.rule_id in select]
+    if ignore:
+        rules = [r for r in rules if r.rule_id not in ignore]
+    return rules
+
+
+def _graph_rule_active(rule_id, select=None, ignore=None):
+    if select and rule_id not in select:
+        return False
+    if ignore and rule_id in ignore:
+        return False
+    return True
+
+
+def _collect(paths, exclude):
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    files = []
+    package_dirs = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            if (path / "__init__.py").exists():
+                package_dirs.append(path)
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(
+                f"not a python file or directory: {path}"
+            )
+    unique = []
+    seen = set()
+    for path in files:
+        resolved = path.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        if any(part in exclude for part in path.parts):
+            continue
+        unique.append(path)
+    return unique, package_dirs
+
+
+def lint_paths(paths, select=None, ignore=None, exclude=("__pycache__",),
+               contract=DEFAULT_CONTRACT):
+    """Lint files and/or package directories; returns a :class:`LintReport`.
+
+    ``paths`` may mix files and directories.  Directories are walked
+    recursively; a directory that is a package root additionally gets
+    the layering and cycle checks.  ``select``/``ignore`` filter by
+    rule id; ``exclude`` drops any file with a matching path component
+    (fixtures, caches).
+    """
+    rules = _select_rules(select, ignore)
+    files, package_dirs = _collect(paths, set(exclude))
+
+    report = LintReport()
+    for path in files:
+        report.files_scanned += 1
+        try:
+            ctx = FileContext.parse(path)
+        except SyntaxError as exc:
+            report.violations.append(
+                Violation(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    rule_id="syntax-error",
+                    severity=Severity.ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        table = noqa.suppressions(ctx.lines)
+        for rule in rules:
+            if not rule.applies(ctx):
+                continue
+            for violation in rule.check(ctx):
+                if noqa.is_suppressed(violation, table):
+                    report.suppressed += 1
+                else:
+                    report.violations.append(violation)
+
+    for package_dir in package_dirs:
+        graph = build_module_graph(package_dir)
+        graph_violations = check_layering(graph, contract)
+        for violation in graph_violations:
+            if not _graph_rule_active(violation.rule_id, select, ignore):
+                continue
+            try:
+                lines = Path(violation.path).read_text(
+                    encoding="utf-8"
+                ).splitlines()
+            except OSError:
+                lines = []
+            if noqa.is_suppressed(violation, noqa.suppressions(lines)):
+                report.suppressed += 1
+            else:
+                report.violations.append(violation)
+
+    report.violations.sort()
+    return report

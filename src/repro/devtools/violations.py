@@ -1,0 +1,56 @@
+"""The diagnostic record every checker emits.
+
+A :class:`Violation` is one finding at one source location.  Keeping it
+a frozen, ordered dataclass makes reports deterministic: the runner
+sorts findings by ``(path, line, col, rule_id)`` so repeated runs over
+an unchanged tree emit byte-identical output.
+"""
+
+from dataclasses import dataclass
+
+
+class Severity:
+    """Severity levels, ordered: ``error`` gates, ``warning`` advises."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    _RANK = {ERROR: 2, WARNING: 1}
+
+    @classmethod
+    def rank(cls, severity):
+        """Numeric rank for threshold comparisons (higher = worse)."""
+        try:
+            return cls._RANK[severity]
+        except KeyError:
+            raise ValueError(f"unknown severity: {severity!r}") from None
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: where, which rule, how bad, and what to do."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def render(self):
+        """``path:line:col: rule-id [severity] message`` (one line)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def as_dict(self):
+        """JSON-ready dict with stable key order."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }

@@ -122,7 +122,7 @@ class TestChooseDomainWeight:
         weight, _ = choose_domain_weight(
             general, domain, heldout, candidates=(0.2, 0.5, 0.8)
         )
-        assert weight == 0.2
+        assert weight == pytest.approx(0.2)
 
     def test_empty_heldout_rejected(self):
         lm = NGramLM().fit([["a"]])

@@ -45,11 +45,11 @@ class TestApplySigma:
     def test_each_class_routed(self):
         system = ASRSystem.build_default()
         _apply_sigma(system, NAME_CLASS, 1.23)
-        assert system.channel.config.sigma_name == 1.23
+        assert system.channel.config.sigma_name == pytest.approx(1.23)
         _apply_sigma(system, NUMBER_CLASS, 2.34)
-        assert system.channel.config.sigma_number == 2.34
+        assert system.channel.config.sigma_number == pytest.approx(2.34)
         _apply_sigma(system, "overall", 3.45)
-        assert system.channel.config.sigma_general == 3.45
+        assert system.channel.config.sigma_general == pytest.approx(3.45)
 
     def test_unknown_class_rejected(self):
         system = ASRSystem.build_default()

@@ -130,6 +130,6 @@ class TestTwoPass:
 class TestWERTargets:
     def test_defaults_match_table1(self):
         targets = WERTargets()
-        assert targets.overall == 0.45
-        assert targets.names == 0.65
-        assert targets.numbers == 0.45
+        assert targets.overall == pytest.approx(0.45)
+        assert targets.names == pytest.approx(0.65)
+        assert targets.numbers == pytest.approx(0.45)

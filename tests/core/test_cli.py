@@ -19,7 +19,7 @@ class TestParser:
         args = build_parser().parse_args(
             ["churn", "--scale", "0.01", "--channel", "sms"]
         )
-        assert args.scale == 0.01
+        assert args.scale == pytest.approx(0.01)
         assert args.channel == "sms"
 
     def test_unknown_command(self):

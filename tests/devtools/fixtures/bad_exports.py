@@ -1,0 +1,8 @@
+"""Fixture: ``__all__`` exporting a name that is never defined."""
+
+__all__ = ["present", "missing_name"]
+
+
+def present():
+    """The export that does exist."""
+    return True

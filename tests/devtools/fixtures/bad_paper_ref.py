@@ -1,0 +1,9 @@
+"""Fixture: citations of paper artifacts that do not exist.
+
+This implements Eqn 9 as described in Table VII of the paper.
+"""
+
+
+def misquoted():
+    """See Section IX for details (the paper stops at VII)."""
+    return None

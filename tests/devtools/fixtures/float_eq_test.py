@@ -1,0 +1,17 @@
+"""Fixture: float-equality asserts in a test file.
+
+Named ``*_test.py`` so the linter's test-file heuristic applies, while
+staying invisible to pytest collection (which only looks at
+``test_*.py``).
+"""
+
+
+def test_sum_is_three_tenths():
+    """0.1 + 0.2 != 0.3 in binary: the assert this rule exists for."""
+    total = 0.1 + 0.2
+    assert total == 0.3
+
+
+def test_exact_half_is_tolerated():
+    """Dyadic literals (0.5) are exact, so this one is not flagged."""
+    assert 1.0 / 2.0 == 0.5

@@ -1,0 +1,20 @@
+"""Fixture: a public function without a docstring."""
+
+
+def documented():
+    """This one is fine."""
+    return 1
+
+
+def undocumented():
+    return 2
+
+
+class PublicThing:
+    """The class is documented..."""
+
+    def method_without_docs(self):
+        return 3
+
+    def _private_ok(self):
+        return 4

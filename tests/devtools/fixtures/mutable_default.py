@@ -1,0 +1,13 @@
+"""Fixture: mutable default argument values."""
+
+
+def accumulate(item, bucket=[]):
+    """Classic shared-list default (one finding)."""
+    bucket.append(item)
+    return bucket
+
+
+def tally(item, counts={}):
+    """Shared-dict default (one finding)."""
+    counts[item] = counts.get(item, 0) + 1
+    return counts

@@ -1,0 +1,11 @@
+"""Fixture: raw RNG construction outside ``util/rng.py``."""
+
+import random
+
+import numpy as np
+
+
+def draw_numbers():
+    """Draw from streams that bypass ``derive_rng`` (two findings)."""
+    generator = np.random.default_rng(1234)
+    return generator.random(), random.random()

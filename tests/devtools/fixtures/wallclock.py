@@ -1,0 +1,9 @@
+"""Fixture: wall-clock reads inside algorithm code."""
+
+import time
+from datetime import datetime
+
+
+def stamp_result(value):
+    """Attach non-reproducible timestamps (two findings)."""
+    return {"value": value, "at": time.time(), "day": datetime.now()}

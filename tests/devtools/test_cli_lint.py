@@ -1,0 +1,80 @@
+"""The ``bivoc lint`` subcommand end to end."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+FIXTURE_RULES = [
+    ("rng_unseeded.py", "no-unseeded-rng"),
+    ("wallclock.py", "no-wallclock-in-algo"),
+    ("mutable_default.py", "no-mutable-default-arg"),
+    ("bare_except.py", "no-bare-except"),
+    ("float_eq_test.py", "no-float-eq-assert"),
+    ("missing_docstring.py", "public-api-docstring"),
+    ("bad_paper_ref.py", "paper-ref-valid"),
+    ("bad_exports.py", "all-exports-exist"),
+]
+
+
+class TestLintCommand:
+    @pytest.mark.parametrize("filename,rule_id", FIXTURE_RULES)
+    def test_fixture_fails_with_rule_id_in_json(
+        self, capsys, filename, rule_id
+    ):
+        code = main(
+            ["lint", str(FIXTURES / filename), "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["total"] >= 1
+        assert {v["rule"] for v in payload["violations"]} == {rule_id}
+
+    def test_clean_file_exits_zero(self, capsys):
+        code = main(
+            ["lint", str(FIXTURES / "noqa_suppressed.py")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "1 suppressed" in out
+
+    def test_text_format_lists_locations(self, capsys):
+        code = main(["lint", str(FIXTURES / "bare_except.py")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "bare_except.py:" in out
+        assert "no-bare-except" in out
+
+    def test_select_filters_rules(self, capsys):
+        code = main(
+            [
+                "lint",
+                str(FIXTURES / "mutable_default.py"),
+                "--select",
+                "no-bare-except",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_rule_id_is_usage_error(self, capsys):
+        code = main(
+            ["lint", str(FIXTURES / "bare_except.py"), "--select", "nope"]
+        )
+        assert code == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        code = main(["lint", "does/not/exist.txt"])
+        assert code == 2
+
+    def test_default_paths_cover_the_source_tree(self, capsys):
+        code = main(["lint", "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        # 80+ modules in src/repro; the default must have scanned them.
+        assert payload["summary"]["files_scanned"] >= 80

@@ -1,0 +1,54 @@
+"""The gate: the repository's own source tree must lint clean.
+
+This is the test that turns ``bivoc lint`` from advice into a
+contract: any change that introduces a layer violation, an import
+cycle, an unseeded RNG stream, a stale paper citation or any other
+rule breach fails the tier-1 suite, not just a CI side channel.
+"""
+
+from pathlib import Path
+
+from repro.devtools.runner import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_PACKAGE = REPO_ROOT / "src" / "repro"
+
+
+class TestSourceTreeIsClean:
+    def test_full_lint_of_src_repro_is_clean(self):
+        report = lint_paths([SRC_PACKAGE])
+        rendered = "\n".join(v.render() for v in report.violations)
+        assert report.violations == [], f"lint findings:\n{rendered}"
+        assert report.files_scanned >= 80
+
+    def test_layering_checks_actually_ran(self):
+        # Guard against the gate silently skipping the graph checks:
+        # the package root must have been recognised as a package.
+        assert (SRC_PACKAGE / "__init__.py").exists()
+
+    def test_exit_code_contract_for_ci(self):
+        assert lint_paths([SRC_PACKAGE]).exit_code() == 0
+
+
+class TestTestTreeHygiene:
+    def test_test_suite_passes_its_applicable_rules(self):
+        report = lint_paths(
+            [REPO_ROOT / "tests"],
+            select=[
+                "no-float-eq-assert",
+                "no-bare-except",
+                "no-mutable-default-arg",
+                "all-exports-exist",
+            ],
+            exclude=("fixtures", "__pycache__"),
+        )
+        rendered = "\n".join(v.render() for v in report.violations)
+        assert report.violations == [], f"lint findings:\n{rendered}"
+
+    def test_benchmarks_pass_hygiene_rules(self):
+        report = lint_paths(
+            [REPO_ROOT / "benchmarks"],
+            select=["no-bare-except", "no-mutable-default-arg"],
+        )
+        rendered = "\n".join(v.render() for v in report.violations)
+        assert report.violations == [], f"lint findings:\n{rendered}"

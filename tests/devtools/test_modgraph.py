@@ -1,0 +1,187 @@
+"""Module-graph construction, cycle detection, layer enforcement."""
+
+import textwrap
+
+from repro.devtools.layering import (
+    DEFAULT_CONTRACT,
+    LayerContract,
+    check_layering,
+)
+from repro.devtools.modgraph import build_module_graph
+
+
+def _make_package(root, files):
+    """Materialise ``{relpath: source}`` under ``root / 'repro'``."""
+    package = root / "repro"
+    package.mkdir(exist_ok=True)
+    directories = {package}
+    for relpath, source in files.items():
+        path = package / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        parent = path.parent
+        while parent != package:
+            directories.add(parent)
+            parent = parent.parent
+    for directory in directories:
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.write_text('"""pkg."""\n')
+    return package
+
+
+class TestGraphConstruction:
+    def test_modules_and_edges(self, tmp_path):
+        package = _make_package(
+            tmp_path,
+            {
+                "util/helpers.py": '"""u."""\n',
+                "mining/stats.py": (
+                    '"""m."""\nfrom repro.util.helpers import x\n'
+                ),
+            },
+        )
+        graph = build_module_graph(package)
+        assert "repro.util.helpers" in graph.modules
+        assert graph.edges["repro.mining.stats"] == {
+            "repro.util.helpers": 2
+        }
+
+    def test_from_package_import_submodule_resolves(self, tmp_path):
+        package = _make_package(
+            tmp_path,
+            {
+                "util/rngish.py": '"""u."""\n',
+                "asr/decoder.py": (
+                    '"""a."""\nfrom repro.util import rngish\n'
+                ),
+            },
+        )
+        graph = build_module_graph(package)
+        assert "repro.util.rngish" in graph.edges["repro.asr.decoder"]
+
+    def test_relative_import_resolves(self, tmp_path):
+        package = _make_package(
+            tmp_path,
+            {
+                "mining/base.py": '"""b."""\n',
+                "mining/derived.py": '"""d."""\nfrom .base import thing\n',
+            },
+        )
+        graph = build_module_graph(package)
+        assert "repro.mining.base" in graph.edges["repro.mining.derived"]
+
+    def test_external_imports_ignored(self, tmp_path):
+        package = _make_package(
+            tmp_path,
+            {"util/helpers.py": '"""u."""\nimport numpy as np\nimport os\n'},
+        )
+        graph = build_module_graph(package)
+        assert graph.edges.get("repro.util.helpers", {}) == {}
+
+
+class TestCycleDetection:
+    def test_injected_cycle_detected(self, tmp_path):
+        package = _make_package(
+            tmp_path,
+            {
+                "asr/alpha.py": (
+                    '"""a."""\nfrom repro.asr.beta import b\n'
+                ),
+                "asr/beta.py": (
+                    '"""b."""\nfrom repro.asr.alpha import a\n'
+                ),
+            },
+        )
+        graph = build_module_graph(package)
+        cycles = graph.find_cycles()
+        assert cycles == [("repro.asr.alpha", "repro.asr.beta")]
+        violations = check_layering(graph, DEFAULT_CONTRACT)
+        assert any(v.rule_id == "import-cycle" for v in violations)
+
+    def test_three_module_cycle(self, tmp_path):
+        package = _make_package(
+            tmp_path,
+            {
+                "mining/a.py": '"""a."""\nfrom repro.mining.b import x\n',
+                "mining/b.py": '"""b."""\nfrom repro.mining.c import x\n',
+                "mining/c.py": '"""c."""\nfrom repro.mining.a import x\n',
+            },
+        )
+        cycles = build_module_graph(package).find_cycles()
+        assert cycles == [
+            ("repro.mining.a", "repro.mining.b", "repro.mining.c")
+        ]
+
+    def test_acyclic_tree_has_no_cycles(self, tmp_path):
+        package = _make_package(
+            tmp_path,
+            {
+                "util/a.py": '"""a."""\n',
+                "mining/b.py": '"""b."""\nfrom repro.util.a import x\n',
+            },
+        )
+        assert build_module_graph(package).find_cycles() == []
+
+
+class TestLayerContract:
+    def test_util_may_not_import_mining(self, tmp_path):
+        package = _make_package(
+            tmp_path,
+            {
+                "util/sneaky.py": (
+                    '"""u."""\nfrom repro.mining.stats import x\n'
+                ),
+                "mining/stats.py": '"""m."""\n',
+            },
+        )
+        graph = build_module_graph(package)
+        violations = check_layering(graph, DEFAULT_CONTRACT)
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.rule_id == "layer-contract"
+        assert violation.line == 2
+        assert "repro.util.sneaky" in violation.message
+        assert "repro.mining.stats" in violation.message
+
+    def test_downward_import_allowed(self, tmp_path):
+        package = _make_package(
+            tmp_path,
+            {
+                "util/a.py": '"""a."""\n',
+                "mining/b.py": '"""b."""\nfrom repro.util.a import x\n',
+            },
+        )
+        graph = build_module_graph(package)
+        assert check_layering(graph, DEFAULT_CONTRACT) == []
+
+    def test_sibling_engines_may_not_entangle(self, tmp_path):
+        package = _make_package(
+            tmp_path,
+            {
+                "asr/a.py": '"""a."""\nfrom repro.cleaning.b import x\n',
+                "cleaning/b.py": '"""b."""\n',
+            },
+        )
+        graph = build_module_graph(package)
+        violations = check_layering(graph, DEFAULT_CONTRACT)
+        assert [v.rule_id for v in violations] == ["layer-contract"]
+
+    def test_undeclared_subsystem_reported(self, tmp_path):
+        package = _make_package(
+            tmp_path,
+            {
+                "newthing/a.py": '"""a."""\nfrom repro.util.b import x\n',
+                "util/b.py": '"""b."""\n',
+            },
+        )
+        graph = build_module_graph(package)
+        violations = check_layering(graph, DEFAULT_CONTRACT)
+        assert len(violations) == 1
+        assert "not declared in the layer contract" in violations[0].message
+
+    def test_custom_contract_ranks(self):
+        contract = LayerContract(layers={"low": 0, "high": 1})
+        assert contract.allows("high", "low")
+        assert not contract.allows("low", "high")
+        assert contract.allows("low", "low")

@@ -1,0 +1,72 @@
+"""``# bivoc: noqa`` parsing and runner integration."""
+
+from pathlib import Path
+
+from repro.devtools.noqa import ALL_RULES, is_suppressed, suppressions
+from repro.devtools.runner import lint_paths
+from repro.devtools.violations import Severity, Violation
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _violation(line, rule_id="no-bare-except"):
+    return Violation(
+        path="x.py",
+        line=line,
+        col=0,
+        rule_id=rule_id,
+        severity=Severity.ERROR,
+        message="m",
+    )
+
+
+class TestParsing:
+    def test_blanket_noqa(self):
+        table = suppressions(["x = 1  # bivoc: noqa"])
+        assert table == {1: {ALL_RULES}}
+
+    def test_single_rule(self):
+        table = suppressions(["x = 1  # bivoc: noqa[no-bare-except]"])
+        assert table == {1: {"no-bare-except"}}
+
+    def test_multiple_rules(self):
+        table = suppressions(
+            ["x = 1  # bivoc: noqa[no-bare-except, layer-contract]"]
+        )
+        assert table == {1: {"no-bare-except", "layer-contract"}}
+
+    def test_justification_text_after_bracket_allowed(self):
+        table = suppressions(
+            ["f()  # bivoc: noqa[no-bare-except] — vendored interface"]
+        )
+        assert table == {1: {"no-bare-except"}}
+
+    def test_plain_comment_is_not_noqa(self):
+        assert suppressions(["x = 1  # normal comment"]) == {}
+
+
+class TestMatching:
+    def test_rule_specific_suppression(self):
+        table = {3: {"no-bare-except"}}
+        assert is_suppressed(_violation(3), table)
+        assert not is_suppressed(_violation(3, "no-unseeded-rng"), table)
+
+    def test_blanket_suppresses_everything(self):
+        table = {3: {ALL_RULES}}
+        assert is_suppressed(_violation(3, "anything"), table)
+
+    def test_other_lines_unaffected(self):
+        table = {3: {ALL_RULES}}
+        assert not is_suppressed(_violation(4), table)
+
+
+class TestRunnerIntegration:
+    def test_suppressed_fixture_is_clean_but_counted(self):
+        report = lint_paths([FIXTURES / "noqa_suppressed.py"])
+        assert report.violations == []
+        assert report.suppressed == 1
+        assert report.exit_code() == 0
+
+    def test_suppression_is_line_scoped(self):
+        report = lint_paths([FIXTURES / "mutable_default.py"])
+        assert len(report.violations) == 2

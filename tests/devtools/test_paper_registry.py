@@ -1,0 +1,117 @@
+"""Citation extraction and validation against the paper registry."""
+
+from repro.devtools.paper import (
+    default_registry,
+    int_to_roman,
+    roman_value,
+)
+
+
+class TestRoman:
+    def test_round_trip(self):
+        for n in range(1, 40):
+            assert roman_value(int_to_roman(n)) == n
+
+    def test_malformed_rejected(self):
+        assert roman_value("IIX") is None
+        assert roman_value("IIII") is None
+        assert roman_value("ABC") is None
+
+
+class TestExtraction:
+    def setup_method(self):
+        self.registry = default_registry()
+
+    def _idents(self, text, kind):
+        return [
+            c.ident
+            for c in self.registry.extract(text)
+            if c.kind == kind
+        ]
+
+    def test_simple_forms(self):
+        text = "Implements Eqn 2 and Table III; see Fig 4, Section IV-B."
+        assert self._idents(text, "eqn") == ["2"]
+        assert self._idents(text, "table") == ["III"]
+        assert self._idents(text, "fig") == ["4"]
+        assert self._idents(text, "section") == ["IV-B"]
+
+    def test_compact_section_forms(self):
+        assert self._idents("the SecVI churn study", "section") == ["VI"]
+        assert self._idents("the SecV-C experiment", "section") == ["V-C"]
+
+    def test_numbered_subsection(self):
+        assert self._idents("per Section IV-D.2", "section") == ["IV-D.2"]
+
+    def test_trailing_period_not_a_subsection(self):
+        assert self._idents("see Section V-C. Then", "section") == ["V-C"]
+
+    def test_table_range_expansion(self):
+        assert self._idents("regenerates Tables II-IV", "table") == [
+            "II",
+            "III",
+            "IV",
+        ]
+
+    def test_table_conjunction(self):
+        assert self._idents("Tables III and IV", "table") == ["III", "IV"]
+
+    def test_equation_spelled_out(self):
+        assert self._idents("Equation 3 defines", "eqn") == ["3"]
+
+    def test_figure_spelled_out(self):
+        assert self._idents("Figure 1 shows", "fig") == ["1"]
+
+    def test_prose_without_citations(self):
+        assert self.registry.extract("an equal table of figures") == []
+
+
+class TestValidation:
+    def setup_method(self):
+        self.registry = default_registry()
+
+    def _problems(self, text):
+        return [
+            self.registry.problem(c)
+            for c in self.registry.extract(text)
+            if self.registry.problem(c) is not None
+        ]
+
+    def test_valid_citations_pass(self):
+        text = (
+            "Eqn 1, Eqn 4, Table I, Tables II-IV, Fig 2, Section III, "
+            "Section IV-A.2, Section V-C, SecVI"
+        )
+        assert self._problems(text) == []
+
+    def test_unknown_equation(self):
+        assert any("no Eqn 9" in p for p in self._problems("per Eqn 9"))
+
+    def test_unknown_figure(self):
+        assert any("no Fig 7" in p for p in self._problems("see Fig 7"))
+
+    def test_unknown_table(self):
+        problems = self._problems("see Table VII")
+        assert any("no Table VII" in p for p in problems)
+
+    def test_arabic_table_number_rejected(self):
+        problems = self._problems("see Table 3")
+        assert any("roman numerals" in p for p in problems)
+        assert any("Table III" in p for p in problems)
+
+    def test_unknown_section(self):
+        assert any(
+            "no Section IX" in p for p in self._problems("Section IX")
+        )
+
+    def test_unknown_subsection(self):
+        assert any(
+            "no Section VII-A" in p
+            for p in self._problems("Section VII-A")
+        )
+
+    def test_unknown_numbered_part(self):
+        assert any(
+            "no Section IV-D.9" in p
+            for p in self._problems("Section IV-D.9")
+        )

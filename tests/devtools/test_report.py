@@ -1,0 +1,133 @@
+"""Report rendering (text/JSON) and exit-code semantics."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.report import render_json, render_text
+from repro.devtools.runner import LintReport, lint_paths
+from repro.devtools.violations import Severity, Violation
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _report():
+    return LintReport(
+        violations=[
+            Violation("a.py", 3, 0, "no-bare-except", "error", "bad"),
+            Violation("b.py", 7, 4, "no-float-eq-assert", "warning", "meh"),
+        ],
+        files_scanned=2,
+        suppressed=1,
+    )
+
+
+class TestTextReport:
+    def test_one_line_per_finding_plus_summary(self):
+        text = render_text(_report())
+        lines = text.splitlines()
+        assert lines[0] == "a.py:3:0: no-bare-except [error] bad"
+        assert lines[1] == "b.py:7:4: no-float-eq-assert [warning] meh"
+        assert "2 findings" in text
+        assert "1 error" in text and "1 warning" in text
+        assert "1 suppressed" in text
+
+    def test_clean_report(self):
+        text = render_text(LintReport(files_scanned=5))
+        assert "clean: 5 files, 0 findings" in text
+
+
+class TestJsonReport:
+    def test_shape(self):
+        payload = json.loads(render_json(_report()))
+        assert [v["rule"] for v in payload["violations"]] == [
+            "no-bare-except",
+            "no-float-eq-assert",
+        ]
+        assert payload["violations"][0] == {
+            "path": "a.py",
+            "line": 3,
+            "col": 0,
+            "rule": "no-bare-except",
+            "severity": "error",
+            "message": "bad",
+        }
+        summary = payload["summary"]
+        assert summary["files_scanned"] == 2
+        assert summary["total"] == 2
+        assert summary["suppressed"] == 1
+        assert summary["by_severity"] == {"error": 1, "warning": 1}
+        assert summary["by_rule"] == {
+            "no-bare-except": 1,
+            "no-float-eq-assert": 1,
+        }
+
+    def test_round_trips_from_real_run(self):
+        report = lint_paths([FIXTURES / "bad_exports.py"])
+        payload = json.loads(render_json(report))
+        assert payload["summary"]["total"] == 1
+        assert payload["violations"][0]["rule"] == "all-exports-exist"
+
+
+class TestExitCode:
+    def test_error_fails_at_any_threshold(self):
+        report = LintReport(
+            violations=[Violation("a.py", 1, 0, "r", "error", "m")]
+        )
+        assert report.exit_code(fail_on=Severity.ERROR) == 1
+        assert report.exit_code(fail_on=Severity.WARNING) == 1
+
+    def test_warning_only_fails_at_warning_threshold(self):
+        report = LintReport(
+            violations=[Violation("a.py", 1, 0, "r", "warning", "m")]
+        )
+        assert report.exit_code(fail_on=Severity.ERROR) == 0
+        assert report.exit_code(fail_on=Severity.WARNING) == 1
+
+    def test_clean_passes(self):
+        assert LintReport().exit_code() == 0
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Severity.rank("fatal")
+
+
+class TestRunnerValidation:
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule id"):
+            lint_paths([FIXTURES], select=["not-a-rule"])
+
+    def test_select_restricts_rules(self):
+        report = lint_paths(
+            [FIXTURES / "mutable_default.py"],
+            select=["no-bare-except"],
+        )
+        assert report.violations == []
+
+    def test_ignore_drops_rules(self):
+        report = lint_paths(
+            [FIXTURES / "mutable_default.py"],
+            ignore=["no-mutable-default-arg"],
+        )
+        assert report.violations == []
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        report = lint_paths([path])
+        assert [v.rule_id for v in report.violations] == ["syntax-error"]
+        assert report.exit_code() == 1
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([tmp_path / "nope.txt"])
+
+    def test_exclude_drops_directories(self):
+        report = lint_paths(
+            [FIXTURES.parent], exclude=("fixtures", "__pycache__")
+        )
+        fixture_paths = {
+            v.path for v in report.violations if "fixtures" in v.path
+        }
+        assert fixture_paths == set()

@@ -1,0 +1,215 @@
+"""Each AST rule against its fixture snippet, plus edge cases."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.rules import FileContext, check_file, default_rules
+from repro.devtools.runner import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture file -> (expected rule id, expected finding count)
+FIXTURE_EXPECTATIONS = [
+    ("rng_unseeded.py", "no-unseeded-rng", 2),
+    ("wallclock.py", "no-wallclock-in-algo", 2),
+    ("mutable_default.py", "no-mutable-default-arg", 2),
+    ("bare_except.py", "no-bare-except", 1),
+    ("float_eq_test.py", "no-float-eq-assert", 1),
+    ("missing_docstring.py", "public-api-docstring", 2),
+    ("bad_paper_ref.py", "paper-ref-valid", 3),
+    ("bad_exports.py", "all-exports-exist", 1),
+]
+
+
+class TestFixtures:
+    @pytest.mark.parametrize(
+        "filename,rule_id,count", FIXTURE_EXPECTATIONS
+    )
+    def test_fixture_triggers_exactly_its_rule(
+        self, filename, rule_id, count
+    ):
+        report = lint_paths([FIXTURES / filename])
+        assert {v.rule_id for v in report.violations} == {rule_id}
+        assert len(report.violations) == count
+        assert report.exit_code() == 1
+
+    def test_fixture_lines_point_at_offending_code(self):
+        report = lint_paths([FIXTURES / "bare_except.py"])
+        (violation,) = report.violations
+        source_line = (FIXTURES / "bare_except.py").read_text().splitlines()[
+            violation.line - 1
+        ]
+        assert "except:" in source_line
+
+
+def _check_source(source, filename="mod.py", is_test=None):
+    ctx = FileContext.parse(
+        FIXTURES / filename, source=source, is_test=is_test
+    )
+    return check_file(ctx)
+
+
+class TestUnseededRng:
+    def test_np_random_legacy_functions_flagged(self):
+        violations = _check_source(
+            '"""m."""\nimport numpy as np\n\n\n'
+            "def f():\n"
+            '    """d."""\n'
+            "    return np.random.normal(0, 1)\n"
+        )
+        assert [v.rule_id for v in violations] == ["no-unseeded-rng"]
+
+    def test_from_numpy_random_import_flagged(self):
+        violations = _check_source(
+            '"""m."""\nfrom numpy.random import default_rng\n\n\n'
+            "def f():\n"
+            '    """d."""\n'
+            "    return default_rng(3)\n"
+        )
+        assert [v.rule_id for v in violations] == ["no-unseeded-rng"]
+
+    def test_util_rng_module_is_exempt(self, tmp_path):
+        home = tmp_path / "util"
+        home.mkdir()
+        path = home / "rng.py"
+        path.write_text(
+            '"""m."""\nimport numpy as np\n\n\n'
+            "def make():\n"
+            '    """d."""\n'
+            "    return np.random.default_rng(0)\n"
+        )
+        report = lint_paths([path])
+        assert report.violations == []
+
+    def test_test_files_are_exempt(self):
+        violations = _check_source(
+            '"""m."""\nimport numpy as np\n\n'
+            "def test_f():\n"
+            "    assert np.random.default_rng(0) is not None\n",
+            is_test=True,
+        )
+        assert violations == []
+
+    def test_isinstance_generator_check_not_flagged(self):
+        violations = _check_source(
+            '"""m."""\nimport numpy as np\n\n\n'
+            "def f(seed):\n"
+            '    """d."""\n'
+            "    return isinstance(seed, np.random.Generator)\n"
+        )
+        assert violations == []
+
+
+class TestWallclock:
+    def test_bare_time_import_alias(self):
+        violations = _check_source(
+            '"""m."""\nfrom time import time\n\n\n'
+            "def f():\n"
+            '    """d."""\n'
+            "    return time()\n"
+        )
+        assert [v.rule_id for v in violations] == ["no-wallclock-in-algo"]
+
+    def test_unrelated_now_method_not_flagged(self):
+        violations = _check_source(
+            '"""m."""\n\n\n'
+            "def f(clock):\n"
+            '    """d."""\n'
+            "    return clock.now()\n"
+        )
+        assert violations == []
+
+
+class TestFloatEqAssert:
+    def test_dyadic_literals_tolerated(self):
+        violations = _check_source(
+            "def test_half():\n    assert 1.0 / 2.0 == 0.5\n"
+            "def test_one():\n    assert f() == 1.0\n",
+            is_test=True,
+        )
+        assert violations == []
+
+    def test_inexact_literal_flagged_either_side(self):
+        violations = _check_source(
+            "def test_bad():\n    assert 0.3 == f()\n", is_test=True
+        )
+        assert [v.rule_id for v in violations] == ["no-float-eq-assert"]
+
+    def test_pytest_approx_passes(self):
+        violations = _check_source(
+            "import pytest\n\n"
+            "def test_ok():\n"
+            "    assert f() == pytest.approx(0.3)\n",
+            is_test=True,
+        )
+        assert violations == []
+
+    def test_source_files_unaffected(self):
+        violations = _check_source(
+            '"""m."""\n\n\n'
+            "def f(x):\n"
+            '    """d."""\n'
+            "    assert x == 0.3\n",
+            is_test=False,
+        )
+        assert violations == []
+
+
+class TestPublicApiDocstring:
+    def test_nested_functions_are_not_public_api(self):
+        violations = _check_source(
+            '"""m."""\n\n\n'
+            "def outer():\n"
+            '    """d."""\n'
+            "    def helper():\n"
+            "        return 1\n"
+            "    return helper\n"
+        )
+        assert violations == []
+
+    def test_private_class_methods_are_not_public_api(self):
+        violations = _check_source(
+            '"""m."""\n\n\nclass _Private:\n    def build(self):\n'
+            "        return 1\n"
+        )
+        assert violations == []
+
+    def test_missing_module_docstring_flagged(self):
+        violations = _check_source("x = 1\n")
+        assert [v.rule_id for v in violations] == ["public-api-docstring"]
+
+
+class TestAllExportsExist:
+    def test_imported_names_count_as_defined(self):
+        violations = _check_source(
+            '"""m."""\nfrom os.path import join\n\n'
+            '__all__ = ["join"]\n'
+        )
+        assert violations == []
+
+    def test_star_import_disables_check(self):
+        violations = _check_source(
+            '"""m."""\nfrom os.path import *\n\n'
+            '__all__ = ["who_knows"]\n'
+        )
+        assert violations == []
+
+    def test_dynamic_all_rejected(self):
+        violations = _check_source(
+            '"""m."""\n\n__all__ = sorted(("a", "b"))\n'
+        )
+        assert [v.rule_id for v in violations] == ["all-exports-exist"]
+
+
+class TestEngine:
+    def test_every_rule_has_unique_id_and_description(self):
+        rules = default_rules()
+        ids = [rule.rule_id for rule in rules]
+        assert len(ids) == len(set(ids))
+        assert all(rule.rule_id for rule in rules)
+        assert all(rule.description for rule in rules)
+
+    def test_violations_are_sorted(self):
+        report = lint_paths([FIXTURES / "wallclock.py"])
+        assert report.violations == sorted(report.violations)

@@ -110,7 +110,9 @@ class TestRegistry:
     def test_custom_measure_plugs_in(self):
         registry = SimilarityRegistry()
         registry.register(AttributeType.NAME, lambda a, b: 0.42)
-        assert registry.similarity(AttributeType.NAME, "x", "y") == 0.42
+        assert registry.similarity(
+            AttributeType.NAME, "x", "y"
+        ) == pytest.approx(0.42)
 
     def test_unregistered_type_uses_string_fallback(self):
         registry = SimilarityRegistry()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.synth.carrental import CarRentalConfig, generate_car_rental
-from repro.synth.fig1 import fig1_examples, render_fig1
+from repro.core.fig1 import fig1_examples, render_fig1
 from repro.synth.notes import (
     AgentNoteGenerator,
     note_shorthand_table,
