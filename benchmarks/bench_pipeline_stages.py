@@ -1,0 +1,42 @@
+"""Per-stage pipeline timing, emitted machine-readable.
+
+Runs both use-case stage graphs at bench scale and writes
+``BENCH_pipeline.json`` — per-stage docs in/out/discarded and wall
+time for the call-center flow and the churn flow — so the perf
+trajectory of every stage is tracked from this PR onward.  Also prints
+the human-readable stage tables.
+"""
+
+import json
+import pathlib
+
+from repro.core.usecases.churn import run_churn_study
+
+OUTPUT_PATH = pathlib.Path("BENCH_pipeline.json")
+
+
+def test_bench_pipeline_stage_timing(clean_study, telecom_corpus):
+    """Emit BENCH_pipeline.json with per-stage timing for both flows."""
+    call_report = clean_study.analysis.stage_report
+    churn_result = run_churn_study(telecom_corpus, channel="email")
+    churn_report = churn_result.stage_report
+
+    payload = {
+        "bench": "pipeline_stages",
+        "call_center": call_report.to_json_dict(),
+        "churn_email": churn_report.to_json_dict(),
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    print("call-center flow")
+    print(call_report.render_text())
+    print()
+    print("churn email flow")
+    print(churn_report.render_text())
+    print(f"\nwrote {OUTPUT_PATH}")
+
+    assert OUTPUT_PATH.exists()
+    for report in (call_report, churn_report):
+        assert report.total_in > 0
+        assert all(s.wall_time >= 0.0 for s in report.stages)

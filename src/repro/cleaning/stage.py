@@ -1,0 +1,47 @@
+"""Pipeline-engine adapter for the cleaning subsystem.
+
+Wraps a :class:`~repro.cleaning.pipeline.CleaningPipeline` as an engine
+:class:`~repro.engine.stage.Stage` so message corpora can flow through
+a declared stage graph.  The stage reads the document's raw text and
+``channel``, writes the ``"cleaned_text"`` artifact, and flags
+discarded messages with the cleaning reason (``spam`` /
+``non-english`` / ``empty``) so the runner's funnel counters match the
+paper's cleaning funnel exactly.
+"""
+
+from repro.cleaning.pipeline import CleaningPipeline
+from repro.engine import Stage
+
+
+class CleaningStage(Stage):
+    """Clean each document's raw text for its channel.
+
+    Impure by design: the wrapped pipeline accumulates shared funnel
+    statistics (:class:`~repro.cleaning.pipeline.CleaningStats`) across
+    calls, so documents must be cleaned in corpus order.
+    """
+
+    name = "clean"
+    pure = False
+
+    def __init__(self, pipeline=None, text_artifact="cleaned_text"):
+        """``pipeline`` defaults to a fresh default CleaningPipeline."""
+        self.pipeline = pipeline or CleaningPipeline()
+        self.text_artifact = text_artifact
+
+    @property
+    def stats(self):
+        """The wrapped pipeline's funnel statistics."""
+        return self.pipeline.stats
+
+    def process(self, batch):
+        """Clean every document; discard the ones the funnel drops."""
+        for document in batch:
+            cleaned = self.pipeline.clean(
+                document.text, channel=document.channel
+            )
+            if cleaned.discarded:
+                document.discard(self.stage_name, cleaned.reason)
+                continue
+            document.put(self.text_artifact, cleaned.text)
+        return batch

@@ -19,6 +19,19 @@ def _add_common(parser):
                         help="corpus random seed")
 
 
+def _add_engine_options(parser):
+    """Pipeline-engine knobs shared by the staged commands."""
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="thread workers for pure pipeline stages "
+             "(0 = serial; parallel output is bit-identical)",
+    )
+    parser.add_argument(
+        "--stage-stats", action="store_true",
+        help="print the per-stage docs in/out/discard + wall-time table",
+    )
+
+
 def cmd_tables(args):
     """Regenerate Tables II-IV from a fresh corpus."""
     from repro.core import BIVoCConfig, run_insight_analysis
@@ -38,8 +51,16 @@ def cmd_tables(args):
         )
     )
     study = run_insight_analysis(
-        corpus, BIVoCConfig(use_asr=args.asr, link_mode="content")
+        corpus,
+        BIVoCConfig(
+            use_asr=args.asr,
+            link_mode="content",
+            workers=args.workers,
+        ),
     )
+    if args.stage_stats:
+        print(study.analysis.stage_report.render_text())
+        print()
     print(
         outcome_percentage_table(
             study.intent_table,
@@ -143,7 +164,12 @@ def cmd_churn(args):
         TelecomConfig(scale=args.scale, n_customers=args.customers,
                       seed=args.seed)
     )
-    result = run_churn_study(corpus, channel=args.channel)
+    result = run_churn_study(
+        corpus, channel=args.channel, workers=args.workers
+    )
+    if args.stage_stats:
+        print(result.stage_report.render_text())
+        print()
     print(
         f"{args.channel}: unlinked {result.unlinked_fraction:.1%} "
         f"(paper 18%), churner share "
@@ -207,6 +233,7 @@ def build_parser():
 
     tables = sub.add_parser("tables", help="regenerate Tables II-IV")
     _add_common(tables)
+    _add_engine_options(tables)
     tables.add_argument("--agents", type=int, default=30)
     tables.add_argument("--days", type=int, default=4)
     tables.add_argument("--asr", action="store_true",
@@ -226,6 +253,7 @@ def build_parser():
 
     churn = sub.add_parser("churn", help="run the SecVI churn study")
     _add_common(churn)
+    _add_engine_options(churn)
     churn.add_argument("--scale", type=float, default=0.05,
                        help="fraction of the paper's message volume")
     churn.add_argument("--customers", type=int, default=2500)

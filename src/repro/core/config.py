@@ -30,6 +30,11 @@ class BIVoCConfig:
     # with the first pass, plus the agent roster.
     two_pass: bool = False
     two_pass_top_n: int = 5
+    # Engine execution knobs: documents flow through the stage graph in
+    # batches of ``batch_size``; ``workers`` > 1 maps pure stages across
+    # a thread pool (bit-identical to serial — see repro.engine.runner).
+    batch_size: int = 64
+    workers: int = 0
 
     def __post_init__(self):
         if self.link_mode not in ("content", "metadata"):
@@ -37,3 +42,7 @@ class BIVoCConfig:
                 f"link_mode must be 'content' or 'metadata', "
                 f"got {self.link_mode!r}"
             )
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")

@@ -1,12 +1,14 @@
 """The BIVoC pipeline: transcribe -> link -> annotate -> index.
 
-Mirrors the architecture of the paper's Fig 3 for the call-center side:
-call audio (simulated) is transcribed per speaker turn, the transcript
-is linked to its reservation-warehouse record, the annotation engine
+Mirrors the architecture of the paper's Fig 3 for the call-center side
+as a declarative stage graph on the :mod:`repro.engine` runner: call
+audio (simulated) is transcribed per speaker turn, the transcript is
+linked to its reservation-warehouse record, the annotation engine
 extracts concepts from the right conversational regions (intent from
 the customer's opening, agent utterances after the rate quote), and
 everything lands in a :class:`~repro.mining.index.ConceptIndex` ready
-for association analysis.
+for association analysis.  Every stage reports docs in/out and wall
+time through the runner's :class:`~repro.engine.PipelineReport`.
 """
 
 from dataclasses import dataclass, field
@@ -22,11 +24,13 @@ from repro.annotation.domains import (
 from repro.asr.system import ASRSystem
 from repro.asr.twopass import constrained_decode, name_words_of
 from repro.core.config import BIVoCConfig
+from repro.engine import Document, MapStage, PipelineRunner, Stage
 from repro.linking.annotators import build_default_annotators
 from repro.linking.similarity import default_registry
 from repro.linking.single import EntityLinker
-from repro.mining.index import ConceptIndex
+from repro.mining.stage import ConceptIndexStage
 from repro.store.query import Query
+from repro.util.turns import split_speakers
 
 
 @dataclass
@@ -49,10 +53,11 @@ class CallCenterAnalysis:
     """Pipeline output: processed calls plus the ready concept index."""
 
     calls: list
-    index: ConceptIndex
+    index: object  # ConceptIndex
     link_attempts: int = 0
     link_successes: int = 0
     stats: dict = field(default_factory=dict)
+    stage_report: object = None  # engine PipelineReport for the run
 
     @property
     def linked_fraction(self):
@@ -115,10 +120,225 @@ class CallRecordLinker:
         return best_record
 
 
+def transcribe_turns(asr, turns, config=None, identity_linker=None,
+                     roster_words=frozenset()):
+    """Per-turn recognition, preserving the speaker separation.
+
+    ``turns`` is the transcript's ``(speaker, text)`` sequence.  With
+    ``config.two_pass`` enabled, the customer's first-pass text
+    retrieves the top-N candidate identities from the warehouse and
+    every turn is re-decoded with name slots constrained to those
+    identities plus the agent roster (paper SecIV-A).  Returns
+    ``(customer_parts, agent_parts)``.
+    """
+    config = config or BIVoCConfig()
+    transcriptions = [
+        (speaker, asr.transcribe(text)) for speaker, text in turns
+    ]
+    if config.two_pass and identity_linker is not None:
+        first_pass_customer = " ".join(
+            " ".join(transcription.hypothesis_tokens)
+            for speaker, transcription in transcriptions
+            if speaker == "customer"
+        )
+        identities = identity_linker.top_identities(
+            first_pass_customer, n=config.two_pass_top_n
+        )
+        allowed = name_words_of(identities) | roster_words
+        if allowed:
+            redecoded = [
+                (
+                    speaker,
+                    " ".join(
+                        constrained_decode(
+                            asr.decoder, transcription.network, allowed
+                        )[0]
+                    ),
+                )
+                for speaker, transcription in transcriptions
+            ]
+            return split_speakers(redecoded)
+    decoded = [
+        (speaker, " ".join(transcription.hypothesis_tokens))
+        for speaker, transcription in transcriptions
+    ]
+    return split_speakers(decoded)
+
+
+class TurnSplitStage(MapStage):
+    """Reference path: split the transcript's turns per speaker."""
+
+    name = "turn-split"
+
+    def process_document(self, document):
+        """Write customer/agent part lists from the reference turns."""
+        transcript = document.require("transcript")
+        customer_parts, agent_parts = split_speakers(transcript.turns)
+        document.put("customer_parts", customer_parts)
+        document.put("agent_parts", agent_parts)
+
+
+class TranscribeStage(Stage):
+    """ASR path: per-turn recognition (optionally two-pass).
+
+    Impure by design: all documents share one simulated acoustic
+    channel whose noise stream is a single seeded RNG, so decode order
+    is part of the reproducible output and the stage must run serially.
+    """
+
+    name = "transcribe"
+    pure = False
+
+    def __init__(self, asr, config, identity_linker=None,
+                 roster_words=frozenset()):
+        """``asr`` is the shared ASRSystem for the whole run."""
+        self.asr = asr
+        self.config = config
+        self.identity_linker = identity_linker
+        self.roster_words = roster_words
+
+    def process(self, batch):
+        """Transcribe every document's turns through the channel."""
+        for document in batch:
+            transcript = document.require("transcript")
+            customer_parts, agent_parts = transcribe_turns(
+                self.asr,
+                transcript.turns,
+                config=self.config,
+                identity_linker=self.identity_linker,
+                roster_words=self.roster_words,
+            )
+            document.put("customer_parts", customer_parts)
+            document.put("agent_parts", agent_parts)
+        return batch
+
+
+class ComposeTextStage(MapStage):
+    """Join speaker parts into the texts downstream stages consume."""
+
+    name = "compose"
+
+    def process_document(self, document):
+        """Derive customer/agent/opening/full text artifacts."""
+        customer_parts = document.require("customer_parts")
+        agent_parts = document.require("agent_parts")
+        customer_text = " ".join(customer_parts)
+        agent_text = " ".join(agent_parts)
+        document.put("customer_text", customer_text)
+        document.put("agent_text", agent_text)
+        document.put("opening", " ".join(customer_parts[:2]))
+        document.put("full_text", f"{customer_text} {agent_text}")
+
+
+class RecordLinkStage(MapStage):
+    """Join each call to its reservation-warehouse record.
+
+    ``"metadata"`` mode resolves the oracle call id (CTI metadata
+    survives); ``"content"`` mode runs the agent/day-blocked identity
+    linker over the customer's words and counts the attempt.
+    """
+
+    name = "record-link"
+
+    def __init__(self, linker, calls_table, link_mode):
+        """``linker`` is a CallRecordLinker; ``calls_table`` the
+        warehouse calls table for metadata mode."""
+        self.linker = linker
+        self.calls_table = calls_table
+        self.link_mode = link_mode
+
+    def process_document(self, document):
+        """Attach ``record`` (Entity or None) and attempt accounting."""
+        transcript = document.require("transcript")
+        if self.link_mode == "metadata":
+            record = self.calls_table.get(transcript.call_id)
+            document.put("link_attempted", False)
+        else:
+            record = self.linker.link(
+                document.require("customer_text"),
+                transcript.agent_name,
+                transcript.day,
+            )
+            document.put("link_attempted", True)
+        document.put("record", record)
+
+
+class AnnotateStage(MapStage):
+    """Concept annotation over the full call and the agent's side."""
+
+    name = "annotate"
+
+    def __init__(self, engine):
+        """``engine`` is the domain AnnotationEngine (read-only)."""
+        self.engine = engine
+
+    def process_document(self, document):
+        """Annotate full text (indexed) and agent text (flags)."""
+        document.put(
+            "annotated",
+            self.engine.annotate(
+                document.require("full_text"), doc_id=document.doc_id
+            ),
+        )
+        document.put(
+            "agent_doc",
+            self.engine.annotate(document.require("agent_text")),
+        )
+
+
+class DeriveStage(MapStage):
+    """Derive intent and agent-utterance flags; stage the index row."""
+
+    name = "derive"
+
+    RECORD_FIELDS = ("call_type", "car_type", "city", "agent_name", "day")
+
+    def __init__(self, engine):
+        """``engine`` is the domain AnnotationEngine (read-only)."""
+        self.engine = engine
+
+    def _detect_intent(self, opening_text):
+        """"strong" / "weak" / "unknown" from the customer opening."""
+        document = self.engine.annotate(opening_text)
+        intents = {
+            concept.canonical
+            for concept in document.concepts_in(INTENT_CATEGORY)
+        }
+        if STRONG_START in intents and WEAK_START not in intents:
+            return "strong"
+        if WEAK_START in intents and STRONG_START not in intents:
+            return "weak"
+        return "unknown"
+
+    def process_document(self, document):
+        """Write intent/flag artifacts and the structured index row."""
+        agent_doc = document.require("agent_doc")
+        record = document.require("record")
+        intent = self._detect_intent(document.require("opening"))
+        value_selling = agent_doc.has_category(VALUE_SELLING_CATEGORY)
+        discount = agent_doc.has_category(DISCOUNT_CATEGORY)
+        document.put("detected_intent", intent)
+        document.put("value_selling", value_selling)
+        document.put("discount", discount)
+
+        fields = {}
+        if record is not None:
+            fields = {
+                name: record.values.get(name)
+                for name in self.RECORD_FIELDS
+            }
+        if intent != "unknown":
+            fields["detected_intent"] = intent
+        fields["agent_value_selling"] = value_selling
+        fields["agent_discount"] = discount
+        document.put("index_fields", fields)
+        document.put("timestamp", document.require("transcript").day)
+
+
 class BIVoCSystem:
     """End-to-end system facade for the call-center study."""
 
-    RECORD_FIELDS = ("call_type", "car_type", "city", "agent_name", "day")
+    RECORD_FIELDS = DeriveStage.RECORD_FIELDS
 
     def __init__(self, config=None, engine=None):
         self.config = config or BIVoCConfig()
@@ -135,170 +355,98 @@ class BIVoCSystem:
         system.channel.reset(self.config.asr_seed)
         return system
 
-    def _transcribe_turns(self, asr, transcript, identity_linker=None,
-                          roster_words=frozenset()):
-        """Per-turn recognition, preserving the speaker separation.
+    def build_call_stages(self, corpus, index_stage=None):
+        """The declarative stage graph for one call-center corpus.
 
-        With ``two_pass`` enabled, the customer's first-pass text
-        retrieves the top-N candidate identities from the warehouse and
-        every turn is re-decoded with name slots constrained to those
-        identities plus the agent roster (paper SecIV-A).
+        Returns the ordered stage list; pass ``index_stage`` to supply
+        a pre-configured :class:`ConceptIndexStage` (for example one
+        whose index keeps drill-down documents).
         """
-        transcriptions = [
-            (speaker, asr.transcribe(text))
-            for speaker, text in transcript.turns
-        ]
-        if self.config.two_pass and identity_linker is not None:
-            first_pass_customer = " ".join(
-                " ".join(transcription.hypothesis_tokens)
-                for speaker, transcription in transcriptions
-                if speaker == "customer"
+        config = self.config
+        linker = CallRecordLinker(
+            corpus.database, min_score=config.min_link_score
+        )
+        if config.use_asr:
+            asr = self._build_asr(corpus)
+            identity_linker = None
+            roster_words = frozenset()
+            if config.two_pass:
+                identity_linker = EntityLinker(
+                    corpus.database, "customers"
+                )
+                roster = set()
+                if "agents" in corpus.database:
+                    for agent in corpus.database.table("agents"):
+                        roster.update(
+                            str(agent["name"]).lower().split()
+                        )
+                roster_words = frozenset(roster)
+            ingest = TranscribeStage(
+                asr,
+                config,
+                identity_linker=identity_linker,
+                roster_words=roster_words,
             )
-            identities = identity_linker.top_identities(
-                first_pass_customer, n=self.config.two_pass_top_n
-            )
-            allowed = name_words_of(identities) | roster_words
-            if allowed:
-                redecoded = []
-                for speaker, transcription in transcriptions:
-                    words, _ = constrained_decode(
-                        asr.decoder, transcription.network, allowed
-                    )
-                    redecoded.append((speaker, words))
-                customer_parts = [
-                    " ".join(words)
-                    for speaker, words in redecoded
-                    if speaker == "customer"
-                ]
-                agent_parts = [
-                    " ".join(words)
-                    for speaker, words in redecoded
-                    if speaker == "agent"
-                ]
-                return customer_parts, agent_parts
-        customer_parts = [
-            " ".join(transcription.hypothesis_tokens)
-            for speaker, transcription in transcriptions
-            if speaker == "customer"
+        else:
+            ingest = TurnSplitStage()
+        return [
+            ingest,
+            ComposeTextStage(),
+            RecordLinkStage(
+                linker, corpus.database.table("calls"), config.link_mode
+            ),
+            AnnotateStage(self.engine),
+            DeriveStage(self.engine),
+            index_stage or ConceptIndexStage(),
         ]
-        agent_parts = [
-            " ".join(transcription.hypothesis_tokens)
-            for speaker, transcription in transcriptions
-            if speaker == "agent"
-        ]
-        return customer_parts, agent_parts
-
-    @staticmethod
-    def _split_turns(transcript):
-        customer_parts = [
-            text for speaker, text in transcript.turns
-            if speaker == "customer"
-        ]
-        agent_parts = [
-            text for speaker, text in transcript.turns
-            if speaker == "agent"
-        ]
-        return customer_parts, agent_parts
-
-    def _detect_intent(self, opening_text):
-        document = self.engine.annotate(opening_text)
-        intents = {
-            concept.canonical
-            for concept in document.concepts_in(INTENT_CATEGORY)
-        }
-        if STRONG_START in intents and WEAK_START not in intents:
-            return "strong"
-        if WEAK_START in intents and STRONG_START not in intents:
-            return "weak"
-        return "unknown"
 
     def process_call_center(self, corpus):
         """Run the full pipeline over a car-rental corpus."""
-        asr = self._build_asr(corpus) if self.config.use_asr else None
-        linker = CallRecordLinker(
-            corpus.database, min_score=self.config.min_link_score
+        stages = self.build_call_stages(corpus)
+        index_stage = stages[-1]
+        documents = [
+            Document(
+                doc_id=transcript.call_id,
+                channel="call",
+                text=transcript.text,
+                artifacts={"transcript": transcript},
+            )
+            for transcript in corpus.transcripts
+        ]
+        runner = PipelineRunner(
+            stages,
+            batch_size=self.config.batch_size,
+            workers=self.config.workers,
         )
-        identity_linker = None
-        roster_words = frozenset()
-        if self.config.two_pass and asr is not None:
-            identity_linker = EntityLinker(corpus.database, "customers")
-            roster = set()
-            if "agents" in corpus.database:
-                for agent in corpus.database.table("agents"):
-                    roster.update(str(agent["name"]).lower().split())
-            roster_words = frozenset(roster)
-        calls_table = corpus.database.table("calls")
-        index = ConceptIndex()
+        result = runner.run(documents)
+
         processed = []
         link_attempts = 0
         link_successes = 0
-        for transcript in corpus.transcripts:
-            if asr is not None:
-                customer_parts, agent_parts = self._transcribe_turns(
-                    asr,
-                    transcript,
-                    identity_linker=identity_linker,
-                    roster_words=roster_words,
-                )
-            else:
-                customer_parts, agent_parts = self._split_turns(transcript)
-            customer_text = " ".join(customer_parts)
-            agent_text = " ".join(agent_parts)
-            opening = " ".join(customer_parts[:2])
-            full_text = f"{customer_text} {agent_text}"
-
-            if self.config.link_mode == "metadata":
-                record = calls_table.get(transcript.call_id)
-            else:
+        for document in result.documents:
+            record = document.get("record")
+            if document.get("link_attempted"):
                 link_attempts += 1
-                record = linker.link(
-                    customer_text, transcript.agent_name, transcript.day
-                )
                 if record is not None:
                     link_successes += 1
-
-            annotated = self.engine.annotate(
-                full_text, doc_id=transcript.call_id
-            )
-            agent_doc = self.engine.annotate(agent_text)
-            intent = self._detect_intent(opening)
-            value_selling = agent_doc.has_category(VALUE_SELLING_CATEGORY)
-            discount = agent_doc.has_category(DISCOUNT_CATEGORY)
-
-            fields = {}
-            if record is not None:
-                fields = {
-                    name: record.values.get(name)
-                    for name in self.RECORD_FIELDS
-                }
-            if intent != "unknown":
-                fields["detected_intent"] = intent
-            fields["agent_value_selling"] = value_selling
-            fields["agent_discount"] = discount
-            index.add(
-                transcript.call_id,
-                annotated=annotated,
-                fields=fields,
-                timestamp=transcript.day,
-            )
             processed.append(
                 ProcessedCall(
-                    call_id=transcript.call_id,
-                    customer_opening=opening,
-                    agent_text=agent_text,
-                    full_text=full_text,
+                    call_id=document.doc_id,
+                    customer_opening=document.get("opening"),
+                    agent_text=document.get("agent_text"),
+                    full_text=document.get("full_text"),
                     linked_record=record,
-                    annotated=annotated,
-                    detected_intent=intent,
-                    value_selling=value_selling,
-                    discount=discount,
+                    annotated=document.get("annotated"),
+                    detected_intent=document.get("detected_intent"),
+                    value_selling=document.get("value_selling"),
+                    discount=document.get("discount"),
                 )
             )
         if self.config.link_mode == "metadata":
             link_attempts = link_successes = len(processed)
         return CallCenterAnalysis(
             calls=processed,
-            index=index,
+            index=index_stage.index,
             link_attempts=link_attempts,
             link_successes=link_successes,
             stats={
@@ -308,6 +456,7 @@ class BIVoCSystem:
                 ),
                 "total": len(processed),
             },
+            stage_report=result.report,
         )
 
     @staticmethod

@@ -5,7 +5,7 @@ reproduction keeps it that way so subsystems stay independently
 testable and replaceable:
 
     util                          (rank 0: imports nothing from repro)
-    store                         (rank 1: warehouse substrate)
+    engine store                  (rank 1: pipeline engine; warehouse)
     synth                         (rank 2: generators fill the store)
     asr cleaning linking annotation   (rank 3: channel engines)
     mining churn                  (rank 4: analysis layer)
@@ -28,6 +28,7 @@ from repro.devtools.violations import Severity, Violation
 #: build warehouse records (Databases) as part of their corpora.
 DEFAULT_LAYERS = {
     "util": 0,
+    "engine": 1,
     "store": 1,
     "synth": 2,
     "asr": 3,

@@ -1,0 +1,32 @@
+"""The staged pipeline engine (paper Fig 3 as a reusable dataflow).
+
+The paper's architecture is one dataflow — ingest → ASR/clean → link →
+annotate → index → analyze — and this package is its engine room: a
+typed :class:`Document` envelope, a batch-oriented :class:`Stage`
+protocol, and a :class:`PipelineRunner` that executes a declared stage
+list over any corpus with per-stage counters, wall-time, and an
+optional deterministic parallel executor.  Both use cases (the
+call-center study and the churn study) are declarative stage graphs on
+top of this engine, so every future scaling or performance change has
+one place to plug in.
+"""
+
+from repro.engine.document import Document
+from repro.engine.runner import (
+    PipelineReport,
+    PipelineResult,
+    PipelineRunner,
+    StageStats,
+)
+from repro.engine.stage import FunctionStage, MapStage, Stage
+
+__all__ = [
+    "Document",
+    "Stage",
+    "MapStage",
+    "FunctionStage",
+    "PipelineRunner",
+    "PipelineResult",
+    "PipelineReport",
+    "StageStats",
+]

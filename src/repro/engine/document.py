@@ -1,0 +1,61 @@
+"""The typed document envelope flowing through a staged pipeline.
+
+Every unit of work — a call transcript, an email, an SMS — travels the
+pipeline wrapped in a :class:`Document`: a stable identity
+(``doc_id``), its source ``channel``, the raw ``text``, a dictionary of
+per-stage ``artifacts`` (what each stage computed), and discard
+book-keeping (which stage dropped it and why).  Stages communicate
+exclusively through artifacts, so the stage graph stays declarative:
+any stage that writes ``"cleaned_text"`` can feed any stage that reads
+it.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Document:
+    """One unit of work flowing through a :class:`PipelineRunner`.
+
+    ``artifacts`` maps artifact names to stage outputs; ``provenance``
+    records, in order, the names of the stages that processed the
+    document (appended by the runner, not by stages).  A discarded
+    document keeps its artifacts so funnel reporting can explain the
+    drop.
+    """
+
+    doc_id: object
+    channel: str = ""
+    text: str = ""
+    artifacts: dict = field(default_factory=dict)
+    discarded: bool = False
+    discard_reason: str = ""
+    discard_stage: str = ""
+    provenance: tuple = ()
+
+    def put(self, name, value):
+        """Store one artifact; returns the document for chaining."""
+        self.artifacts[name] = value
+        return self
+
+    def get(self, name, default=None):
+        """Artifact value, or ``default`` when absent."""
+        return self.artifacts.get(name, default)
+
+    def require(self, name):
+        """Artifact value; raises with context when a stage is missing
+        an upstream dependency (usually a mis-ordered stage list)."""
+        try:
+            return self.artifacts[name]
+        except KeyError:
+            raise KeyError(
+                f"document {self.doc_id!r} has no artifact {name!r}; "
+                f"stages applied so far: {list(self.provenance)}"
+            ) from None
+
+    def discard(self, stage, reason):
+        """Mark the document dropped by ``stage`` for ``reason``."""
+        self.discarded = True
+        self.discard_stage = stage
+        self.discard_reason = reason
+        return self

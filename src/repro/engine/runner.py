@@ -1,0 +1,213 @@
+"""The pipeline runner: batched stage execution with instrumentation.
+
+:class:`PipelineRunner` executes a declared stage list over a corpus of
+:class:`~repro.engine.document.Document` objects:
+
+* the corpus is chunked into fixed-size batches, and each stage
+  processes every live batch before the next stage starts (a stage
+  barrier — downstream stages may rely on upstream artifacts existing
+  for the whole corpus);
+* per stage, the runner counts documents in / out / discarded and the
+  stage's wall time, collected into a :class:`PipelineReport`;
+* with ``workers > 1``, batches of *pure* stages (see
+  :class:`~repro.engine.stage.Stage.pure`) are mapped across a thread
+  pool with an order-preserving map; impure stages always run serially.
+  Because pure stages process documents independently and
+  deterministically, parallel execution is bit-identical to serial
+  execution — the determinism guarantee every paper artifact relies on.
+
+Wall-time measurement is instrumentation only: it is reported, never
+fed back into document flow, and the clock is injectable so tests (and
+the ``no-wallclock-in-algo`` determinism argument) can substitute a
+fake.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageStats:
+    """Counters for one stage of one run."""
+
+    name: str
+    docs_in: int = 0
+    docs_out: int = 0
+    discarded: int = 0
+    batches: int = 0
+    wall_time: float = 0.0
+    parallel: bool = False
+
+    def to_json_dict(self):
+        """Plain-dict form for machine-readable reports."""
+        return {
+            "stage": self.name,
+            "docs_in": self.docs_in,
+            "docs_out": self.docs_out,
+            "discarded": self.discarded,
+            "batches": self.batches,
+            "wall_time_s": self.wall_time,
+            "parallel": self.parallel,
+        }
+
+
+@dataclass
+class PipelineReport:
+    """Per-stage statistics for one :meth:`PipelineRunner.run`."""
+
+    stages: list = field(default_factory=list)  # StageStats, in order
+    total_in: int = 0
+    total_out: int = 0
+    wall_time: float = 0.0
+
+    def stage(self, name):
+        """Stats for one stage by report name."""
+        for stats in self.stages:
+            if stats.name == name:
+                return stats
+        raise KeyError(f"no stage named {name!r} in this report")
+
+    def to_json_dict(self):
+        """Plain-dict form (suitable for ``json.dump``)."""
+        return {
+            "total_in": self.total_in,
+            "total_out": self.total_out,
+            "wall_time_s": self.wall_time,
+            "stages": [stats.to_json_dict() for stats in self.stages],
+        }
+
+    def render_text(self):
+        """Human-readable per-stage funnel table."""
+        from repro.util.tabletext import format_table
+
+        rows = [
+            [
+                stats.name,
+                str(stats.docs_in),
+                str(stats.docs_out),
+                str(stats.discarded),
+                f"{stats.wall_time:.3f}s",
+                "par" if stats.parallel else "ser",
+            ]
+            for stats in self.stages
+        ]
+        rows.append(
+            [
+                "total",
+                str(self.total_in),
+                str(self.total_out),
+                str(self.total_in - self.total_out),
+                f"{self.wall_time:.3f}s",
+                "",
+            ]
+        )
+        return format_table(
+            ["stage", "in", "out", "drop", "wall", "mode"],
+            rows,
+            title="pipeline stages",
+        )
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one run: surviving documents, discards, report."""
+
+    documents: list  # live documents, original corpus order
+    discarded: list  # discarded documents, original corpus order
+    report: PipelineReport
+
+    def artifact_column(self, name, default=None):
+        """One artifact across all surviving documents, in order."""
+        return [doc.get(name, default) for doc in self.documents]
+
+
+def _batched(items, size):
+    """Chunk ``items`` into lists of at most ``size``."""
+    return [items[start:start + size] for start in range(0, len(items), size)]
+
+
+class PipelineRunner:
+    """Executes a stage list over a document corpus.
+
+    ``batch_size`` bounds the unit of work handed to each stage (and to
+    each worker thread); ``workers`` > 1 enables the parallel executor
+    for pure stages.  ``clock`` is the timing source for per-stage wall
+    time (defaults to the monotonic performance counter); it is used
+    for reporting only and never influences the documents.
+    """
+
+    def __init__(self, stages, batch_size=64, workers=0, clock=None):
+        """``stages`` is an ordered list of Stage instances."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        names = [stage.stage_name for stage in stages]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"stage names must be unique, got {names}"
+            )
+        self.stages = list(stages)
+        self.batch_size = batch_size
+        self.workers = workers
+        # Instrumentation-only clock (injectable; see module docstring).
+        self._clock = clock if clock is not None else time.perf_counter
+
+    def run(self, documents):
+        """Run every stage over ``documents``; returns a result with
+        surviving documents in corpus order plus the stage report."""
+        live = list(documents)
+        all_discarded = []
+        report = PipelineReport(total_in=len(live))
+        run_started = self._clock()
+        for stage in self.stages:
+            live, stats = self._run_stage(stage, live)
+            report.stages.append(stats)
+            discarded_here = [doc for doc in live if doc.discarded]
+            if discarded_here:
+                all_discarded.extend(discarded_here)
+                live = [doc for doc in live if not doc.discarded]
+            stats.docs_out = len(live)
+            stats.discarded = len(discarded_here)
+        report.total_out = len(live)
+        report.wall_time = self._clock() - run_started
+        return PipelineResult(
+            documents=live, discarded=all_discarded, report=report
+        )
+
+    def _run_stage(self, stage, live):
+        """Run one stage over all live documents, batched."""
+        batches = _batched(live, self.batch_size)
+        use_parallel = (
+            self.workers > 1 and stage.pure and len(batches) > 1
+        )
+        stats = StageStats(
+            name=stage.stage_name,
+            docs_in=len(live),
+            batches=len(batches),
+            parallel=use_parallel,
+        )
+        started = self._clock()
+        if use_parallel:
+            # Order-preserving map: executor.map yields results in
+            # submission order, so output order (and therefore every
+            # downstream computation) matches serial execution exactly.
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                out_batches = list(pool.map(stage.process, batches))
+        else:
+            out_batches = [stage.process(batch) for batch in batches]
+        stats.wall_time = self._clock() - started
+        out = []
+        for batch_in, batch_out in zip(batches, out_batches):
+            if batch_out is None or len(batch_out) != len(batch_in):
+                raise ValueError(
+                    f"stage {stage.stage_name!r} must return its batch "
+                    f"(same length); discards are flagged, not dropped"
+                )
+            out.extend(batch_out)
+        for document in out:
+            document.provenance = document.provenance + (
+                stage.stage_name,
+            )
+        return out, stats

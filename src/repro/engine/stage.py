@@ -1,0 +1,86 @@
+"""The stage protocol: batch in, batch out.
+
+A :class:`Stage` transforms a batch (list) of
+:class:`~repro.engine.document.Document` objects in place and returns
+the same batch.  Stages never *remove* documents — they mark them with
+:meth:`Document.discard` and the runner filters and counts them — so
+the batch contract stays trivially checkable (``len(out) == len(in)``)
+and funnel accounting is exact.
+
+``pure`` declares that the stage processes each document independently
+and deterministically (no shared mutable state, no RNG draws ordered
+across documents).  Only pure stages are eligible for the parallel
+executor; the runner falls back to serial execution for impure ones,
+which is what makes parallel runs bit-identical to serial runs.
+"""
+
+
+class Stage:
+    """Base class for pipeline stages.
+
+    Subclasses implement :meth:`process` (whole batch) or, via
+    :class:`MapStage`, a per-document method.  ``name`` defaults to the
+    class name and is what the per-stage counters report under.
+    """
+
+    #: Report name; ``None`` means "use the class name".
+    name = None
+
+    #: Per-document independent + deterministic => parallelisable.
+    pure = False
+
+    def process(self, batch):
+        """Transform a batch of documents; must return the same batch
+        (same length, same order), with discards flagged not dropped."""
+        raise NotImplementedError
+
+    @property
+    def stage_name(self):
+        """Resolved report name of the stage."""
+        return self.name or type(self).__name__
+
+
+class MapStage(Stage):
+    """A pure per-document stage.
+
+    Subclasses implement :meth:`process_document`; the batch method and
+    the purity declaration come for free.  Use this for stages like
+    annotation or feature extraction where each document's output is a
+    function of that document alone.
+    """
+
+    pure = True
+
+    def process(self, batch):
+        """Apply :meth:`process_document` to every live document."""
+        for document in batch:
+            self.process_document(document)
+        return batch
+
+    def process_document(self, document):
+        """Process one document in place."""
+        raise NotImplementedError
+
+
+class FunctionStage(Stage):
+    """Adapt a plain ``fn(document) -> None`` into a stage.
+
+    Handy for one-off derivations that do not deserve a class:
+
+        FunctionStage("opening", lambda d: d.put("opening", ...))
+
+    ``pure`` must be declared by the caller because the engine cannot
+    inspect the closure for shared state.
+    """
+
+    def __init__(self, name, fn, pure=False):
+        """``name`` is the report name; ``fn`` mutates one document."""
+        self.name = name
+        self._fn = fn
+        self.pure = pure
+
+    def process(self, batch):
+        """Apply the wrapped function to every document."""
+        for document in batch:
+            self._fn(document)
+        return batch

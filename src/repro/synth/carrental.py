@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.store.database import Database
 from repro.store.schema import AttributeType, Schema
+from repro.util.turns import speaker_parts
 from repro.synth.calibration import (
     BehaviourRates,
     OutcomeTargets,
@@ -149,16 +150,12 @@ class CallTranscript:
     @property
     def customer_text(self):
         """Only the customer's side of the conversation."""
-        return " ".join(
-            text for speaker, text in self.turns if speaker == "customer"
-        )
+        return " ".join(speaker_parts(self.turns, "customer"))
 
     @property
     def agent_text(self):
         """Only the agent's side of the conversation."""
-        return " ".join(
-            text for speaker, text in self.turns if speaker == "agent"
-        )
+        return " ".join(speaker_parts(self.turns, "agent"))
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,32 @@
+"""Speaker-turn utilities shared by the transcript consumers.
+
+A call transcript is a sequence of ``(speaker, text)`` turns with
+``speaker`` in ``{"agent", "customer"}``.  Splitting that sequence into
+per-speaker part lists used to be re-implemented in three places
+(reference split, ASR split, corpus convenience properties); this is
+the single shared implementation.
+"""
+
+
+def speaker_parts(turns, speaker):
+    """Text parts of one speaker, in turn order.
+
+    ``turns`` is an iterable of ``(speaker, text)`` pairs.
+    """
+    return [text for who, text in turns if who == speaker]
+
+
+def split_speakers(turns):
+    """``(customer_parts, agent_parts)`` for a turn sequence.
+
+    One pass over the turns; unknown speaker tags are ignored, matching
+    the historical behaviour of the per-call splitters.
+    """
+    customer_parts = []
+    agent_parts = []
+    for who, text in turns:
+        if who == "customer":
+            customer_parts.append(text)
+        elif who == "agent":
+            agent_parts.append(text)
+    return customer_parts, agent_parts

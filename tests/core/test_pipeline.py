@@ -58,6 +58,61 @@ class TestCallRecordLinker:
             is None
         )
 
+    def test_no_candidates_for_known_agent_on_wrong_day(self, corpus):
+        # The agent exists, but took no calls on this day: the
+        # (agent, day) block is empty before any scoring happens.
+        linker = CallRecordLinker(corpus.database)
+        transcript = corpus.transcripts[0]
+        assert (
+            linker.link(
+                transcript.customer_text, transcript.agent_name, day=10**6
+            )
+            is None
+        )
+
+    def test_annotator_without_tokens_skips_scoring(self, corpus):
+        class SilentAnnotators:
+            """Annotator stand-in that never yields identity tokens."""
+
+            def annotate(self, text):
+                return []
+
+        linker = CallRecordLinker(
+            corpus.database, annotators=SilentAnnotators()
+        )
+        transcript = corpus.transcripts[0]
+        assert (
+            linker.link(
+                transcript.customer_text,
+                transcript.agent_name,
+                transcript.day,
+            )
+            is None
+        )
+
+    def test_best_score_below_min_score_rejected(self, corpus):
+        transcript = corpus.transcripts[0]
+        permissive = CallRecordLinker(corpus.database, min_score=0.0)
+        assert (
+            permissive.link(
+                transcript.customer_text,
+                transcript.agent_name,
+                transcript.day,
+            )
+            is not None
+        )
+        # Same evidence, but the acceptance bar is unreachable: the
+        # best-scoring candidate must be rejected, not returned.
+        strict = CallRecordLinker(corpus.database, min_score=1e9)
+        assert (
+            strict.link(
+                transcript.customer_text,
+                transcript.agent_name,
+                transcript.day,
+            )
+            is None
+        )
+
 
 class TestCleanPipeline:
     def test_all_calls_processed(self, corpus, clean_analysis):

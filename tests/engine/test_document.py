@@ -1,0 +1,66 @@
+"""Tests for the typed Document envelope."""
+
+import pytest
+
+from repro.engine import Document
+
+
+class TestArtifacts:
+    def test_put_get_roundtrip(self):
+        doc = Document(doc_id=1)
+        doc.put("cleaned_text", "hello")
+        assert doc.get("cleaned_text") == "hello"
+
+    def test_get_default_when_absent(self):
+        doc = Document(doc_id=1)
+        assert doc.get("missing") is None
+        assert doc.get("missing", 0) == 0
+
+    def test_put_chains(self):
+        doc = Document(doc_id=1).put("a", 1).put("b", 2)
+        assert doc.artifacts == {"a": 1, "b": 2}
+
+    def test_require_present(self):
+        doc = Document(doc_id=1, artifacts={"x": 5})
+        assert doc.require("x") == 5
+
+    def test_require_missing_names_provenance(self):
+        doc = Document(doc_id="call-3", provenance=("clean", "link"))
+        with pytest.raises(KeyError) as excinfo:
+            doc.require("annotated")
+        message = str(excinfo.value)
+        assert "call-3" in message
+        assert "clean" in message and "link" in message
+
+
+class TestDiscard:
+    def test_fresh_document_is_live(self):
+        doc = Document(doc_id=1)
+        assert not doc.discarded
+        assert doc.discard_reason == ""
+
+    def test_discard_records_stage_and_reason(self):
+        doc = Document(doc_id=1)
+        doc.discard("clean", "spam")
+        assert doc.discarded
+        assert doc.discard_stage == "clean"
+        assert doc.discard_reason == "spam"
+
+    def test_discard_keeps_artifacts(self):
+        doc = Document(doc_id=1, artifacts={"cleaned_text": "x"})
+        doc.discard("clean", "non-english")
+        assert doc.get("cleaned_text") == "x"
+
+
+class TestEnvelope:
+    def test_channel_and_text_defaults(self):
+        doc = Document(doc_id=9)
+        assert doc.channel == ""
+        assert doc.text == ""
+        assert doc.provenance == ()
+
+    def test_documents_do_not_share_artifacts(self):
+        first = Document(doc_id=1)
+        second = Document(doc_id=2)
+        first.put("k", "v")
+        assert second.artifacts == {}

@@ -1,0 +1,64 @@
+"""Tests for the Stage protocol and its helper base classes."""
+
+import pytest
+
+from repro.engine import Document, FunctionStage, MapStage, Stage
+
+
+class Upper(MapStage):
+    """Uppercase the document text into an artifact."""
+
+    name = "upper"
+
+    def process_document(self, document):
+        """Write the uppercased text artifact."""
+        document.put("upper", document.text.upper())
+
+
+class TestStageNames:
+    def test_explicit_name(self):
+        assert Upper().stage_name == "upper"
+
+    def test_default_name_is_class_name(self):
+        class Anon(MapStage):
+            """Nameless stage."""
+
+            def process_document(self, document):
+                """No-op."""
+
+        assert Anon().stage_name == "Anon"
+
+    def test_base_stage_process_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Stage().process([])
+
+    def test_map_stage_document_hook_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            MapStage().process([Document(doc_id=1)])
+
+
+class TestMapStage:
+    def test_processes_each_document(self):
+        batch = [Document(doc_id=i, text=t)
+                 for i, t in enumerate(["a", "b"])]
+        out = Upper().process(batch)
+        assert out is batch
+        assert [d.get("upper") for d in out] == ["A", "B"]
+
+    def test_declared_pure(self):
+        assert Upper().pure
+
+
+class TestFunctionStage:
+    def test_wraps_function(self):
+        stage = FunctionStage(
+            "tag", lambda d: d.put("tag", d.doc_id * 2), pure=True
+        )
+        batch = [Document(doc_id=3)]
+        stage.process(batch)
+        assert batch[0].get("tag") == 6
+        assert stage.stage_name == "tag"
+        assert stage.pure
+
+    def test_defaults_to_impure(self):
+        assert not FunctionStage("x", lambda d: None).pure

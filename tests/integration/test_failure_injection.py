@@ -46,9 +46,12 @@ class TestTotalAcousticDropout:
             deletion_rate=1.0, insertion_rate=0.0,
             name_deletion_multiplier=1.0,
         )
-        # Monkey-wire the broken ASR through the internal path.
-        customer, agent = analysis_system._transcribe_turns(
-            asr, small_corpus.transcripts[0]
+        # Monkey-wire the broken ASR through the unified helper.
+        from repro.core.pipeline import transcribe_turns
+
+        customer, agent = transcribe_turns(
+            asr, small_corpus.transcripts[0].turns,
+            config=analysis_system.config,
         )
         assert all(part == "" for part in customer + agent)
 
