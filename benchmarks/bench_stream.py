@@ -1,0 +1,145 @@
+"""Streaming-consumer throughput and checkpoint cost.
+
+Feeds a car-rental corpus through the full call-center stage graph as
+a stream and measures sustained ingestion (docs/sec end to end),
+per-micro-batch latency, and the cost of a checkpoint (save, load,
+restore) at the final state size.  Emits ``BENCH_stream.json`` so the
+streaming perf trajectory is tracked from this PR onward.
+
+Run at bench scale with ``pytest benchmarks/bench_stream.py -s``, or
+at smoke scale (CI's non-gating step) by adding ``--smoke``.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.core import BIVoCConfig
+from repro.core.pipeline import BIVoCSystem
+from repro.engine import Document
+from repro.mining.index import field_key
+from repro.mining.stage import ConceptIndexStage
+from repro.stream import (
+    AssocSpec,
+    Checkpointer,
+    MemorySource,
+    RelFreqSpec,
+    StreamConsumer,
+    WindowedAnalytics,
+)
+from repro.synth.carrental import CarRentalConfig, generate_car_rental
+
+OUTPUT_PATH = pathlib.Path("BENCH_stream.json")
+
+
+def _build_consumer(corpus, checkpointer, batch_docs=32):
+    """Stream consumer over the corpus's call stage graph."""
+    system = BIVoCSystem(
+        BIVoCConfig(use_asr=False, link_mode="content")
+    )
+    stages = system.build_call_stages(
+        corpus, index_stage=ConceptIndexStage(on_duplicate="replace")
+    )
+    arrivals = sorted(
+        corpus.transcripts, key=lambda t: (t.day, t.call_id)
+    )
+    source = MemorySource(
+        (
+            transcript.day,
+            Document(
+                doc_id=transcript.call_id,
+                channel="call",
+                text=transcript.text,
+                artifacts={"transcript": transcript},
+            ),
+        )
+        for transcript in arrivals
+    )
+    window = WindowedAnalytics(
+        3,
+        assoc_specs=[
+            AssocSpec(("field", "city"), ("field", "car_type"))
+        ],
+        relfreq_specs=[
+            RelFreqSpec(
+                (field_key("detected_intent", "strong"),),
+                ("field", "call_type"),
+            )
+        ],
+    )
+    return StreamConsumer(
+        source,
+        stages,
+        window=window,
+        checkpointer=checkpointer,
+        batch_docs=batch_docs,
+        checkpoint_interval=10 ** 9,  # benchmark checkpoints explicitly
+    )
+
+
+def test_bench_stream_throughput(smoke, tmp_path):
+    """Emit BENCH_stream.json: sustained docs/sec + checkpoint cost."""
+    config = CarRentalConfig(
+        n_agents=6 if smoke else 30,
+        n_days=3 if smoke else 8,
+        calls_per_agent_per_day=4 if smoke else 5,
+        n_customers=60 if smoke else 400,
+        seed=17,
+    )
+    corpus = generate_car_rental(config)
+    checkpointer = Checkpointer(tmp_path / "bench_stream_ck.json")
+    consumer = _build_consumer(corpus, checkpointer)
+
+    started = time.perf_counter()
+    report = consumer.run(checkpoint_at_end=False)
+    ingest_wall = time.perf_counter() - started
+    docs_per_sec = (
+        report.processed / ingest_wall if ingest_wall > 0 else 0.0
+    )
+
+    save_started = time.perf_counter()
+    consumer.checkpoint()
+    checkpoint_save_s = time.perf_counter() - save_started
+
+    resumed = _build_consumer(corpus, checkpointer)
+    load_started = time.perf_counter()
+    assert resumed.restore()
+    checkpoint_restore_s = time.perf_counter() - load_started
+
+    checkpoint_bytes = checkpointer.path and pathlib.Path(
+        checkpointer.path
+    ).stat().st_size
+
+    payload = {
+        "bench": "stream",
+        "smoke": smoke,
+        "corpus_docs": len(corpus.transcripts),
+        "stream": report.to_json_dict(),
+        "docs_per_sec": docs_per_sec,
+        "batch_docs": consumer.batch_docs,
+        "checkpoint": {
+            "save_s": checkpoint_save_s,
+            "restore_s": checkpoint_restore_s,
+            "bytes": checkpoint_bytes,
+            "indexed_docs": len(consumer.index),
+            "window_docs": len(consumer.window),
+        },
+        "stages": consumer.stage_report().to_json_dict(),
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    print(consumer.stage_report().render_text())
+    print()
+    print(report.render_text())
+    print(
+        f"sustained {docs_per_sec:.1f} docs/sec; checkpoint save "
+        f"{checkpoint_save_s * 1000:.1f}ms / restore "
+        f"{checkpoint_restore_s * 1000:.1f}ms "
+        f"({checkpoint_bytes} bytes)"
+    )
+    print(f"wrote {OUTPUT_PATH}")
+
+    assert OUTPUT_PATH.exists()
+    assert report.processed == len(corpus.transcripts)
+    assert len(resumed.index) == len(consumer.index)

@@ -44,3 +44,20 @@ def clean_study(car_corpus):
 def telecom_corpus():
     """Telecom corpus at 8% of the paper's volume (~3800 emails)."""
     return generate_telecom(BENCH_TELECOM_CONFIG)
+
+
+def pytest_addoption(parser):
+    """Bench-suite flags: ``--smoke`` shrinks benches for CI."""
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run benches at smoke scale (small corpora, fast; "
+             "used by the non-gating CI step)",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request):
+    """True when the bench run should stay at smoke scale."""
+    return request.config.getoption("--smoke")

@@ -7,6 +7,7 @@ regenerated without writing code:
     python -m repro asr                 # Table I
     python -m repro training            # the SecV-C A/B experiment
     python -m repro churn               # the SecVI churn study
+    python -m repro stream              # incremental streaming consumer
     python -m repro lint                # static-analysis guardrails
 """
 
@@ -179,6 +180,193 @@ def cmd_churn(args):
     return 0
 
 
+def _build_carrental_stream(args):
+    """Stream wiring for the car-rental feed: source, stages, window."""
+    from repro.core import BIVoCConfig
+    from repro.core.pipeline import BIVoCSystem
+    from repro.engine import Document
+    from repro.mining.index import field_key
+    from repro.mining.stage import ConceptIndexStage
+    from repro.stream import (
+        AssocSpec,
+        MemorySource,
+        RelFreqSpec,
+        WindowedAnalytics,
+    )
+    from repro.synth.carrental import CarRentalConfig, generate_car_rental
+
+    corpus = generate_car_rental(
+        CarRentalConfig(
+            n_agents=args.agents,
+            n_days=args.days,
+            calls_per_agent_per_day=5,
+            n_customers=10 * args.agents,
+            seed=args.seed,
+        )
+    )
+    system = BIVoCSystem(
+        BIVoCConfig(
+            use_asr=False, link_mode="content", workers=args.workers
+        )
+    )
+    stages = system.build_call_stages(
+        corpus, index_stage=ConceptIndexStage(on_duplicate="replace")
+    )
+    arrivals = sorted(
+        corpus.transcripts, key=lambda t: (t.day, t.call_id)
+    )
+    source = MemorySource(
+        (
+            transcript.day,
+            Document(
+                doc_id=transcript.call_id,
+                channel="call",
+                text=transcript.text,
+                artifacts={"transcript": transcript},
+            ),
+        )
+        for transcript in arrivals
+    )
+    window = WindowedAnalytics(
+        args.window,
+        assoc_specs=[
+            AssocSpec(("field", "city"), ("field", "car_type"))
+        ],
+        relfreq_specs=[
+            RelFreqSpec(
+                (field_key("detected_intent", "strong"),),
+                ("field", "call_type"),
+            )
+        ],
+    )
+    return source, stages, window
+
+
+def _build_telecom_stream(args):
+    """Stream wiring for the telecom feed: source, stages, window."""
+    from repro.annotation.domains import CHURN_DRIVER_SURFACES
+    from repro.annotation.matcher import AnnotationEngine
+    from repro.annotation.dictionary import (
+        DictionaryEntry,
+        DomainDictionary,
+    )
+    from repro.cleaning.stage import CleaningStage
+    from repro.engine import Document, FunctionStage
+    from repro.mining.stage import ConceptIndexStage
+    from repro.stream import AssocSpec, MemorySource, WindowedAnalytics
+    from repro.synth.telecom import TelecomConfig, generate_telecom
+
+    corpus = generate_telecom(
+        TelecomConfig(
+            scale=args.scale, n_customers=args.customers, seed=args.seed
+        )
+    )
+    # One shared "churn driver" category so windowed trend/association
+    # snapshots can rank the drivers against each other.
+    dictionary = DomainDictionary()
+    for driver, surfaces in CHURN_DRIVER_SURFACES.items():
+        for surface in surfaces:
+            dictionary.add(
+                DictionaryEntry(surface, driver, "churn driver")
+            )
+    engine = AnnotationEngine(dictionary=dictionary)
+    stages = [
+        CleaningStage(),
+        FunctionStage(
+            "annotate",
+            lambda d: d.put(
+                "annotated", engine.annotate(d.get("cleaned_text") or "")
+            ),
+            pure=True,
+        ),
+        ConceptIndexStage(on_duplicate="replace"),
+    ]
+    arrivals = sorted(
+        corpus.messages, key=lambda m: (m.month, m.message_id)
+    )
+    source = MemorySource(
+        (
+            message.month,
+            Document(
+                doc_id=message.message_id,
+                channel=message.channel,
+                text=message.raw_text,
+                artifacts={
+                    "index_fields": {"channel": message.channel}
+                },
+            ),
+        )
+        for message in arrivals
+    )
+    window = WindowedAnalytics(
+        args.window,
+        assoc_specs=[
+            AssocSpec(("concept", "churn driver"), ("field", "channel"))
+        ],
+    )
+    return source, stages, window
+
+
+def cmd_stream(args):
+    """Run the incremental streaming consumer over a synthetic feed."""
+    from repro.mining.reports import render_association, render_relevancy
+    from repro.stream import Checkpointer, StreamConsumer
+
+    if args.source == "carrental":
+        source, stages, window = _build_carrental_stream(args)
+        bucket_name = "day"
+    else:
+        source, stages, window = _build_telecom_stream(args)
+        bucket_name = "month"
+    checkpointer = (
+        Checkpointer(args.checkpoint) if args.checkpoint else None
+    )
+    consumer = StreamConsumer(
+        source,
+        stages,
+        window=window,
+        checkpointer=checkpointer,
+        batch_docs=args.batch_docs,
+        checkpoint_interval=args.checkpoint_interval,
+        workers=args.workers,
+    )
+    if checkpointer is not None and consumer.restore():
+        print(
+            f"resumed from checkpoint at offset "
+            f"{consumer.committed_offset}"
+        )
+    report = consumer.run(max_batches=args.max_batches)
+    if args.stage_stats:
+        print(consumer.stage_report().render_text())
+        print()
+    print(report.render_text())
+    print(
+        f"window: last {window.window_buckets} {bucket_name}s "
+        f"({len(window)} documents, buckets {window.buckets})"
+    )
+    print()
+    spec = window.assoc_specs[0]
+    print(
+        render_association(
+            window.assoc_snapshot(0),
+            value="count",
+            title=(
+                f"windowed association — {spec.row_dimension[1]} x "
+                f"{spec.col_dimension[1]}"
+            ),
+        )
+    )
+    if window.relfreq_specs:
+        print()
+        print(
+            render_relevancy(
+                window.relfreq_snapshot(0),
+                title="windowed relevancy — strong intent vs outcome",
+            )
+        )
+    return 0
+
+
 def _default_lint_paths():
     """What ``bivoc lint`` checks when no path is given.
 
@@ -260,6 +448,49 @@ def build_parser():
     churn.add_argument("--channel", choices=("email", "sms"),
                        default="email")
     churn.set_defaults(func=cmd_churn)
+
+    stream = sub.add_parser(
+        "stream",
+        help="run the incremental streaming consumer",
+        description=(
+            "Feeds a synthetic corpus through the stage graph as a "
+            "live stream: micro-batched ingestion with backpressure, "
+            "sliding-window analytics, and optional checkpoint/resume "
+            "(re-run with the same --checkpoint path to resume)."
+        ),
+    )
+    _add_common(stream)
+    _add_engine_options(stream)
+    stream.add_argument(
+        "--source", choices=("carrental", "telecom"),
+        default="carrental",
+        help="which synthetic generator feeds the stream",
+    )
+    stream.add_argument("--agents", type=int, default=30,
+                        help="carrental: number of agents")
+    stream.add_argument("--days", type=int, default=6,
+                        help="carrental: number of days")
+    stream.add_argument("--scale", type=float, default=0.02,
+                        help="telecom: fraction of paper message volume")
+    stream.add_argument("--customers", type=int, default=1000,
+                        help="telecom: number of customers")
+    stream.add_argument(
+        "--window", type=int, default=3,
+        help="sliding-window width in time buckets (days/months)",
+    )
+    stream.add_argument("--batch-docs", type=int, default=25,
+                        help="documents per micro-batch")
+    stream.add_argument(
+        "--checkpoint", default=None,
+        help="checkpoint file path (enables checkpoint/resume)",
+    )
+    stream.add_argument("--checkpoint-interval", type=int, default=4,
+                        help="micro-batches between checkpoints")
+    stream.add_argument(
+        "--max-batches", type=int, default=None,
+        help="stop after this many micro-batches (default: drain)",
+    )
+    stream.set_defaults(func=cmd_stream)
 
     lint = sub.add_parser(
         "lint",

@@ -9,7 +9,7 @@ testable and replaceable:
     synth                         (rank 2: generators fill the store)
     asr cleaning linking annotation   (rank 3: channel engines)
     mining churn                  (rank 4: analysis layer)
-    core devtools                 (rank 5: facade / tooling)
+    core devtools stream          (rank 5: facade / tooling / streaming)
     cli                           (rank 6: entry points)
     __main__                      (rank 7)
 
@@ -39,6 +39,10 @@ DEFAULT_LAYERS = {
     "churn": 4,
     "core": 5,
     "devtools": 5,
+    # The streaming consumer drives engine stage graphs (rank 1) and
+    # mirrors the mining analyses (rank 4), so it sits with the
+    # facades; same-rank isolation keeps it independent of ``core``.
+    "stream": 5,
     "cli": 6,
     "__main__": 7,
 }

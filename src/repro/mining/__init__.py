@@ -18,6 +18,7 @@ from repro.mining.relfreq import RelevancyResult, relative_frequency
 from repro.mining.assoc2d import AssociationCell, AssociationTable, associate
 from repro.mining.trends import (
     emerging_concepts,
+    observed_bucket_range,
     trend_series,
     trend_slope,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "associate",
     "trend_series",
     "trend_slope",
+    "observed_bucket_range",
     "emerging_concepts",
     "ConceptCube",
     "CubeCell",

@@ -39,8 +39,11 @@ class ConceptIndex:
         self._keep_documents = keep_documents
         self._texts = {}
 
+    #: Accepted duplicate-handling policies for :meth:`add`/:meth:`add_keys`.
+    ON_DUPLICATE = ("raise", "replace", "skip")
+
     def add(self, doc_id, annotated=None, fields=None, timestamp=None,
-            text=None):
+            text=None, on_duplicate="raise"):
         """Index one document.
 
         ``annotated`` is an :class:`AnnotatedDocument` (its concepts are
@@ -49,9 +52,13 @@ class ConceptIndex:
         time bucket used by trend analysis.  ``text`` overrides the
         stored drill-down text (defaults to ``annotated.text``) when the
         index keeps documents.
+
+        ``on_duplicate`` selects what a re-delivered ``doc_id`` does:
+        ``"raise"`` (the default, the one-shot batch contract),
+        ``"replace"`` (drop the old postings and re-index — the
+        idempotent upsert streaming consumers need), or ``"skip"``
+        (keep the first delivery, ignore this one).
         """
-        if doc_id in self._documents:
-            raise ValueError(f"document {doc_id!r} already indexed")
         keys = set()
         if annotated is not None:
             for concept in annotated.concepts:
@@ -61,6 +68,41 @@ class ConceptIndex:
             if value is None:
                 continue
             keys.add(field_key(name, value))
+        stored = text
+        if stored is None and annotated is not None:
+            stored = annotated.text
+        return self.add_keys(
+            doc_id,
+            keys,
+            timestamp=timestamp,
+            text=stored,
+            on_duplicate=on_duplicate,
+        )
+
+    def add_keys(self, doc_id, keys, timestamp=None, text=None,
+                 on_duplicate="raise"):
+        """Index one document under pre-built concept keys.
+
+        The low-level core of :meth:`add` — used directly when the keys
+        already exist (checkpoint restore, windowed re-ingest) and
+        re-annotating would be wasted work.  ``keys`` is an iterable of
+        3-tuples from :func:`concept_key`/:func:`field_key`;
+        ``on_duplicate`` follows the :meth:`add` contract.  A
+        ``"replace"`` re-insert moves the document to the end of the
+        insertion order.
+        """
+        if on_duplicate not in self.ON_DUPLICATE:
+            raise ValueError(
+                f"on_duplicate must be one of {self.ON_DUPLICATE}, "
+                f"got {on_duplicate!r}"
+            )
+        if doc_id in self._documents:
+            if on_duplicate == "raise":
+                raise ValueError(f"document {doc_id!r} already indexed")
+            if on_duplicate == "skip":
+                return self
+            self.remove(doc_id)
+        keys = {tuple(key) for key in keys}
         for key in keys:
             self._postings[key].add(doc_id)
             self._dimension_values[key[:2]].add(key[2])
@@ -69,11 +111,38 @@ class ConceptIndex:
             "timestamp": timestamp,
         }
         if self._keep_documents:
-            stored = text
-            if stored is None and annotated is not None:
-                stored = annotated.text
-            self._texts[doc_id] = stored or ""
+            self._texts[doc_id] = text or ""
         return self
+
+    def remove(self, doc_id):
+        """Un-index one document, releasing all its postings.
+
+        Postings sets shrink; a key whose last document disappears is
+        dropped entirely, and its value leaves the dimension-value
+        catalogue, so an index after ``add`` + ``remove`` is
+        indistinguishable from one that never saw the document.
+        """
+        try:
+            entry = self._documents.pop(doc_id)
+        except KeyError:
+            raise KeyError(f"document {doc_id!r} not indexed") from None
+        for key in entry["keys"]:
+            postings = self._postings[key]
+            postings.discard(doc_id)
+            if not postings:
+                del self._postings[key]
+                dimension = key[:2]
+                values = self._dimension_values[dimension]
+                values.discard(key[2])
+                if not values:
+                    del self._dimension_values[dimension]
+        self._texts.pop(doc_id, None)
+        return self
+
+    @property
+    def keeps_documents(self):
+        """Whether the index stores drill-down texts."""
+        return self._keep_documents
 
     def text_of(self, doc_id):
         """Drill-down text of a document (requires keep_documents)."""

@@ -31,12 +31,19 @@ class ConceptIndexStage(Stage):
 
     def __init__(self, index=None, annotated_artifact="annotated",
                  fields_artifact="index_fields",
-                 timestamp_artifact="timestamp"):
-        """``index`` defaults to a fresh, non-document-keeping index."""
+                 timestamp_artifact="timestamp", on_duplicate="raise"):
+        """``index`` defaults to a fresh, non-document-keeping index.
+
+        ``on_duplicate`` is forwarded to :meth:`ConceptIndex.add`; a
+        streaming consumer sets ``"replace"`` so at-least-once
+        re-delivery stays idempotent (batch runs keep the strict
+        default).
+        """
         self.index = index if index is not None else ConceptIndex()
         self.annotated_artifact = annotated_artifact
         self.fields_artifact = fields_artifact
         self.timestamp_artifact = timestamp_artifact
+        self.on_duplicate = on_duplicate
 
     def process(self, batch):
         """Add every document in the batch to the index."""
@@ -46,5 +53,6 @@ class ConceptIndexStage(Stage):
                 annotated=document.get(self.annotated_artifact),
                 fields=document.get(self.fields_artifact),
                 timestamp=document.get(self.timestamp_artifact),
+                on_duplicate=self.on_duplicate,
             )
         return batch

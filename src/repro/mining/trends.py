@@ -8,12 +8,35 @@ analyze trends in the topics." (paper Section IV-D)
 from collections import Counter
 
 
+def observed_bucket_range(observed):
+    """Zero-fill-ready bucket list spanning the observed buckets.
+
+    Integer buckets (the corpora's day/month indices) expand to the
+    full contiguous ``min..max`` range so zero-count periods stay in
+    the series — dropping them flattens every gap and makes
+    :func:`trend_slope` overestimate rises.  Non-enumerable bucket
+    types fall back to the sorted observed buckets.
+    """
+    buckets = sorted(observed)
+    if not buckets:
+        return []
+    if all(
+        isinstance(bucket, int) and not isinstance(bucket, bool)
+        for bucket in buckets
+    ):
+        return list(range(buckets[0], buckets[-1] + 1))
+    return buckets
+
+
 def trend_series(index, key, buckets=None):
     """Occurrences of ``key`` per time bucket.
 
     Documents indexed without a timestamp are skipped.  Returns a list
     of ``(bucket, count)`` sorted by bucket; ``buckets`` forces the
-    bucket list (zero-filled) so series align across concepts.
+    bucket list (zero-filled) so series align across concepts.  With
+    ``buckets=None`` the series spans the key's full observed bucket
+    range (:func:`observed_bucket_range`), so interior zero-count
+    periods are reported as zeros rather than silently dropped.
     """
     counts = Counter()
     for doc_id in index.documents_with(tuple(key)):
@@ -22,7 +45,7 @@ def trend_series(index, key, buckets=None):
             continue
         counts[timestamp] += 1
     if buckets is None:
-        buckets = sorted(counts)
+        buckets = observed_bucket_range(counts)
     return [(bucket, counts.get(bucket, 0)) for bucket in buckets]
 
 

@@ -37,7 +37,11 @@ def database_from_dict(payload, build_indexes=True):
     """Rebuild a :class:`Database` from :func:`database_to_dict` output.
 
     Entity ids are preserved (rows are inserted in id order; gaps in
-    the id sequence are not supported by the in-memory table and raise).
+    the id sequence are not supported by the in-memory table).  Each
+    table's id sequence is validated *before* any row is inserted, so
+    a malformed payload raises a :class:`ValueError` naming the table
+    and the first missing or duplicated id instead of leaving a
+    half-built database behind.
     """
     database = Database(payload.get("name", "restored"))
     for table_name, table_payload in payload["tables"].items():
@@ -51,15 +55,25 @@ def database_from_dict(payload, build_indexes=True):
                 for column in table_payload["schema"]
             )
         )
-        table = database.create_table(table_name, schema)
         rows = sorted(
             table_payload["rows"], key=lambda row: row["entity_id"]
         )
         for expected_id, row in enumerate(rows):
-            if row["entity_id"] != expected_id:
+            actual_id = row["entity_id"]
+            if actual_id == expected_id:
+                continue
+            if actual_id < expected_id:
                 raise ValueError(
-                    f"table {table_name!r} has non-contiguous entity ids"
+                    f"table {table_name!r} has duplicate entity id "
+                    f"{actual_id}; ids must be unique"
                 )
+            raise ValueError(
+                f"table {table_name!r} is missing entity id "
+                f"{expected_id} (next stored id is {actual_id}); "
+                f"in-memory tables need dense ids starting at 0"
+            )
+        table = database.create_table(table_name, schema)
+        for row in rows:
             table.insert(row["values"])
     if build_indexes:
         database.build_indexes()

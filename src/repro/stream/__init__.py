@@ -1,0 +1,51 @@
+"""Incremental ingestion: streams, windows, checkpoints.
+
+The paper's BIVoC is an operational system — calls, emails and SMS
+arrive continuously, and trend insight comes from "the increase and
+decrease of occurrences of each concept in a certain period" (paper
+Section IV-D).  This subsystem turns the one-shot stage graphs of
+:mod:`repro.engine` into that always-on shape:
+
+* :mod:`~repro.stream.source` — offset-addressed, replayable document
+  streams (in-memory and JSONL replay-log sources);
+* :mod:`~repro.stream.consumer` — a micro-batching
+  :class:`StreamConsumer` with bounded-queue backpressure and
+  at-least-once, idempotent delivery;
+* :mod:`~repro.stream.window` — :class:`WindowedAnalytics`, sliding-
+  window relative-frequency / association / trend snapshots maintained
+  by delta updates yet bit-identical to the batch mining functions;
+* :mod:`~repro.stream.checkpoint` — atomic JSON checkpoints of offset
+  + index + window so a killed consumer resumes without reprocessing
+  or double-counting.
+"""
+
+from repro.stream.checkpoint import (
+    Checkpointer,
+    index_from_state,
+    index_to_state,
+)
+from repro.stream.consumer import StreamConsumer, StreamReport
+from repro.stream.source import (
+    MemorySource,
+    ReplayLogSource,
+    StreamRecord,
+    StreamSource,
+    write_replay_log,
+)
+from repro.stream.window import AssocSpec, RelFreqSpec, WindowedAnalytics
+
+__all__ = [
+    "StreamSource",
+    "StreamRecord",
+    "MemorySource",
+    "ReplayLogSource",
+    "write_replay_log",
+    "StreamConsumer",
+    "StreamReport",
+    "WindowedAnalytics",
+    "AssocSpec",
+    "RelFreqSpec",
+    "Checkpointer",
+    "index_to_state",
+    "index_from_state",
+]

@@ -1,0 +1,109 @@
+"""Checkpointing: durable consumer state with atomic JSON round trips.
+
+A checkpoint captures everything a killed consumer needs to resume
+without losing or double-counting documents: the last committed source
+offset, the full main :class:`~repro.mining.index.ConceptIndex`, and
+the sliding-window state.  The style follows :mod:`repro.store.persist`
+— plain JSON dicts, explicit ``*_to_state`` / ``*_from_state``
+round-trip functions — and writes are atomic (temp file +
+``os.replace``) so a crash *during* checkpointing leaves the previous
+checkpoint intact rather than a torn file.
+"""
+
+import json
+import os
+
+from repro.mining.index import ConceptIndex
+
+#: Format version stamped into every checkpoint payload.
+CHECKPOINT_VERSION = 1
+
+
+def index_to_state(index):
+    """JSON-safe snapshot of a :class:`ConceptIndex`.
+
+    Documents are listed in insertion order with their full key sets
+    and timestamps (and drill-down texts when the index keeps them),
+    which is exactly what :func:`index_from_state` needs to rebuild an
+    equal index.
+    """
+    keep_documents = index.keeps_documents
+    documents = []
+    for doc_id in index.document_ids:
+        entry = {
+            "doc_id": doc_id,
+            "keys": sorted(list(key) for key in index.keys_of(doc_id)),
+            "timestamp": index.timestamp_of(doc_id),
+        }
+        if keep_documents:
+            entry["text"] = index.text_of(doc_id)
+        documents.append(entry)
+    return {
+        "keep_documents": keep_documents,
+        "documents": documents,
+    }
+
+
+def index_from_state(state):
+    """Rebuild a :class:`ConceptIndex` from :func:`index_to_state`."""
+    index = ConceptIndex(keep_documents=state["keep_documents"])
+    for entry in state["documents"]:
+        index.add_keys(
+            entry["doc_id"],
+            [tuple(key) for key in entry["keys"]],
+            timestamp=entry["timestamp"],
+            text=entry.get("text"),
+        )
+    return index
+
+
+class Checkpointer:
+    """Atomic save/load of one consumer's checkpoint file.
+
+    ``save`` writes the payload to ``<path>.tmp`` and renames it over
+    ``<path>`` in one step; ``load`` returns ``None`` when no
+    checkpoint exists yet (a fresh consumer), and raises on a payload
+    whose format version this code does not understand.
+    """
+
+    def __init__(self, path):
+        """``path`` is the checkpoint file location."""
+        self.path = os.fspath(path)
+
+    def save(self, state):
+        """Atomically persist one checkpoint payload."""
+        payload = dict(state)
+        payload["version"] = CHECKPOINT_VERSION
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, self.path)
+        return self
+
+    def load(self):
+        """The last saved payload, or ``None`` if none exists."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint {self.path!r} has format version "
+                f"{version!r}; this build reads version "
+                f"{CHECKPOINT_VERSION}"
+            )
+        return payload
+
+    def exists(self):
+        """True when a checkpoint file is present."""
+        return os.path.exists(self.path)
+
+    def clear(self):
+        """Delete the checkpoint file if present."""
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:
+            pass
+        return self

@@ -1,0 +1,148 @@
+"""Trend-series edge cases and the bucket-gap zero-fill regression."""
+
+import pytest
+
+from repro.mining.index import ConceptIndex, field_key
+from repro.mining.trends import (
+    emerging_concepts,
+    observed_bucket_range,
+    trend_series,
+    trend_slope,
+)
+
+
+def _index(rows):
+    """``rows``: (doc_id, {field: value}, timestamp)."""
+    index = ConceptIndex()
+    for doc_id, fields, timestamp in rows:
+        index.add(doc_id, fields=fields, timestamp=timestamp)
+    return index
+
+
+class TestObservedBucketRange:
+    def test_integer_buckets_expand_to_contiguous_range(self):
+        assert observed_bucket_range([4, 0, 2]) == [0, 1, 2, 3, 4]
+
+    def test_empty_input(self):
+        assert observed_bucket_range([]) == []
+
+    def test_single_bucket(self):
+        assert observed_bucket_range([7]) == [7]
+
+    def test_non_integer_buckets_sorted_as_is(self):
+        assert observed_bucket_range(["w2", "w1"]) == ["w1", "w2"]
+
+    def test_bools_not_treated_as_integers(self):
+        # range(False, True + 1) would "work" but is nonsense; bools
+        # fall back to the sorted-observed path.
+        assert observed_bucket_range([True, False]) == [False, True]
+
+
+class TestBucketGapZeroFill:
+    """Regression: interior zero-count buckets used to vanish."""
+
+    def _gappy_index(self):
+        # "billing" occurs on days 0 and 3 only; days 1-2 are quiet.
+        return _index([
+            (0, {"topic": "billing"}, 0),
+            (1, {"topic": "billing"}, 0),
+            (2, {"topic": "billing"}, 3),
+        ])
+
+    def test_gap_buckets_reported_as_zero(self):
+        series = trend_series(
+            self._gappy_index(), field_key("topic", "billing")
+        )
+        assert series == [(0, 2), (1, 0), (2, 0), (3, 1)]
+
+    def test_slope_accounts_for_quiet_periods(self):
+        # Before the fix the series collapsed to [(0, 2), (3, 1)] —
+        # the quiet days 1-2 silently vanished and distorted the
+        # fitted trend.
+        full = trend_series(
+            self._gappy_index(), field_key("topic", "billing")
+        )
+        collapsed = [(b, c) for b, c in full if c > 0]
+        assert trend_slope(full) < 0
+        assert trend_slope(full) != trend_slope(collapsed)
+
+    def test_forced_buckets_still_win(self):
+        series = trend_series(
+            self._gappy_index(), field_key("topic", "billing"),
+            buckets=[0, 3],
+        )
+        assert series == [(0, 2), (3, 1)]
+
+
+class TestTrendEdgeCases:
+    def test_unknown_key_gives_empty_series(self):
+        index = _index([(0, {"topic": "billing"}, 0)])
+        assert trend_series(index, field_key("topic", "ghost")) == []
+
+    def test_untimestamped_only_gives_empty_series(self):
+        index = _index([(0, {"topic": "billing"}, None)])
+        assert trend_series(index, field_key("topic", "billing")) == []
+
+    def test_single_bucket_series_has_zero_slope(self):
+        index = _index([
+            (0, {"topic": "billing"}, 5),
+            (1, {"topic": "billing"}, 5),
+        ])
+        series = trend_series(index, field_key("topic", "billing"))
+        assert series == [(5, 2)]
+        assert trend_slope(series) == 0.0
+
+    def test_all_zero_window_has_zero_slope(self):
+        index = _index([(0, {"topic": "billing"}, 2)])
+        series = trend_series(
+            index, field_key("topic", "ghost"), buckets=[0, 1, 2]
+        )
+        assert series == [(0, 0), (1, 0), (2, 0)]
+        assert trend_slope(series) == 0.0
+
+    def test_forced_buckets_align_series_across_concepts(self):
+        index = _index([
+            (0, {"topic": "billing"}, 0),
+            (1, {"topic": "roaming"}, 4),
+        ])
+        buckets = [0, 1, 2, 3, 4]
+        billing = trend_series(
+            index, field_key("topic", "billing"), buckets=buckets
+        )
+        roaming = trend_series(
+            index, field_key("topic", "roaming"), buckets=buckets
+        )
+        assert [b for b, _ in billing] == [b for b, _ in roaming]
+        assert trend_slope(billing) == -trend_slope(roaming)
+
+
+class TestEmergingConcepts:
+    def test_gap_aware_ranking(self):
+        # "rising" grows steadily; "bursty" matches its total but has
+        # an interior gap that the zero-fill must count against it.
+        index = _index([
+            (0, {"topic": "rising"}, 1),
+            (1, {"topic": "rising"}, 2),
+            (2, {"topic": "rising"}, 2),
+            (3, {"topic": "bursty"}, 0),
+            (4, {"topic": "bursty"}, 0),
+            (5, {"topic": "bursty"}, 2),
+        ])
+        ranked = emerging_concepts(index, ("field", "topic"))
+        assert [key for key, _, _ in ranked] == [
+            field_key("topic", "rising"), field_key("topic", "bursty")
+        ]
+
+    def test_min_total_filters_noise(self):
+        index = _index([
+            (0, {"topic": "rare"}, 0),
+            (1, {"topic": "rare"}, 1),
+        ])
+        assert emerging_concepts(index, ("field", "topic")) == []
+        assert len(
+            emerging_concepts(index, ("field", "topic"), min_total=2)
+        ) == 1
+
+    def test_empty_dimension(self):
+        index = _index([(0, {"topic": "billing"}, 0)])
+        assert emerging_concepts(index, ("field", "ghost")) == []

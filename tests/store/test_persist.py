@@ -81,3 +81,34 @@ class TestRoundTrip:
         payload["tables"]["customers"]["rows"][0]["entity_id"] = 7
         with pytest.raises(ValueError):
             database_from_dict(payload)
+
+
+class TestEntityIdDiagnostics:
+    """Gap/duplicate errors must name the table and the offending id."""
+
+    def test_gap_error_names_table_and_missing_id(self, db):
+        payload = database_to_dict(db)
+        payload["tables"]["customers"]["rows"][1]["entity_id"] = 5
+        with pytest.raises(ValueError) as excinfo:
+            database_from_dict(payload)
+        message = str(excinfo.value)
+        assert "'customers'" in message
+        assert "missing entity id 1" in message
+        assert "next stored id is 5" in message
+
+    def test_duplicate_id_error_names_table_and_id(self, db):
+        payload = database_to_dict(db)
+        payload["tables"]["customers"]["rows"][1]["entity_id"] = 0
+        with pytest.raises(
+            ValueError, match=r"'customers' has duplicate entity id 0"
+        ):
+            database_from_dict(payload)
+
+    def test_first_id_must_be_zero(self, db):
+        payload = database_to_dict(db)
+        for offset, row in enumerate(
+            payload["tables"]["customers"]["rows"]
+        ):
+            row["entity_id"] = offset + 3
+        with pytest.raises(ValueError, match="missing entity id 0"):
+            database_from_dict(payload)

@@ -1,0 +1,1 @@
+"""Tests for the incremental ingestion subsystem (repro.stream)."""
