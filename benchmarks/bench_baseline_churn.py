@@ -45,7 +45,7 @@ def dataset(telecom_corpus):
     return train_x, train_y, test_x, test_y
 
 
-def test_churn_classifier_baselines(benchmark, dataset):
+def test_churn_classifier_baselines(benchmark, dataset, smoke):
     train_x, train_y, test_x, test_y = dataset
     balanced_x, balanced_y = undersample(train_x, train_y, ratio=6.0)
 
@@ -93,5 +93,8 @@ def test_churn_classifier_baselines(benchmark, dataset):
     # Learned models dominate the manual keyword rules on detection.
     assert nb.detection_rate > rules.detection_rate
     assert knn_lr.detection_rate >= rules.detection_rate
-    # Keyword rules keep their one virtue: precision.
-    assert rules.precision >= nb.precision
+    # Keyword rules keep their one virtue: precision — unless the tiny
+    # smoke test set gives them nothing to fire on at all.
+    rules_fired = rules.true_positives + rules.false_positives > 0
+    if not smoke or rules_fired:
+        assert rules.precision >= nb.precision

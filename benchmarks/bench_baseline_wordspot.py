@@ -23,13 +23,14 @@ DISCOUNT_KEYWORDS = {"discount", "discounts", "corporate", "club",
 
 
 @pytest.fixture(scope="module")
-def setup():
+def setup(smoke):
+    """Corpus + calibrated system (smaller corpus at smoke scale)."""
     corpus = generate_car_rental(
         CarRentalConfig(
-            n_agents=20,
+            n_agents=10 if smoke else 20,
             n_days=3,
             calls_per_agent_per_day=5,
-            n_customers=200,
+            n_customers=120 if smoke else 200,
             seed=19,
         )
     )

@@ -23,11 +23,18 @@ from repro.util.rng import derive_rng
 from repro.util.tabletext import format_table
 
 
-def test_email_linking_quality(benchmark):
-    corpus = generate_telecom(TelecomConfig(scale=0.01, n_customers=1500))
+def test_email_linking_quality(benchmark, smoke):
+    from benchjson import emit
+
+    corpus = generate_telecom(
+        TelecomConfig(
+            scale=0.005 if smoke else 0.01,
+            n_customers=600 if smoke else 1500,
+        )
+    )
     linked_emails = [
         m for m in corpus.emails if m.sender_entity_id is not None
-    ][:250]
+    ][: 120 if smoke else 250]
     documents = [m.raw_text for m in linked_emails]
     truth = [m.sender_entity_id for m in linked_emails]
     linker = EntityLinker(
@@ -52,6 +59,17 @@ def test_email_linking_quality(benchmark):
             ],
             title="SecIV-B — linking noisy customer emails to records",
         )
+    )
+    emit(
+        "linking",
+        {
+            "bench": "linking",
+            "smoke": smoke,
+            "documents": report.total_documents,
+            "precision": report.precision,
+            "recall": report.recall,
+            "f1": report.f1,
+        },
     )
     assert report.precision > 0.9
     assert report.recall > 0.85
@@ -203,8 +221,10 @@ def _type_accuracy(linker, documents):
     return correct / len(documents)
 
 
-def test_multi_type_em_weights(benchmark):
-    database, people, addresses = _multi_type_database()
+def test_multi_type_em_weights(benchmark, smoke):
+    database, people, addresses = _multi_type_database(
+        n_customers=90 if smoke else 120
+    )
     documents = _document_collection(database, people, addresses)
     texts = [text for text, _, _ in documents]
 

@@ -15,7 +15,7 @@ from repro.core.usecases.churn import run_churn_study
 OUTPUT_PATH = pathlib.Path("BENCH_pipeline.json")
 
 
-def test_bench_pipeline_stage_timing(clean_study, telecom_corpus):
+def test_bench_pipeline_stage_timing(clean_study, telecom_corpus, smoke):
     """Emit BENCH_pipeline.json with per-stage timing for both flows."""
     call_report = clean_study.analysis.stage_report
     churn_result = run_churn_study(telecom_corpus, channel="email")
@@ -23,6 +23,7 @@ def test_bench_pipeline_stage_timing(clean_study, telecom_corpus):
 
     payload = {
         "bench": "pipeline_stages",
+        "smoke": smoke,
         "call_center": call_report.to_json_dict(),
         "churn_email": churn_report.to_json_dict(),
     }

@@ -20,9 +20,10 @@ from repro.util.rng import derive_rng
 from repro.util.tabletext import format_table
 
 N_DOCS = 200_000
+SMOKE_N_DOCS = 40_000
 
 
-def _bulk_documents(n_docs=N_DOCS, seed=5):
+def _bulk_documents(n_docs, seed=5):
     rng = derive_rng(seed, "scalability")
     places = [f"city{i}" for i in range(40)]
     vehicles = [f"vehicle{i}" for i in range(12)]
@@ -43,30 +44,57 @@ def _bulk_documents(n_docs=N_DOCS, seed=5):
 
 
 @pytest.fixture(scope="module")
-def bulk_index():
+def bulk_docs(smoke):
+    """How many documents the bulk index holds at this scale."""
+    return SMOKE_N_DOCS if smoke else N_DOCS
+
+
+@pytest.fixture(scope="module")
+def bulk_index(bulk_docs):
+    """Concept index over the bulk synthetic document set."""
     index = ConceptIndex()
-    for doc_id, fields in enumerate(_bulk_documents()):
+    for doc_id, fields in enumerate(_bulk_documents(bulk_docs)):
         day = fields.pop("day")
         index.add(doc_id, fields=fields, timestamp=day)
     return index
 
 
-def test_indexing_throughput(benchmark):
-    documents = _bulk_documents(n_docs=50_000)
+def test_indexing_throughput(benchmark, smoke):
+    n_docs = 10_000 if smoke else 50_000
+    documents = _bulk_documents(n_docs=n_docs)
+    timing = {}
 
     def build():
+        start = time.perf_counter()
         index = ConceptIndex()
         for doc_id, fields in enumerate(documents):
             index.add(doc_id, fields=dict(fields))
+        timing["build_s"] = time.perf_counter() - start
         return index
 
     index = benchmark.pedantic(build, rounds=1, iterations=1)
-    assert len(index) == 50_000
+    assert len(index) == n_docs
+
+    from benchjson import emit
+
+    build_s = timing["build_s"]
+    emit(
+        "scalability",
+        {
+            "bench": "scalability",
+            "smoke": smoke,
+            "indexed_docs": n_docs,
+            "index_build_s": build_s,
+            "docs_per_sec": n_docs / build_s if build_s else 0.0,
+        },
+    )
 
 
-def test_reporting_latency_at_200k_documents(benchmark, bulk_index):
+def test_reporting_latency_at_bulk_scale(benchmark, bulk_index,
+                                         bulk_docs):
+    """Latency of the reporting primitives over the bulk index."""
     index = bulk_index
-    assert len(index) == N_DOCS
+    assert len(index) == bulk_docs
 
     timings = {}
 
@@ -99,7 +127,10 @@ def test_reporting_latency_at_200k_documents(benchmark, bulk_index):
                 [name, f"{seconds * 1000:.2f} ms"]
                 for name, seconds in timings.items()
             ],
-            title=f"E14 — reporting primitives over {N_DOCS:,} documents",
+            title=(
+                f"E14 — reporting primitives over "
+                f"{bulk_docs:,} documents"
+            ),
         )
     )
     # Interactive-grade latency for the point lookups.

@@ -19,15 +19,16 @@ from repro.synth.carrental import CarRentalConfig
 from repro.util.tabletext import format_table
 
 SEEDS = (17, 23, 41)
+SMOKE_SEEDS = (17,)
 
 
-def _experiment(seed):
+def _experiment(seed, smoke):
     return run_training_experiment(
         CarRentalConfig(
             n_agents=90,
-            n_days=44,
-            calls_per_agent_per_day=20,
-            n_customers=3000,
+            n_days=16 if smoke else 44,
+            calls_per_agent_per_day=10 if smoke else 20,
+            n_customers=1000 if smoke else 3000,
             seed=seed,
             agent_logit_sigma=0.26,
             build_transcripts=False,
@@ -35,12 +36,13 @@ def _experiment(seed):
     )[0]
 
 
-def test_sec5c_training_intervention(benchmark):
+def test_sec5c_training_intervention(benchmark, smoke):
     outcomes = {}
+    seeds = SMOKE_SEEDS if smoke else SEEDS
 
     def run_all():
-        for seed in SEEDS:
-            outcomes[seed] = _experiment(seed)
+        for seed in seeds:
+            outcomes[seed] = _experiment(seed, smoke)
         return outcomes
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
@@ -72,12 +74,16 @@ def test_sec5c_training_intervention(benchmark):
     mean_improvement = sum(improvements) / len(improvements)
     print(f"mean improvement across seeds: {mean_improvement:+.4f}")
 
-    # The planted effect is +3 points; each seed draws around it.
-    assert mean_improvement == pytest.approx(0.03, abs=0.015)
+    # The planted effect is +3 points; each seed draws around it.  At
+    # smoke scale (one seed, a third of the days) a single draw is
+    # noisier, so only the direction and rough size are asserted.
+    tolerance = 0.03 if smoke else 0.015
+    assert mean_improvement == pytest.approx(0.03, abs=tolerance)
     for outcome in outcomes.values():
         # Groups were comparable before training.
-        assert abs(outcome.pre_gap) < 0.03
+        assert abs(outcome.pre_gap) < (0.04 if smoke else 0.03)
         # Training never hurts.
         assert outcome.improvement > 0.0
-    # At least one seed reaches the paper's marginal-significance zone.
-    assert min(o.ttest.p_value for o in outcomes.values()) < 0.10
+    if not smoke:
+        # At least one seed reaches the marginal-significance zone.
+        assert min(o.ttest.p_value for o in outcomes.values()) < 0.10

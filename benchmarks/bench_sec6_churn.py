@@ -18,7 +18,9 @@ from repro.core.usecases.churn import run_churn_study
 from repro.util.tabletext import format_table
 
 
-def test_sec6_churn_email_study(benchmark, telecom_corpus):
+def test_sec6_churn_email_study(benchmark, telecom_corpus, smoke):
+    from benchjson import emit
+
     result = benchmark.pedantic(
         lambda: run_churn_study(telecom_corpus, channel="email"),
         rounds=1,
@@ -61,11 +63,32 @@ def test_sec6_churn_email_study(benchmark, telecom_corpus):
         f"test churners {len(result.test_churners)}"
     )
 
-    assert result.unlinked_fraction == pytest.approx(0.18, abs=0.06)
-    assert result.train_churner_fraction == pytest.approx(0.03, abs=0.02)
+    emit(
+        "churn",
+        {
+            "bench": "churn",
+            "smoke": smoke,
+            "emails": result.total_messages,
+            "unlinked_fraction": result.unlinked_fraction,
+            "train_churner_fraction": result.train_churner_fraction,
+            "detection_rate": result.detection_rate,
+            "message_precision": result.message_report.precision,
+        },
+    )
+
+    abs_unlinked = 0.08 if smoke else 0.06
+    assert result.unlinked_fraction == pytest.approx(
+        0.18, abs=abs_unlinked
+    )
+    assert result.train_churner_fraction == pytest.approx(
+        0.03, abs=0.03 if smoke else 0.02
+    )
     # Detection in the paper's neighbourhood; the headline claim is
     # "about half of churners detectable from email text alone".
-    assert 0.35 <= result.detection_rate <= 0.80
+    if smoke:
+        assert 0.25 <= result.detection_rate <= 0.90
+    else:
+        assert 0.35 <= result.detection_rate <= 0.80
 
 
 def test_sec6_churn_driver_prevalence(benchmark, telecom_corpus):
@@ -94,7 +117,7 @@ def test_sec6_churn_driver_prevalence(benchmark, telecom_corpus):
         assert lift > 1.2, driver
 
 
-def test_sec6_churn_sms_study(benchmark, telecom_corpus):
+def test_sec6_churn_sms_study(benchmark, telecom_corpus, smoke):
     result = benchmark.pedantic(
         lambda: run_churn_study(telecom_corpus, channel="sms"),
         rounds=1,
@@ -124,5 +147,7 @@ def test_sec6_churn_sms_study(benchmark, telecom_corpus):
             title="SecVI — churn signals from SMS",
         )
     )
-    assert result.train_churner_fraction == pytest.approx(0.076, abs=0.03)
-    assert result.detection_rate > 0.2
+    assert result.train_churner_fraction == pytest.approx(
+        0.076, abs=0.05 if smoke else 0.03
+    )
+    assert result.detection_rate > (0.1 if smoke else 0.2)

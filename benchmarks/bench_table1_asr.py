@@ -23,7 +23,8 @@ PAPER = {"overall": 0.45, "names": 0.65, "numbers": 0.45}
 
 
 @pytest.fixture(scope="module")
-def asr_setup():
+def asr_setup(smoke):
+    """Calibrated system + mixed test set (smaller at smoke scale)."""
     corpus = generate_car_rental(
         CarRentalConfig(
             n_agents=15,
@@ -36,13 +37,17 @@ def asr_setup():
     system = ASRSystem.build_default(
         extra_sentences=[t.text for t in corpus.transcripts[:30]]
     )
-    test_set = [t.text for t in corpus.transcripts[30:130]] + [
-        c.text for c in generate_banking_calls(40, seed=5)
+    end = 80 if smoke else 130
+    banking = 15 if smoke else 40
+    test_set = [t.text for t in corpus.transcripts[30:end]] + [
+        c.text for c in generate_banking_calls(banking, seed=5)
     ]
     return system, test_set
 
 
-def test_table1_asr_wer(benchmark, asr_setup):
+def test_table1_asr_wer(benchmark, asr_setup, smoke):
+    from benchjson import emit
+
     system, test_set = asr_setup
 
     breakdown = benchmark.pedantic(
@@ -72,9 +77,27 @@ def test_table1_asr_wer(benchmark, asr_setup):
         )
     )
 
+    emit(
+        "asr",
+        {
+            "bench": "asr",
+            "smoke": smoke,
+            "utterances": len(test_set),
+            "overall_wer": measured["overall"],
+            "names_wer": measured["names"],
+            "numbers_wer": measured["numbers"],
+        },
+    )
+
     # Shape assertions: names are the hardest class; rates are in the
-    # paper's neighbourhood.
+    # paper's neighbourhood (slightly wider on the smoke test set).
     assert measured["names"] > measured["overall"]
-    assert measured["overall"] == pytest.approx(0.45, abs=0.10)
-    assert measured["names"] == pytest.approx(0.65, abs=0.15)
-    assert measured["numbers"] == pytest.approx(0.45, abs=0.12)
+    assert measured["overall"] == pytest.approx(
+        0.45, abs=0.12 if smoke else 0.10
+    )
+    assert measured["names"] == pytest.approx(
+        0.65, abs=0.18 if smoke else 0.15
+    )
+    assert measured["numbers"] == pytest.approx(
+        0.45, abs=0.15 if smoke else 0.12
+    )

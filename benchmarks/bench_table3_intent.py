@@ -15,7 +15,9 @@ from repro.mining.reports import outcome_percentage_table
 PAPER = {"strong": 0.63, "weak": 0.32}
 
 
-def test_table3_intent_vs_outcome(benchmark, car_corpus):
+def test_table3_intent_vs_outcome(benchmark, car_corpus, smoke):
+    from benchjson import emit
+
     from repro.core import BIVoCConfig, run_insight_analysis
 
     study = benchmark.pedantic(
@@ -42,6 +44,20 @@ def test_table3_intent_vs_outcome(benchmark, car_corpus):
         f"measured: strong {strong:.1%}, weak {weak:.1%}"
     )
 
-    assert strong == pytest.approx(PAPER["strong"], abs=0.06)
-    assert weak == pytest.approx(PAPER["weak"], abs=0.06)
-    assert strong > weak + 0.2  # the paper's headline gap
+    emit(
+        "intent",
+        {
+            "bench": "intent",
+            "smoke": smoke,
+            "strong_reservation": strong,
+            "weak_reservation": weak,
+            "gap": strong - weak,
+            "intent_detected": study.analysis.stats["intent_detected"],
+            "total": study.analysis.stats["total"],
+        },
+    )
+
+    tolerance = 0.12 if smoke else 0.06  # smaller corpus, wider draw
+    assert strong == pytest.approx(PAPER["strong"], abs=tolerance)
+    assert weak == pytest.approx(PAPER["weak"], abs=tolerance)
+    assert strong > weak + (0.12 if smoke else 0.2)  # the headline gap

@@ -17,7 +17,8 @@ from repro.mining.reports import outcome_percentage_table
 PAPER = {"value_selling": 0.59, "discount": 0.72}
 
 
-def test_table4_agent_utterance_vs_outcome(benchmark, clean_study):
+def test_table4_agent_utterance_vs_outcome(benchmark, clean_study,
+                                           smoke):
     study = clean_study
 
     def shares():
@@ -43,10 +44,11 @@ def test_table4_agent_utterance_vs_outcome(benchmark, clean_study):
         f"discount {discount:.1%}"
     )
 
+    tolerance = 0.12 if smoke else 0.06  # smaller corpus, wider draw
     assert value_selling == pytest.approx(
-        PAPER["value_selling"], abs=0.06
+        PAPER["value_selling"], abs=tolerance
     )
-    assert discount == pytest.approx(PAPER["discount"], abs=0.06)
+    assert discount == pytest.approx(PAPER["discount"], abs=tolerance)
     # Discount is the stronger lever and both beat the base rate.
     base = measured["value_selling"]["False"]["reservation"]
     assert discount > value_selling > base

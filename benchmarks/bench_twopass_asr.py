@@ -74,9 +74,9 @@ def _run_two_pass(corpus, system, agent_words, transcripts):
     return first, second, retrieval_hits / len(transcripts)
 
 
-def test_two_pass_name_improvement(benchmark, setup):
+def test_two_pass_name_improvement(benchmark, setup, smoke):
     corpus, system, agent_words = setup
-    transcripts = corpus.transcripts[25:125]
+    transcripts = corpus.transcripts[25:75 if smoke else 125]
 
     first, second, top5_hit_rate = benchmark.pedantic(
         lambda: _run_two_pass(corpus, system, agent_words, transcripts),
@@ -110,15 +110,17 @@ def test_two_pass_name_improvement(benchmark, setup):
     print(f"top-5 identity retrieval hit rate: {top5_hit_rate:.1%}")
     print(f"name WER improvement: {improvement:+.1%} absolute")
 
-    assert improvement > 0.04  # clearly positive, paper-scale effect
+    # Clearly positive, paper-scale effect (fewer utterances at smoke
+    # scale, so the lower bound loosens).
+    assert improvement > (0.02 if smoke else 0.04)
     assert second.wer() <= first.wer() + 0.01  # never hurts overall
 
 
-def test_combined_entities_beat_single_entity(benchmark, setup):
+def test_combined_entities_beat_single_entity(benchmark, setup, smoke):
     """§IV-A: "As opposed to finding the identity based on individual
     entities we take all the partially recognized entities together."""
     corpus, system, _ = setup
-    transcripts = corpus.transcripts[25:105]
+    transcripts = corpus.transcripts[25:65 if smoke else 105]
     system.channel.reset(999)
     documents = []
     truth_ids = []

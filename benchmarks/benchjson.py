@@ -1,0 +1,24 @@
+"""Machine-readable bench artifacts for the trajectory gate.
+
+Benches call :func:`emit` to write ``BENCH_<name>.json`` into the
+working directory (the repo root when run as ``pytest benchmarks/``).
+``benchmarks/trajectory.py`` merges every ``BENCH_*.json`` into
+``BENCH_trajectory.json`` and compares the merged metrics against the
+committed ``benchmarks/baselines.json`` — so any payload key a
+baseline references becomes a gated metric.  Keep payloads to plain
+JSON scalars/dicts and include a ``"smoke"`` flag so baselines
+recorded at smoke scale are never compared against full-scale runs.
+"""
+
+import json
+import pathlib
+
+
+def emit(name, payload):
+    """Write ``BENCH_<name>.json`` (sorted keys) and return its path."""
+    path = pathlib.Path(f"BENCH_{name}.json")
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

@@ -23,13 +23,34 @@ BENCH_CAR_CONFIG = CarRentalConfig(
     seed=29,
 )
 
+#: Smoke-scale variant used by CI's bench-trajectory job: same seed and
+#: shape, ~1/8 of the calls, so every bench still exercises its full
+#: code path and the emitted metrics stay deterministic run-to-run.
+BENCH_CAR_SMOKE_CONFIG = CarRentalConfig(
+    n_agents=24,
+    n_days=4,
+    calls_per_agent_per_day=4,
+    n_customers=320,
+    seed=29,
+)
+
 BENCH_TELECOM_CONFIG = TelecomConfig(scale=0.08, n_customers=3000, seed=11)
+
+#: Smoke-scale telecom corpus (~1/4 volume), same seed.
+BENCH_TELECOM_SMOKE_CONFIG = TelecomConfig(
+    scale=0.02, n_customers=900, seed=11
+)
 
 
 @pytest.fixture(scope="session")
-def car_corpus():
-    """~2900-call car-rental corpus used by Tables II-IV benches."""
-    return generate_car_rental(BENCH_CAR_CONFIG)
+def car_corpus(smoke):
+    """Car-rental corpus for the Tables II-IV benches.
+
+    ~2900 calls at full scale, ~380 at ``--smoke`` scale.
+    """
+    return generate_car_rental(
+        BENCH_CAR_SMOKE_CONFIG if smoke else BENCH_CAR_CONFIG
+    )
 
 
 @pytest.fixture(scope="session")
@@ -41,9 +62,11 @@ def clean_study(car_corpus):
 
 
 @pytest.fixture(scope="session")
-def telecom_corpus():
-    """Telecom corpus at 8% of the paper's volume (~3800 emails)."""
-    return generate_telecom(BENCH_TELECOM_CONFIG)
+def telecom_corpus(smoke):
+    """Telecom corpus: 8% of the paper's volume, 2% at smoke scale."""
+    return generate_telecom(
+        BENCH_TELECOM_SMOKE_CONFIG if smoke else BENCH_TELECOM_CONFIG
+    )
 
 
 def pytest_addoption(parser):

@@ -1,0 +1,205 @@
+"""Bench trajectory: merge BENCH_*.json and gate against baselines.
+
+The bench suite (``pytest benchmarks/ --smoke``) leaves a set of
+``BENCH_<name>.json`` artifacts in the working directory.  This script
+merges them into one ``BENCH_trajectory.json`` and compares selected
+metrics against the committed ``benchmarks/baselines.json``:
+
+    python benchmarks/trajectory.py merge
+    python benchmarks/trajectory.py compare
+    python benchmarks/trajectory.py gate      # merge + compare
+
+Baseline entries are keyed by a dotted path into the merged document
+(first segment = the bench name, the rest walks its payload)::
+
+    {
+      "metrics": {
+        "linking.precision": {
+          "value": 0.975,            # recorded baseline
+          "tol_rel": 0.02,           # allowed relative drift
+          "higher_is_better": true,  # or false, or omit for neutral
+          "gate": true               # false = report-only (timings)
+        }
+      }
+    }
+
+A gated metric that drifts beyond ``tol_rel`` in the bad direction
+(either direction when neutral) fails the run with exit code 1;
+drift beyond tolerance in the *good* direction is listed as an
+improvement in the summary.  The markdown summary is appended to
+``$GITHUB_STEP_SUMMARY`` when that variable is set (the CI job
+summary) and always printed to stdout.
+"""
+
+import argparse
+import glob
+import json
+import os
+import pathlib
+import sys
+
+TRAJECTORY_PATH = "BENCH_trajectory.json"
+BASELINES_PATH = pathlib.Path(__file__).parent / "baselines.json"
+
+
+def merge_artifacts(directory=".", out=TRAJECTORY_PATH):
+    """Merge every ``BENCH_*.json`` in ``directory`` (except the
+    trajectory itself) into one document keyed by bench name."""
+    benches = {}
+    pattern = os.path.join(directory, "BENCH_*.json")
+    for path in sorted(glob.glob(pattern)):
+        name = pathlib.Path(path).stem[len("BENCH_"):]
+        if name == "trajectory":
+            continue
+        with open(path, encoding="utf-8") as handle:
+            benches[name] = json.load(handle)
+    document = {"benches": benches}
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def lookup(document, dotted):
+    """Resolve ``a.b.c`` inside the merged document's benches.
+
+    Returns ``None`` when any segment is missing (a missing gated
+    metric is itself a regression — a bench silently stopped emitting).
+    """
+    node = document.get("benches", {})
+    for segment in dotted.split("."):
+        if not isinstance(node, dict) or segment not in node:
+            return None
+        node = node[segment]
+    return node
+
+
+def compare_metric(name, spec, actual):
+    """Classify one metric: returns ``(status, detail)``.
+
+    ``status`` is one of ``ok``, ``regression``, ``improvement``,
+    ``missing``; ``detail`` is the human-readable delta line.
+    """
+    base = spec["value"]
+    if actual is None or not isinstance(actual, (int, float)):
+        return "missing", f"`{name}` missing from trajectory"
+    tol = spec.get("tol_rel", 0.0)
+    denominator = abs(base) if base else 1.0
+    rel = (actual - base) / denominator
+    direction = spec.get("higher_is_better")
+    detail = (
+        f"`{name}`: baseline {base:g}, now {actual:g} "
+        f"({rel:+.1%}, tol ±{tol:.0%})"
+    )
+    if direction is None:
+        status = "regression" if abs(rel) > tol else "ok"
+    elif direction:
+        status = (
+            "regression" if rel < -tol
+            else "improvement" if rel > tol
+            else "ok"
+        )
+    else:
+        status = (
+            "regression" if rel > tol
+            else "improvement" if rel < -tol
+            else "ok"
+        )
+    return status, detail
+
+
+def compare(document, baselines):
+    """Compare the merged document against the baselines.
+
+    Returns ``(failures, improvements, lines)`` where ``lines`` is the
+    full markdown report body.
+    """
+    failures = []
+    improvements = []
+    lines = []
+    for name in sorted(baselines.get("metrics", {})):
+        spec = baselines["metrics"][name]
+        gated = spec.get("gate", True)
+        status, detail = compare_metric(name, spec, lookup(document, name))
+        if status in ("regression", "missing"):
+            if gated:
+                failures.append(detail)
+                lines.append(f"- ❌ REGRESSION {detail}")
+            else:
+                lines.append(f"- ⚠️ drift (non-gating) {detail}")
+        elif status == "improvement":
+            improvements.append(detail)
+            lines.append(f"- ✅ improvement {detail}")
+        else:
+            lines.append(f"- ok {detail}")
+    return failures, improvements, lines
+
+
+def write_summary(lines, failures, improvements):
+    """Print the markdown summary; mirror it to the CI job summary."""
+    header = ["## Bench trajectory vs baselines", ""]
+    if failures:
+        header.append(
+            f"**{len(failures)} gated regression(s) — failing the job.**"
+        )
+    elif improvements:
+        header.append(
+            f"All gates green; {len(improvements)} improvement(s) noted "
+            f"— consider refreshing benchmarks/baselines.json."
+        )
+    else:
+        header.append("All gates green.")
+    header.append("")
+    body = "\n".join(header + lines) + "\n"
+    print(body)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(body)
+
+
+def main(argv=None):
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="trajectory",
+        description="merge BENCH_*.json and gate against baselines",
+    )
+    parser.add_argument(
+        "command", choices=("merge", "compare", "gate"),
+        help="merge artifacts, compare an existing trajectory, or both",
+    )
+    parser.add_argument(
+        "--dir", default=".",
+        help="directory holding the BENCH_*.json artifacts",
+    )
+    parser.add_argument(
+        "--trajectory", default=TRAJECTORY_PATH,
+        help="merged trajectory path (merge output / compare input)",
+    )
+    parser.add_argument(
+        "--baselines", default=str(BASELINES_PATH),
+        help="committed baselines file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command in ("merge", "gate"):
+        document = merge_artifacts(args.dir, args.trajectory)
+        print(
+            f"merged {len(document['benches'])} bench artifact(s) "
+            f"-> {args.trajectory}"
+        )
+        if args.command == "merge":
+            return 0
+    else:
+        with open(args.trajectory, encoding="utf-8") as handle:
+            document = json.load(handle)
+
+    with open(args.baselines, encoding="utf-8") as handle:
+        baselines = json.load(handle)
+    failures, improvements, lines = compare(document, baselines)
+    write_summary(lines, failures, improvements)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

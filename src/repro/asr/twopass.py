@@ -12,11 +12,17 @@ don't change), but name slots that carry acoustic evidence for a top-N
 identity word are restricted to those words, pruning the sea of
 conflicting name candidates that makes first-pass name recognition so
 error-prone.
+
+Each second pass is a traced hot path: ``two_pass_transcribe`` opens
+an ``asr:two-pass`` span with an ``asr:constrained-decode`` child, and
+the ambient metrics registry counts calls and constrained slots (see
+:mod:`repro.obs`).  Observation never alters the decode.
 """
 
 from dataclasses import dataclass
 
 from repro.asr.vocabulary import NAME_CLASS
+from repro.obs import get_metrics, get_tracer
 
 
 @dataclass
@@ -69,7 +75,13 @@ def constrained_decode(decoder, network, allowed_name_words):
         constrained_slots += 1
         return surviving
 
-    words = decoder.decode(network, constraint=constraint)
+    with get_tracer().span(
+        "asr:constrained-decode",
+        category="asr",
+        tags={"allowed_words": len(allowed)},
+    ) as span:
+        words = decoder.decode(network, constraint=constraint)
+        span.tag("constrained_slots", constrained_slots)
     return words, constrained_slots
 
 
@@ -84,11 +96,21 @@ def two_pass_transcribe(decoder, transcription, candidate_identities,
     contact center's own agent roster, which the enterprise always
     knows.
     """
-    allowed = name_words_of(candidate_identities, attribute=attribute)
-    allowed |= {word.lower() for word in extra_allowed}
-    second, constrained = constrained_decode(
-        decoder, transcription.network, allowed
-    )
+    candidate_identities = list(candidate_identities)
+    with get_tracer().span(
+        "asr:two-pass",
+        category="asr",
+        tags={"candidates": len(candidate_identities)},
+    ) as span:
+        allowed = name_words_of(candidate_identities, attribute=attribute)
+        allowed |= {word.lower() for word in extra_allowed}
+        second, constrained = constrained_decode(
+            decoder, transcription.network, allowed
+        )
+        span.tag("constrained_slots", constrained)
+    metrics = get_metrics()
+    metrics.counter("asr.twopass.calls").inc()
+    metrics.counter("asr.twopass.constrained_slots").inc(constrained)
     return TwoPassResult(
         first_pass=list(transcription.hypothesis_tokens),
         second_pass=second,

@@ -9,6 +9,11 @@ regenerated without writing code:
     python -m repro churn               # the SecVI churn study
     python -m repro stream              # incremental streaming consumer
     python -m repro lint                # static-analysis guardrails
+    python -m repro trace tables        # any command, traced (repro.obs)
+
+The staged commands (``tables``, ``churn``, ``stream``) also accept
+``--trace PATH`` to write a Chrome-trace JSON of the run; ``trace`` is
+the richer wrapper with format selection and a flame summary.
 """
 
 import argparse
@@ -30,6 +35,11 @@ def _add_engine_options(parser):
     parser.add_argument(
         "--stage-stats", action="store_true",
         help="print the per-stage docs in/out/discard + wall-time table",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome-trace JSON of this run to PATH "
+             "(traced output is bit-identical to untraced)",
     )
 
 
@@ -367,6 +377,70 @@ def cmd_stream(args):
     return 0
 
 
+def cmd_trace(args):
+    """Run another subcommand under an active tracer.
+
+    Parses everything after ``trace`` as a fresh command line, runs it
+    with a live :class:`~repro.obs.Tracer` and
+    :class:`~repro.obs.MetricsRegistry` activated, then writes the
+    chosen export and prints a flame summary plus the metric totals.
+    The traced command's own output (and exit code) are unchanged.
+    """
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        activated,
+        render_flame_text,
+        write_chrome_trace,
+        write_spans_jsonl,
+    )
+
+    argv = [arg for arg in args.argv if arg != "--"]
+    if not argv:
+        print("bivoc trace: no command to trace", file=sys.stderr)
+        return 2
+    if argv[0] == "trace":
+        print("bivoc trace: tracing a trace is not supported",
+              file=sys.stderr)
+        return 2
+    inner = build_parser().parse_args(argv)
+    if getattr(inner, "trace", None):
+        print("bivoc trace: drop --trace from the traced command "
+              "(the wrapper already exports)", file=sys.stderr)
+        return 2
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    with activated(tracer, metrics):
+        code = inner.func(inner)
+    spans = tracer.finished()
+    suffix = "jsonl" if args.trace_format == "jsonl" else "json"
+    out = args.out or f"TRACE_{argv[0]}.{suffix}"
+    if args.trace_format == "jsonl":
+        write_spans_jsonl(spans, out)
+    elif args.trace_format == "flame":
+        import pathlib
+
+        pathlib.Path(out).write_text(
+            render_flame_text(spans) + "\n", encoding="utf-8"
+        )
+    else:
+        write_chrome_trace(spans, out)
+    print()
+    print(render_flame_text(spans, min_share=0.01))
+    snapshot = metrics.snapshot()
+    counts = {
+        kind: len(snapshot.get(kind, {}))
+        for kind in ("counters", "gauges", "histograms")
+    }
+    print(
+        f"trace: {len(spans)} spans -> {out} "
+        f"({args.trace_format}); metrics: "
+        f"{counts['counters']} counters, {counts['gauges']} gauges, "
+        f"{counts['histograms']} histograms"
+    )
+    return code
+
+
 def _default_lint_paths():
     """What ``bivoc lint`` checks when no path is given.
 
@@ -422,6 +496,10 @@ def build_parser():
     tables = sub.add_parser("tables", help="regenerate Tables II-IV")
     _add_common(tables)
     _add_engine_options(tables)
+    tables.add_argument(
+        "--source", choices=("carrental",), default="carrental",
+        help="synthetic corpus behind the tables (carrental only)",
+    )
     tables.add_argument("--agents", type=int, default=30)
     tables.add_argument("--days", type=int, default=4)
     tables.add_argument("--asr", action="store_true",
@@ -529,14 +607,62 @@ def build_parser():
     )
     lint.set_defaults(func=cmd_lint)
 
+    trace = sub.add_parser(
+        "trace",
+        help="run any subcommand under the span tracer",
+        description=(
+            "Wraps another command with an active tracer + metrics "
+            "registry (see repro.obs) and exports the spans. Options "
+            "must come before the wrapped command: "
+            "bivoc trace --format flame tables --source carrental"
+        ),
+    )
+    trace.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="export path (default: TRACE_<command>.json[l])",
+    )
+    trace.add_argument(
+        "--format", dest="trace_format",
+        choices=("chrome", "jsonl", "flame"), default="chrome",
+        help="export format: Chrome trace JSON (chrome://tracing / "
+             "Perfetto), JSONL span log, or text flame summary",
+    )
+    trace.add_argument(
+        "argv", nargs=argparse.REMAINDER,
+        help="the command line to trace",
+    )
+    trace.set_defaults(func=cmd_trace)
+
     return parser
 
 
 def main(argv=None):
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    When the parsed command carries ``--trace PATH``, the run happens
+    under a live tracer/metrics pair and a Chrome-trace JSON is
+    written to PATH afterwards; the command's stdout and exit code are
+    exactly what the untraced run would produce.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.func(args)
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        activated,
+        write_chrome_trace,
+    )
+
+    tracer = Tracer()
+    with activated(tracer, MetricsRegistry()):
+        code = args.func(args)
+    spans = tracer.finished()
+    write_chrome_trace(spans, trace_path)
+    print(f"trace: {len(spans)} spans -> {trace_path} (chrome)")
+    return code
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ from repro.linking.annotators import build_default_annotators
 from repro.linking.similarity import default_registry
 from repro.linking.single import EntityLinker
 from repro.mining.stage import ConceptIndexStage
+from repro.obs import get_metrics, get_tracer
 from repro.store.query import Query
 from repro.util.turns import split_speakers
 
@@ -91,11 +92,31 @@ class CallRecordLinker:
             self._by_agent_day.setdefault(key, []).append(record)
 
     def link(self, customer_text, agent_name, day):
-        """Best call record for the transcript, or None."""
+        """Best call record for the transcript, or None.
+
+        A traced hot path: each attempt opens a ``link:call-record``
+        span tagged with the candidate count and hit/miss, while the
+        ambient metrics registry counts attempts and hits (see
+        :mod:`repro.obs`).  The span never changes which record wins.
+        """
+        with get_tracer().span(
+            "link:call-record", category="linking"
+        ) as span:
+            record = self._link(customer_text, agent_name, day, span)
+        metrics = get_metrics()
+        metrics.counter("linking.call_record.attempts").inc()
+        if record is not None:
+            metrics.counter("linking.call_record.hits").inc()
+        return record
+
+    def _link(self, customer_text, agent_name, day, span):
+        """The scoring body; tags the enclosing ``span`` as it goes."""
         candidates = self._by_agent_day.get((agent_name, day), ())
+        span.tag("candidates", len(candidates))
         if not candidates:
             return None
         tokens = self._annotators.annotate(customer_text)
+        span.tag("tokens", len(tokens))
         if not tokens:
             return None
         best_record = None
@@ -115,6 +136,7 @@ class CallRecordLinker:
             if score > best_score:
                 best_score = score
                 best_record = record
+        span.tag("best_score", best_score)
         if best_score < self._min_score:
             return None
         return best_record

@@ -5,13 +5,14 @@ reproduction keeps it that way so subsystems stay independently
 testable and replaceable:
 
     util                          (rank 0: imports nothing from repro)
-    engine store                  (rank 1: pipeline engine; warehouse)
-    synth                         (rank 2: generators fill the store)
-    asr cleaning linking annotation   (rank 3: channel engines)
-    mining churn                  (rank 4: analysis layer)
-    core devtools stream          (rank 5: facade / tooling / streaming)
-    cli                           (rank 6: entry points)
-    __main__                      (rank 7)
+    obs                           (rank 1: tracing + metrics substrate)
+    engine store                  (rank 2: pipeline engine; warehouse)
+    synth                         (rank 3: generators fill the store)
+    asr cleaning linking annotation   (rank 4: channel engines)
+    mining churn                  (rank 5: analysis layer)
+    core devtools stream          (rank 6: facade / tooling / streaming)
+    cli                           (rank 7: entry points)
+    __main__                      (rank 8)
 
 A module may import from strictly lower-ranked subsystems and from its
 own subsystem; same-rank cross-package imports (``asr`` -> ``cleaning``)
@@ -28,23 +29,28 @@ from repro.devtools.violations import Severity, Violation
 #: build warehouse records (Databases) as part of their corpora.
 DEFAULT_LAYERS = {
     "util": 0,
-    "engine": 1,
-    "store": 1,
-    "synth": 2,
-    "asr": 3,
-    "cleaning": 3,
-    "linking": 3,
-    "annotation": 3,
-    "mining": 4,
-    "churn": 4,
-    "core": 5,
-    "devtools": 5,
-    # The streaming consumer drives engine stage graphs (rank 1) and
-    # mirrors the mining analyses (rank 4), so it sits with the
+    # Observability sits below every instrumented layer: the engine,
+    # the stream consumer and the channel hot paths all open spans and
+    # bump counters, so the tracer/metrics substrate must be
+    # importable from rank 2 upward while itself importing nothing.
+    "obs": 1,
+    "engine": 2,
+    "store": 2,
+    "synth": 3,
+    "asr": 4,
+    "cleaning": 4,
+    "linking": 4,
+    "annotation": 4,
+    "mining": 5,
+    "churn": 5,
+    "core": 6,
+    "devtools": 6,
+    # The streaming consumer drives engine stage graphs (rank 2) and
+    # mirrors the mining analyses (rank 5), so it sits with the
     # facades; same-rank isolation keeps it independent of ``core``.
-    "stream": 5,
-    "cli": 6,
-    "__main__": 7,
+    "stream": 6,
+    "cli": 7,
+    "__main__": 8,
 }
 
 

@@ -37,15 +37,18 @@ class FileContext:
               module=""):
         """Parse ``path`` (raises ``SyntaxError`` for broken files).
 
-        ``is_test`` defaults to a filename heuristic: ``test_*.py`` and
-        ``*_test.py`` are test files; everything else is source.
+        ``is_test`` defaults to a filename heuristic: ``test_*.py``,
+        ``*_test.py`` and ``bench_*.py`` are test files (pytest
+        collects the bench suite too); everything else is source.
         """
         path = Path(path)
         if source is None:
             source = path.read_text(encoding="utf-8")
         if is_test is None:
-            is_test = path.name.startswith("test_") or path.name.endswith(
-                "_test.py"
+            is_test = (
+                path.name.startswith("test_")
+                or path.name.startswith("bench_")
+                or path.name.endswith("_test.py")
             )
         return cls(
             path=path,

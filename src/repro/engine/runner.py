@@ -20,11 +20,23 @@ Wall-time measurement is instrumentation only: it is reported, never
 fed back into document flow, and the clock is injectable so tests (and
 the ``no-wallclock-in-algo`` determinism argument) can substitute a
 fake.
+
+The runner is also the engine's observability anchor (see
+:mod:`repro.obs`): every run opens a ``pipeline:run`` span, every
+stage a ``stage:<name>`` span, and every batch a ``batch`` span
+parented to its stage (explicitly, so the hierarchy survives the
+thread-pool executor), while a metrics registry accumulates document
+counters and per-stage wall-time histograms.  Both default to the
+ambient collectors, which are no-ops unless a trace is active —
+tracing never alters document flow, so traced and untraced runs are
+bit-identical in outputs.
 """
 
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+
+from repro.obs import get_metrics, get_tracer
 
 
 @dataclass
@@ -60,6 +72,7 @@ class PipelineReport:
     total_in: int = 0
     total_out: int = 0
     wall_time: float = 0.0
+    metrics: object = None  # metrics snapshot dict when observed
 
     def stage(self, name):
         """Stats for one stage by report name."""
@@ -70,12 +83,15 @@ class PipelineReport:
 
     def to_json_dict(self):
         """Plain-dict form (suitable for ``json.dump``)."""
-        return {
+        out = {
             "total_in": self.total_in,
             "total_out": self.total_out,
             "wall_time_s": self.wall_time,
             "stages": [stats.to_json_dict() for stats in self.stages],
         }
+        if self.metrics:
+            out["metrics"] = self.metrics
+        return out
 
     def render_text(self):
         """Human-readable per-stage funnel table."""
@@ -137,8 +153,15 @@ class PipelineRunner:
     for reporting only and never influences the documents.
     """
 
-    def __init__(self, stages, batch_size=64, workers=0, clock=None):
-        """``stages`` is an ordered list of Stage instances."""
+    def __init__(self, stages, batch_size=64, workers=0, clock=None,
+                 tracer=None, metrics=None):
+        """``stages`` is an ordered list of Stage instances.
+
+        ``tracer``/``metrics`` override the ambient observability
+        collectors for this runner (``None`` means "resolve the
+        ambient slot at each run", which is how ``bivoc trace``
+        reaches a runner built long before tracing was activated).
+        """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if workers < 0:
@@ -153,30 +176,50 @@ class PipelineRunner:
         self.workers = workers
         # Instrumentation-only clock (injectable; see module docstring).
         self._clock = clock if clock is not None else time.perf_counter
+        self._tracer = tracer
+        self._metrics = metrics
 
     def run(self, documents):
         """Run every stage over ``documents``; returns a result with
         surviving documents in corpus order plus the stage report."""
+        tracer = self._tracer if self._tracer is not None else get_tracer()
+        metrics = (
+            self._metrics if self._metrics is not None else get_metrics()
+        )
         live = list(documents)
         all_discarded = []
         report = PipelineReport(total_in=len(live))
         run_started = self._clock()
-        for stage in self.stages:
-            live, stats = self._run_stage(stage, live)
-            report.stages.append(stats)
-            discarded_here = [doc for doc in live if doc.discarded]
-            if discarded_here:
-                all_discarded.extend(discarded_here)
-                live = [doc for doc in live if not doc.discarded]
-            stats.docs_out = len(live)
-            stats.discarded = len(discarded_here)
+        with tracer.span(
+            "pipeline:run",
+            category="engine",
+            tags={"docs_in": len(live), "stages": len(self.stages)},
+        ) as run_span:
+            for stage in self.stages:
+                live, stats = self._run_stage(stage, live, tracer)
+                report.stages.append(stats)
+                discarded_here = [doc for doc in live if doc.discarded]
+                if discarded_here:
+                    all_discarded.extend(discarded_here)
+                    live = [doc for doc in live if not doc.discarded]
+                stats.docs_out = len(live)
+                stats.discarded = len(discarded_here)
+                metrics.histogram("engine.stage_wall_s").observe(
+                    stats.wall_time
+                )
+            run_span.tag("docs_out", len(live))
         report.total_out = len(live)
         report.wall_time = self._clock() - run_started
+        metrics.counter("engine.runs").inc()
+        metrics.counter("engine.docs_in").inc(report.total_in)
+        metrics.counter("engine.docs_out").inc(report.total_out)
+        metrics.counter("engine.docs_discarded").inc(len(all_discarded))
+        report.metrics = metrics.snapshot() or None
         return PipelineResult(
             documents=live, discarded=all_discarded, report=report
         )
 
-    def _run_stage(self, stage, live):
+    def _run_stage(self, stage, live, tracer):
         """Run one stage over all live documents, batched."""
         batches = _batched(live, self.batch_size)
         use_parallel = (
@@ -188,16 +231,43 @@ class PipelineRunner:
             batches=len(batches),
             parallel=use_parallel,
         )
-        started = self._clock()
-        if use_parallel:
-            # Order-preserving map: executor.map yields results in
-            # submission order, so output order (and therefore every
-            # downstream computation) matches serial execution exactly.
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                out_batches = list(pool.map(stage.process, batches))
-        else:
-            out_batches = [stage.process(batch) for batch in batches]
-        stats.wall_time = self._clock() - started
+        with tracer.span(
+            f"stage:{stage.stage_name}",
+            category="engine",
+            tags={
+                "docs_in": len(live),
+                "batches": len(batches),
+                "parallel": use_parallel,
+            },
+        ) as stage_span:
+
+            def process(index, batch):
+                # Explicit parent: worker threads have no span stack,
+                # so thread-local nesting alone would orphan batches.
+                with tracer.span(
+                    "batch",
+                    category="engine",
+                    tags={"batch": index, "docs": len(batch)},
+                    parent=stage_span,
+                ):
+                    return stage.process(batch)
+
+            started = self._clock()
+            if use_parallel:
+                # Order-preserving map: executor.map yields results in
+                # submission order, so output order (and therefore
+                # every downstream computation) matches serial
+                # execution exactly.
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    out_batches = list(
+                        pool.map(process, range(len(batches)), batches)
+                    )
+            else:
+                out_batches = [
+                    process(index, batch)
+                    for index, batch in enumerate(batches)
+                ]
+            stats.wall_time = self._clock() - started
         out = []
         for batch_in, batch_out in zip(batches, out_batches):
             if batch_out is None or len(batch_out) != len(batch_in):

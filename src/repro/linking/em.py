@@ -8,9 +8,17 @@ weights as w_ij = n_ij / sum_i n_ij, where n_ij is the number of
 occurrences of attribute A_i in documents assigned to type T_j.  This
 two-step process is continued for a fixed number of iterations or
 until convergence."
+
+Weight learning is a traced hot path: each call opens an
+``em:learn-weights`` span with one ``em:iteration`` child per E/M
+round (tagged with the max weight change), and the ambient metrics
+registry counts iterations and early stops (see :mod:`repro.obs`).
+Observation never feeds back into the weights.
 """
 
 from collections import defaultdict
+
+from repro.obs import get_metrics, get_tracer
 
 
 def _attribute_occurrences(linker, table_name, tokens):
@@ -40,63 +48,91 @@ def learn_weights_em(linker, documents, iterations=5, smoothing=0.1,
     if not documents:
         raise ValueError("EM needs a non-empty document collection")
     history = []
-    for _ in range(iterations):
-        # E-step: assign each document to its best (entity, type) pair
-        # under the current weights.
-        occurrence_counts = defaultdict(float)
-        for document in documents:
-            result = linker.link(document)
-            if not result.linked:
-                continue
-            tokens = result.per_table[result.table_name].tokens
-            for attribute, count in _attribute_occurrences(
-                linker, result.table_name, tokens
-            ).items():
-                occurrence_counts[(attribute, result.table_name)] += count
-        # M-step: w_ij = n_ij / sum_i n_ij  (per type j, over attrs i),
-        # with additive smoothing over each table's full schema.  The
-        # normalised weights are rescaled to mean 1 over the attributes
-        # that actually received evidence: the paper's normalisation
-        # fixes the *relative* importance of a type's attributes, and
-        # the evidence-aware rescale keeps the absolute score ranges of
-        # different types comparable (a type whose schema has columns
-        # no annotator can ever populate must not have its live
-        # attributes inflated to compensate).
-        new_weights = {}
-        for table_name in linker.table_names:
-            schema = linker.linker_for(table_name).table.schema
-            total = sum(
+    tracer = get_tracer()
+    metrics = get_metrics()
+    with tracer.span(
+        "em:learn-weights",
+        category="linking",
+        tags={"documents": len(documents), "max_iterations": iterations},
+    ) as learn_span:
+        for iteration in range(iterations):
+            with tracer.span(
+                "em:iteration",
+                category="linking",
+                tags={"iteration": iteration},
+            ) as iteration_span:
+                new_weights, change = _em_iteration(
+                    linker, documents, smoothing, damping
+                )
+                iteration_span.tag("max_change", change)
+            metrics.counter("linking.em.iterations").inc()
+            linker.set_weights(new_weights)
+            history.append(dict(new_weights))
+            if change < tolerance:
+                metrics.counter("linking.em.early_stops").inc()
+                break
+        learn_span.tag("iterations_run", len(history))
+    return linker.weights
+
+
+def _em_iteration(linker, documents, smoothing, damping):
+    """One E/M round; returns ``(new_weights, max_change)``.
+
+    Reads the linker's current weights but does not mutate them — the
+    caller applies ``new_weights`` after closing the iteration span.
+    """
+    # E-step: assign each document to its best (entity, type) pair
+    # under the current weights.
+    occurrence_counts = defaultdict(float)
+    for document in documents:
+        result = linker.link(document)
+        if not result.linked:
+            continue
+        tokens = result.per_table[result.table_name].tokens
+        for attribute, count in _attribute_occurrences(
+            linker, result.table_name, tokens
+        ).items():
+            occurrence_counts[(attribute, result.table_name)] += count
+    # M-step: w_ij = n_ij / sum_i n_ij  (per type j, over attrs i),
+    # with additive smoothing over each table's full schema.  The
+    # normalised weights are rescaled to mean 1 over the attributes
+    # that actually received evidence: the paper's normalisation
+    # fixes the *relative* importance of a type's attributes, and
+    # the evidence-aware rescale keeps the absolute score ranges of
+    # different types comparable (a type whose schema has columns
+    # no annotator can ever populate must not have its live
+    # attributes inflated to compensate).
+    new_weights = {}
+    for table_name in linker.table_names:
+        schema = linker.linker_for(table_name).table.schema
+        total = sum(
+            occurrence_counts.get((attr.name, table_name), 0.0)
+            + smoothing
+            for attr in schema
+        )
+        live_attributes = sum(
+            1
+            for attr in schema
+            if occurrence_counts.get((attr.name, table_name), 0.0) > 0
+        )
+        scale = max(live_attributes, 1)
+        for attr in schema:
+            numerator = (
                 occurrence_counts.get((attr.name, table_name), 0.0)
                 + smoothing
-                for attr in schema
             )
-            live_attributes = sum(
-                1
-                for attr in schema
-                if occurrence_counts.get((attr.name, table_name), 0.0) > 0
+            estimated = (numerator / total) * scale
+            previous = linker.weights.get(
+                (attr.name, table_name), 1.0
             )
-            scale = max(live_attributes, 1)
-            for attr in schema:
-                numerator = (
-                    occurrence_counts.get((attr.name, table_name), 0.0)
-                    + smoothing
-                )
-                estimated = (numerator / total) * scale
-                previous = linker.weights.get(
-                    (attr.name, table_name), 1.0
-                )
-                new_weights[(attr.name, table_name)] = (
-                    damping * previous + (1.0 - damping) * estimated
-                )
-        if linker.weights:
-            change = max(
-                abs(new_weights.get(key, 0.0) - linker.weights.get(key, 0.0))
-                for key in set(new_weights) | set(linker.weights)
+            new_weights[(attr.name, table_name)] = (
+                damping * previous + (1.0 - damping) * estimated
             )
-        else:
-            change = float("inf")
-        linker.set_weights(new_weights)
-        history.append(dict(new_weights))
-        if change < tolerance:
-            break
-    return linker.weights
+    if linker.weights:
+        change = max(
+            abs(new_weights.get(key, 0.0) - linker.weights.get(key, 0.0))
+            for key in set(new_weights) | set(linker.weights)
+        )
+    else:
+        change = float("inf")
+    return new_weights, change

@@ -1,0 +1,57 @@
+"""Observability: span tracing, metrics, exporters (zero-dependency).
+
+The paper's BIVoC is an industrial system whose claims are operational
+— pipeline throughput, two-pass ASR cost, linking precision at volume
+— and this package is the measurement substrate the reproduction uses
+to see *where* time goes: a deterministic span tracer with an
+injectable clock (:mod:`~repro.obs.trace`), a metrics registry with
+fixed-bucket histograms (:mod:`~repro.obs.metrics`), ambient
+activation so hot paths annotate without plumbing
+(:mod:`~repro.obs.ambient`), and exporters for JSONL, the Chrome trace
+viewer and a text flame summary (:mod:`~repro.obs.export`).
+
+The contract every layer relies on: observability is write-only.
+Spans and metrics record the run; nothing reads them back into
+document flow, so traced runs are bit-identical in outputs to
+untraced runs (asserted in ``tests/obs``), and the null defaults make
+an unobserved run pay only a function call per annotation point.
+"""
+
+from repro.obs.ambient import activated, get_metrics, get_tracer
+from repro.obs.export import (
+    chrome_trace_dict,
+    render_flame_text,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "TIME_BUCKETS",
+    "get_tracer",
+    "get_metrics",
+    "activated",
+    "write_spans_jsonl",
+    "write_chrome_trace",
+    "chrome_trace_dict",
+    "render_flame_text",
+]

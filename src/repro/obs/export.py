@@ -1,0 +1,158 @@
+"""Trace exporters: JSONL, Chrome trace viewer, text flame summary.
+
+Three views over the same list of finished :class:`~repro.obs.trace.Span`
+objects:
+
+* :func:`write_spans_jsonl` — one JSON object per line, the raw
+  archival form (grep-able, diff-able, streams through ``jq``);
+* :func:`write_chrome_trace` — the Chrome/Perfetto trace-event format
+  (open ``chrome://tracing`` or https://ui.perfetto.dev and load the
+  file); spans become complete ``"X"`` events with microsecond
+  timestamps rebased to the earliest span, so nesting is rendered
+  from time containment per thread lane;
+* :func:`render_flame_text` — a flamegraph-style indented summary
+  aggregating spans by name along their parent path: inclusive time,
+  share of the trace, and call count per node.
+
+All three are pure functions of the span list (plus strict JSON:
+non-finite tag values are stringified so the files always parse).
+"""
+
+import json
+import math
+
+
+def _json_safe(value):
+    """``value`` unless it is a non-finite float; then its repr.
+
+    Strict JSON has no Infinity/NaN; a tag like an EM weight change of
+    ``inf`` must not produce an unloadable trace file.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    return value
+
+
+def _safe_tags(tags):
+    """Tag dict with non-finite floats stringified."""
+    return {name: _json_safe(value) for name, value in tags.items()}
+
+
+def write_spans_jsonl(spans, path):
+    """Write one JSON record per span to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in spans:
+            record = span.to_json_dict()
+            record["tags"] = _safe_tags(record["tags"])
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def chrome_trace_dict(spans):
+    """The Chrome trace-event dict for ``spans``.
+
+    Complete events (``"ph": "X"``) with start/duration in
+    microseconds, rebased so the earliest span starts at 0.  The span
+    id and parent id travel in ``args`` alongside the tags, so the
+    exact tree survives even for zero-duration spans the viewer
+    renders ambiguously.
+    """
+    spans = list(spans)
+    origin = min((span.start for span in spans), default=0.0)
+    events = []
+    for span in spans:
+        args = _safe_tags(span.tags)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "span",
+                "ph": "X",
+                "ts": (span.start - origin) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 1,
+                "tid": span.thread,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda event: (event["ts"], event["args"]["span_id"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans, path):
+    """Write the Chrome trace JSON for ``spans``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace_dict(spans), handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def _aggregate(spans, parent_ids, by_parent):
+    """Group ``spans`` by name; recurse into their children.
+
+    Returns ``[(name, inclusive_seconds, count, children), ...]``
+    sorted by inclusive time descending, then name — the flame tree.
+    """
+    groups = {}
+    for span in spans:
+        groups.setdefault(span.name, []).append(span)
+    nodes = []
+    for name, members in groups.items():
+        inclusive = sum(span.duration for span in members)
+        child_spans = []
+        for span in members:
+            child_spans.extend(by_parent.get(span.span_id, ()))
+        children = _aggregate(child_spans, parent_ids, by_parent)
+        nodes.append((name, inclusive, len(members), children))
+    nodes.sort(key=lambda node: (-node[1], node[0]))
+    return nodes
+
+
+def render_flame_text(spans, min_share=0.001):
+    """Indented inclusive-time summary of the span forest.
+
+    One line per (parent path, name) aggregate: inclusive seconds,
+    share of the total root time, and how many spans folded into the
+    line.  Nodes below ``min_share`` of the total are folded into a
+    trailing ellipsis count so deep hot loops don't swamp the view.
+    """
+    spans = list(spans)
+    if not spans:
+        return "flame: no spans recorded"
+    ids = {span.span_id for span in spans}
+    by_parent = {}
+    roots = []
+    for span in spans:
+        if span.parent_id is None or span.parent_id not in ids:
+            roots.append(span)
+        else:
+            by_parent.setdefault(span.parent_id, []).append(span)
+    tree = _aggregate(roots, ids, by_parent)
+    total = sum(node[1] for node in tree) or 1.0
+    lines = [
+        f"flame — {total:.6f}s total across "
+        f"{len(roots)} root span(s), {len(spans)} spans"
+    ]
+
+    def render(nodes, depth):
+        hidden = 0
+        for name, inclusive, count, children in nodes:
+            share = inclusive / total
+            if share < min_share and depth > 0:
+                hidden += count
+                continue
+            lines.append(
+                f"{'  ' * depth}{name:<{max(44 - 2 * depth, 1)}} "
+                f"{inclusive:>10.6f}s {share:>6.1%}  x{count}"
+            )
+            render(children, depth + 1)
+        if hidden:
+            lines.append(
+                f"{'  ' * depth}... ({hidden} span(s) below "
+                f"{min_share:.1%} hidden)"
+            )
+
+    render(tree, 0)
+    return "\n".join(lines)

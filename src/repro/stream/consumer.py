@@ -24,7 +24,14 @@ graph into a long-running incremental consumer:
   executor already imposes.
 
 The wall clock is instrumentation only and injectable, exactly as in
-:class:`~repro.engine.runner.PipelineRunner`.
+:class:`~repro.engine.runner.PipelineRunner`.  So is observability
+(see :mod:`repro.obs`): every micro-batch opens a ``stream:batch``
+span (the runner's ``pipeline:run`` span nests inside it), every
+checkpoint a ``stream:checkpoint`` span and every restore a
+``stream:restore`` span, while stream counters land in the ambient
+metrics registry.  Nothing observed feeds back into delivery, window
+state or checkpoints — a traced crash/resume run ends bit-identical
+to an untraced uninterrupted one (asserted in ``tests/obs``).
 """
 
 import time
@@ -33,6 +40,7 @@ from dataclasses import dataclass, field
 
 from repro.engine import PipelineReport, PipelineRunner, StageStats
 from repro.mining.stage import ConceptIndexStage
+from repro.obs import get_metrics, get_tracer
 from repro.stream.checkpoint import index_from_state, index_to_state
 
 
@@ -128,8 +136,13 @@ class StreamConsumer:
     def __init__(self, source, stages, window=None, checkpointer=None,
                  batch_docs=32, queue_capacity=4, checkpoint_interval=4,
                  runner_batch_size=64, workers=0, clock=None,
-                 failpoint=None):
-        """Wire the consumer; raises on an unsafe index stage."""
+                 failpoint=None, tracer=None, metrics=None):
+        """Wire the consumer; raises on an unsafe index stage.
+
+        ``tracer``/``metrics`` override the ambient observability
+        collectors (``None`` resolves the ambient slot per step, so an
+        already-built consumer is traceable by activation).
+        """
         if batch_docs < 1:
             raise ValueError("batch_docs must be >= 1")
         if queue_capacity < 1:
@@ -160,9 +173,11 @@ class StreamConsumer:
                 "and a raising index would crash on the first "
                 "redelivery"
             )
+        self._tracer = tracer
+        self._metrics = metrics
         self._runner = PipelineRunner(
             stages, batch_size=runner_batch_size, workers=workers,
-            clock=self._clock,
+            clock=self._clock, tracer=tracer, metrics=metrics,
         )
         self._queue = deque()
         self._committed_offset = -1
@@ -180,13 +195,29 @@ class StreamConsumer:
         """Offset of the last committed record (-1 before any)."""
         return self._committed_offset
 
+    def _obs(self):
+        """The (tracer, metrics) pair in effect for this consumer."""
+        tracer = self._tracer if self._tracer is not None else get_tracer()
+        metrics = (
+            self._metrics if self._metrics is not None else get_metrics()
+        )
+        return tracer, metrics
+
     def stage_report(self):
-        """Accumulated per-stage totals across every micro-batch."""
-        return self._stage_totals.report(
+        """Accumulated per-stage totals across every micro-batch.
+
+        Every stage of the graph appears, even if every document so
+        far was discarded or skipped — a silent funnel (zero
+        out-count) must show up as a zero row, not a missing row.
+        """
+        _, metrics = self._obs()
+        report = self._stage_totals.report(
             total_in=self.report.processed + self.report.discarded,
             total_out=self.report.processed,
             wall_time=self.report.wall_time,
         )
+        report.metrics = metrics.snapshot() or None
+        return report
 
     # ------------------------------------------------------------------
     # delivery loop
@@ -207,32 +238,50 @@ class StreamConsumer:
         One step = poll (bounded), run the stage graph over the fresh
         records, fold survivors into the window, commit the offset,
         and checkpoint when the interval elapses.
+
+        The stage graph runs even when every record in the batch was a
+        skipped re-delivery: the runner then reports a zero-count row
+        for every stage, so the accumulated per-stage totals always
+        carry one entry per stage per committed batch — a stage that
+        discarded (or never received) everything shows a zero
+        out-count instead of silently vanishing from the funnel.
         """
         self._fill_queue()
         if not self._queue:
             return False
+        tracer, metrics = self._obs()
         records = self._queue.popleft()
         started = self._clock()
-        fresh = []
-        for record in records:
-            if record.offset <= self._committed_offset:
-                self.report.skipped += 1
-                continue
-            fresh.append(record)
-        documents = []
-        for record in fresh:
-            document = record.document
-            if "timestamp" not in document.artifacts:
-                document.put("timestamp", record.timestamp)
-            if document.doc_id in self.index:
-                self.report.upserts += 1
-            documents.append(document)
-        if documents:
+        with tracer.span(
+            "stream:batch",
+            category="stream",
+            tags={
+                "records": len(records),
+                "first_offset": records[0].offset,
+                "last_offset": records[-1].offset,
+            },
+        ) as batch_span:
+            fresh = []
+            for record in records:
+                if record.offset <= self._committed_offset:
+                    self.report.skipped += 1
+                    continue
+                fresh.append(record)
+            documents = []
+            upserts_before = self.report.upserts
+            for record in fresh:
+                document = record.document
+                if "timestamp" not in document.artifacts:
+                    document.put("timestamp", record.timestamp)
+                if document.doc_id in self.index:
+                    self.report.upserts += 1
+                documents.append(document)
+            upserts_here = self.report.upserts - upserts_before
             result = self._runner.run(documents)
             self._stage_totals.absorb(result.report)
             self.report.processed += len(result.documents)
             self.report.discarded += len(result.discarded)
-            if self.window is not None:
+            if self.window is not None and result.documents:
                 index = self.index
                 for document in result.documents:
                     doc_id = document.doc_id
@@ -246,13 +295,30 @@ class StreamConsumer:
                         index.timestamp_of(doc_id),
                         text=text,
                     )
+            batch_span.tag("fresh", len(fresh))
+            batch_span.tag("skipped", len(records) - len(fresh))
+            batch_span.tag("processed", len(result.documents))
+            batch_span.tag("discarded", len(result.discarded))
         self._committed_offset = max(
             self._committed_offset, records[-1].offset
         )
         self.report.last_offset = self._committed_offset
         self.report.batches += 1
         self._since_checkpoint += 1
-        self.report.wall_time += self._clock() - started
+        elapsed = self._clock() - started
+        self.report.wall_time += elapsed
+        metrics.counter("stream.batches").inc()
+        metrics.counter("stream.records").inc(len(records))
+        metrics.counter("stream.skipped").inc(len(records) - len(fresh))
+        metrics.counter("stream.processed").inc(len(result.documents))
+        metrics.counter("stream.discarded").inc(len(result.discarded))
+        metrics.counter("stream.upserts").inc(upserts_here)
+        metrics.histogram("stream.batch_wall_s").observe(elapsed)
+        metrics.gauge("stream.committed_offset").set(
+            self._committed_offset
+        )
+        if self.window is not None:
+            metrics.gauge("stream.window_docs").set(len(self.window))
         self._fire("batch-committed")
         if (
             self.checkpointer is not None
@@ -291,21 +357,33 @@ class StreamConsumer:
     # ------------------------------------------------------------------
 
     def checkpoint(self):
-        """Snapshot offset + index + window through the checkpointer."""
+        """Snapshot offset + index + window through the checkpointer.
+
+        The snapshot itself is never observed: tracing a checkpoint
+        times it and counts it but writes nothing into the state, so
+        traced and untraced checkpoints are byte-identical.
+        """
         if self.checkpointer is None:
             raise RuntimeError("consumer has no checkpointer")
-        state = {
-            "offset": self._committed_offset,
-            "report": self.report.to_json_dict(),
-            "index": index_to_state(self.index),
-            "window": (
-                self.window.to_state() if self.window is not None
-                else None
-            ),
-        }
-        self.checkpointer.save(state)
+        tracer, metrics = self._obs()
+        with tracer.span(
+            "stream:checkpoint",
+            category="stream",
+            tags={"offset": self._committed_offset},
+        ):
+            state = {
+                "offset": self._committed_offset,
+                "report": self.report.to_json_dict(),
+                "index": index_to_state(self.index),
+                "window": (
+                    self.window.to_state() if self.window is not None
+                    else None
+                ),
+            }
+            self.checkpointer.save(state)
         self._since_checkpoint = 0
         self.report.checkpoints += 1
+        metrics.counter("stream.checkpoints").inc()
         self._fire("checkpoint-written")
         return self
 
@@ -318,9 +396,19 @@ class StreamConsumer:
         """
         if self.checkpointer is None:
             raise RuntimeError("consumer has no checkpointer")
+        tracer, metrics = self._obs()
         state = self.checkpointer.load()
         if state is None:
             return False
+        with tracer.span(
+            "stream:restore",
+            category="stream",
+            tags={"offset": state["offset"]},
+        ):
+            return self._restore_from(state, metrics)
+
+    def _restore_from(self, state, metrics):
+        """Apply a loaded checkpoint ``state`` to this consumer."""
         restored_index = index_from_state(state["index"])
         self._index_stage.index = restored_index
         if self.window is not None:
@@ -347,4 +435,5 @@ class StreamConsumer:
         self._since_checkpoint = 0
         self._queue.clear()
         self.source.seek(self._committed_offset + 1)
+        metrics.counter("stream.restores").inc()
         return True

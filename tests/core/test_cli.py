@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -59,3 +61,67 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "improvement" in out
+
+
+class TestTrace:
+    def test_trace_parser_defaults(self):
+        args = build_parser().parse_args(["trace", "asr"])
+        assert args.trace_format == "chrome"
+        assert args.out is None
+        assert args.argv == ["asr"]
+
+    def test_trace_wrapper_writes_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main([
+            "trace", "--out", str(out),
+            "tables", "--agents", "6", "--days", "2", "--seed", "3",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "Table III" in text  # the traced command still prints
+        assert "trace:" in text and "spans" in text
+        document = json.loads(out.read_text())
+        events = document["traceEvents"]
+        names = {event["name"] for event in events}
+        # The stage -> batch -> hot-path hierarchy is all present.
+        assert "pipeline:run" in names
+        assert "batch" in names
+        assert "link:call-record" in names
+        assert any(name.startswith("stage:") for name in names)
+
+    def test_trace_flame_format(self, tmp_path, capsys):
+        out = tmp_path / "trace.flame"
+        rc = main([
+            "trace", "--format", "flame", "--out", str(out),
+            "asr", "--seed", "3",
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        # The asr command runs no engine pipeline, so the flame view
+        # reports an empty trace — the export path still works.
+        assert "flame" in out.read_text()
+
+    def test_trace_requires_a_command(self, capsys):
+        assert main(["trace"]) == 2
+        assert "no command" in capsys.readouterr().err
+
+    def test_trace_rejects_nested_trace(self, capsys):
+        assert main(["trace", "trace", "asr"]) == 2
+        assert "not supported" in capsys.readouterr().err
+
+    def test_trace_rejects_inner_trace_flag(self, tmp_path, capsys):
+        inner_out = str(tmp_path / "inner.json")
+        rc = main(["trace", "tables", "--trace", inner_out])
+        assert rc == 2
+        assert "drop --trace" in capsys.readouterr().err
+
+    def test_trace_flag_on_engine_command(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        rc = main([
+            "tables", "--agents", "6", "--days", "2", "--seed", "3",
+            "--trace", str(out),
+        ])
+        assert rc == 0
+        assert "trace:" in capsys.readouterr().out
+        document = json.loads(out.read_text())
+        assert document["traceEvents"]

@@ -1,0 +1,190 @@
+"""benchmarks/trajectory.py: merge, compare and gate semantics."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_TRAJECTORY_PATH = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "benchmarks" / "trajectory.py"
+)
+_spec = importlib.util.spec_from_file_location(
+    "bench_trajectory", _TRAJECTORY_PATH
+)
+trajectory = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(trajectory)
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload))
+
+
+@pytest.fixture()
+def artifacts(tmp_path):
+    """Two bench artifacts plus a stale trajectory to be ignored."""
+    _write(tmp_path / "BENCH_linking.json",
+           {"bench": "linking", "precision": 0.95, "documents": 100})
+    _write(tmp_path / "BENCH_asr.json",
+           {"bench": "asr", "overall_wer": 0.4})
+    _write(tmp_path / "BENCH_trajectory.json", {"benches": {"old": {}}})
+    return tmp_path
+
+
+class TestMerge:
+    def test_merges_by_name_and_skips_itself(self, artifacts):
+        out = artifacts / "BENCH_trajectory.json"
+        document = trajectory.merge_artifacts(str(artifacts), str(out))
+        assert sorted(document["benches"]) == ["asr", "linking"]
+        assert document["benches"]["linking"]["precision"] == (
+            pytest.approx(0.95)
+        )
+        assert json.loads(out.read_text()) == document
+
+
+class TestLookup:
+    def test_walks_dotted_paths(self):
+        document = {"benches": {"a": {"b": {"c": 3}}}}
+        assert trajectory.lookup(document, "a.b.c") == 3
+        assert trajectory.lookup(document, "a.b") == {"c": 3}
+
+    def test_missing_segment_is_none(self):
+        document = {"benches": {"a": {"b": 1}}}
+        assert trajectory.lookup(document, "a.zzz") is None
+        assert trajectory.lookup(document, "a.b.c") is None
+        assert trajectory.lookup({}, "a") is None
+
+
+class TestCompareMetric:
+    def test_within_tolerance_is_ok(self):
+        status, _ = trajectory.compare_metric(
+            "m", {"value": 100, "tol_rel": 0.05,
+                  "higher_is_better": True}, 97,
+        )
+        assert status == "ok"
+
+    def test_bad_direction_beyond_tolerance_regresses(self):
+        status, detail = trajectory.compare_metric(
+            "m", {"value": 100, "tol_rel": 0.05,
+                  "higher_is_better": True}, 90,
+        )
+        assert status == "regression"
+        assert "-10.0%" in detail
+
+    def test_good_direction_beyond_tolerance_improves(self):
+        status, _ = trajectory.compare_metric(
+            "m", {"value": 0.4, "tol_rel": 0.05,
+                  "higher_is_better": False}, 0.3,
+        )
+        assert status == "improvement"
+
+    def test_neutral_direction_fails_both_ways(self):
+        spec = {"value": 100, "tol_rel": 0.01}
+        assert trajectory.compare_metric("m", spec, 103)[0] == "regression"
+        assert trajectory.compare_metric("m", spec, 97)[0] == "regression"
+        assert trajectory.compare_metric("m", spec, 100)[0] == "ok"
+
+    def test_missing_metric(self):
+        status, _ = trajectory.compare_metric("m", {"value": 1}, None)
+        assert status == "missing"
+
+    def test_zero_baseline_uses_absolute_delta(self):
+        status, _ = trajectory.compare_metric(
+            "m", {"value": 0, "tol_rel": 0.0}, 2,
+        )
+        assert status == "regression"
+
+
+class TestCompareAndGate:
+    BASELINES = {
+        "metrics": {
+            "linking.precision": {
+                "value": 0.95, "tol_rel": 0.02,
+                "higher_is_better": True, "gate": True,
+            },
+            "asr.overall_wer": {
+                "value": 0.5, "tol_rel": 0.05,
+                "higher_is_better": False, "gate": True,
+            },
+            "linking.wall_s": {
+                "value": 1.0, "tol_rel": 0.1,
+                "higher_is_better": False, "gate": False,
+            },
+        }
+    }
+
+    def _document(self, precision=0.95, wer=0.5, wall=1.0):
+        return {
+            "benches": {
+                "linking": {"precision": precision, "wall_s": wall},
+                "asr": {"overall_wer": wer},
+            }
+        }
+
+    def test_green_run_has_no_failures(self):
+        failures, improvements, lines = trajectory.compare(
+            self._document(), self.BASELINES
+        )
+        assert failures == []
+        assert improvements == []
+        assert len(lines) == 3
+
+    def test_gated_regression_fails(self):
+        failures, _, lines = trajectory.compare(
+            self._document(precision=0.80), self.BASELINES
+        )
+        assert len(failures) == 1
+        assert "linking.precision" in failures[0]
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_non_gating_drift_reports_without_failing(self):
+        failures, _, lines = trajectory.compare(
+            self._document(wall=5.0), self.BASELINES
+        )
+        assert failures == []
+        assert any("non-gating" in line for line in lines)
+
+    def test_improvement_is_noted(self):
+        failures, improvements, _ = trajectory.compare(
+            self._document(wer=0.3), self.BASELINES
+        )
+        assert failures == []
+        assert len(improvements) == 1
+        assert "asr.overall_wer" in improvements[0]
+
+    def test_main_gates_end_to_end(self, artifacts, capsys):
+        baselines = artifacts / "baselines.json"
+        _write(baselines, self.BASELINES)
+        argv = [
+            "gate", "--dir", str(artifacts),
+            "--trajectory", str(artifacts / "BENCH_trajectory.json"),
+            "--baselines", str(baselines),
+        ]
+        # The artifacts fixture has precision 0.95 / wer 0.4 and no
+        # wall_s at all — wall_s is non-gating, so the run passes and
+        # the dropped metric surfaces as non-gating drift.
+        assert trajectory.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+
+        # Injecting a synthetic regression must flip the exit code.
+        _write(artifacts / "BENCH_linking.json",
+               {"bench": "linking", "precision": 0.5})
+        assert trajectory.main(argv) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_summary_mirrors_to_github_step_summary(
+        self, artifacts, tmp_path, monkeypatch, capsys
+    ):
+        baselines = artifacts / "baselines.json"
+        _write(baselines, self.BASELINES)
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        trajectory.main([
+            "gate", "--dir", str(artifacts),
+            "--trajectory", str(artifacts / "BENCH_trajectory.json"),
+            "--baselines", str(baselines),
+        ])
+        capsys.readouterr()
+        assert "Bench trajectory" in summary.read_text()

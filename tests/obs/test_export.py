@@ -1,0 +1,140 @@
+"""Exporters: Chrome trace dict, JSONL, text flame summary."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    chrome_trace_dict,
+    render_flame_text,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each reading advances by one tick."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+def _sample_tracer():
+    """A small two-level trace driven by the fake clock."""
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("run", category="engine", tags={"docs": 3}):
+        with tracer.span("stage:a", category="engine"):
+            pass
+        with tracer.span("stage:b"):
+            pass
+    return tracer
+
+
+class TestChromeTrace:
+    def test_events_are_complete_and_rebased(self):
+        document = chrome_trace_dict(_sample_tracer().finished())
+        events = document["traceEvents"]
+        assert document["displayTimeUnit"] == "ms"
+        assert [e["name"] for e in events] == ["run", "stage:a", "stage:b"]
+        assert all(e["ph"] == "X" for e in events)
+        assert all(e["pid"] == 1 for e in events)
+        # Rebased: the earliest span starts at ts 0; one tick = 1s = 1e6us.
+        run, stage_a, stage_b = events
+        assert run["ts"] == pytest.approx(0.0)
+        assert stage_a["ts"] == pytest.approx(1e6)
+        assert stage_a["dur"] == pytest.approx(1e6)
+        assert stage_b["ts"] == pytest.approx(3e6)
+        assert run["dur"] == pytest.approx(5e6)
+
+    def test_args_carry_span_tree_and_tags(self):
+        events = chrome_trace_dict(
+            _sample_tracer().finished()
+        )["traceEvents"]
+        run, stage_a, _ = events
+        assert run["args"]["docs"] == 3
+        assert run["args"]["span_id"] == 0
+        assert "parent_id" not in run["args"]
+        assert stage_a["args"]["parent_id"] == 0
+        # An empty category falls back to the generic "span".
+        assert stage_a["cat"] == "engine"
+        assert events[2]["cat"] == "span"
+
+    def test_non_finite_tags_are_stringified(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("s", tags={"change": float("inf"),
+                                    "ok": 1.5}):
+            pass
+        document = chrome_trace_dict(tracer.finished())
+        args = document["traceEvents"][0]["args"]
+        assert args["change"] == "inf"
+        assert args["ok"] == pytest.approx(1.5)
+        # Strict JSON round-trips (no NaN/Infinity literals needed).
+        json.loads(json.dumps(document, allow_nan=False))
+
+    def test_write_chrome_trace_file_parses(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert write_chrome_trace(
+            _sample_tracer().finished(), path
+        ) == path
+        document = json.loads(path.read_text())
+        assert len(document["traceEvents"]) == 3
+
+    def test_empty_trace(self):
+        assert chrome_trace_dict([]) == {
+            "traceEvents": [], "displayTimeUnit": "ms",
+        }
+
+
+class TestJsonl:
+    def test_one_record_per_span(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_spans_jsonl(_sample_tracer().finished(), path)
+        records = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        # JSONL is in completion order; children close first.
+        assert [r["name"] for r in records] == [
+            "stage:a", "stage:b", "run",
+        ]
+        assert records[2]["tags"] == {"docs": 3}
+        assert records[0]["parent"] == records[2]["id"]
+
+
+class TestFlame:
+    def test_deterministic_and_aggregated(self):
+        spans = _sample_tracer().finished()
+        text = render_flame_text(spans)
+        assert text == render_flame_text(spans)
+        assert "run" in text
+        assert "stage:a" in text
+        assert "x1" in text
+        assert "1 root span(s), 3 spans" in text
+
+    def test_same_name_spans_fold_into_one_line(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("run"):
+            for _ in range(3):
+                with tracer.span("batch"):
+                    pass
+        text = render_flame_text(tracer.finished())
+        assert "x3" in text
+
+    def test_min_share_folds_small_children(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("run"):
+            with tracer.span("tiny"):
+                pass
+            clock.now += 10_000.0  # dwarf the tiny child
+        text = render_flame_text(tracer.finished(), min_share=0.5)
+        assert "tiny" not in text
+        assert "hidden" in text
+
+    def test_empty_trace_message(self):
+        assert render_flame_text([]) == "flame: no spans recorded"

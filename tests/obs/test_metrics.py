@@ -1,0 +1,117 @@
+"""Counter/Gauge/Histogram semantics and the registry contract."""
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+
+
+class TestCounter:
+    def test_monotonic_increments(self):
+        counter = Counter("c")
+        assert counter.inc() is counter
+        counter.inc(4)
+        counter.inc(0)
+        assert counter.snapshot_value() == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("g")
+        assert gauge.snapshot_value() is None
+        assert gauge.set(3) is gauge
+        gauge.set(7)
+        assert gauge.snapshot_value() == 7
+
+
+class TestHistogram:
+    def test_observations_land_in_fixed_buckets(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 50.0, 1000.0):
+            assert histogram.observe(value) is histogram
+        snapshot = histogram.snapshot_value()
+        # bound 1.0 gets 0.5 and 1.0; 10.0 gets 5.0 and 10.0;
+        # 100.0 gets 50.0; overflow gets 1000.0.
+        assert snapshot["counts"] == [2, 2, 1, 1]
+        assert snapshot["buckets"] == [1.0, 10.0, 100.0]
+        assert snapshot["count"] == 6
+        assert snapshot["sum"] == pytest.approx(1066.5)
+
+    def test_default_time_buckets(self):
+        histogram = Histogram("h")
+        assert histogram.buckets == TIME_BUCKETS
+        assert len(histogram.counts) == len(TIME_BUCKETS) + 1
+
+    def test_bounds_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError, match="strictly"):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert len(registry) == 3
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="counter"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="counter"):
+            registry.histogram("x")
+
+    def test_histogram_bucket_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        registry.histogram("h", buckets=(1.0, 2.0))  # same bounds: fine
+        with pytest.raises(ValueError, match="bounds"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_snapshot_shape_sorted_with_empty_sections_omitted(self):
+        registry = MetricsRegistry()
+        assert registry.snapshot() == {}
+        registry.counter("z").inc(2)
+        registry.counter("a").inc()
+        registry.gauge("g").set(5)
+        snapshot = registry.snapshot()
+        assert sorted(snapshot) == ["counters", "gauges"]
+        assert list(snapshot["counters"]) == ["a", "z"]
+        assert snapshot["counters"]["z"] == 2
+        assert snapshot["gauges"]["g"] == 5
+
+    def test_histogram_section(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["histograms"]["h"]["counts"] == [1, 0]
+
+
+class TestNullMetrics:
+    def test_instruments_are_shared_noops(self):
+        null = NullMetrics()
+        instrument = null.counter("a")
+        assert instrument.inc(5) is instrument
+        assert instrument.set(3) is instrument
+        assert instrument.observe(0.1) is instrument
+        assert null.gauge("b") is instrument
+        assert null.histogram("c") is instrument
+
+    def test_snapshot_empty_and_len_zero(self):
+        assert NULL_METRICS.snapshot() == {}
+        assert len(NULL_METRICS) == 0

@@ -1,0 +1,182 @@
+"""Tracer/Span: nesting, fake clocks, threads, the null tracer."""
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+
+
+class FakeClock:
+    """Deterministic clock: each reading advances by one tick."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+def _by_name(tracer, name):
+    """The single finished span called ``name``."""
+    matches = [s for s in tracer.finished() if s.name == name]
+    assert len(matches) == 1
+    return matches[0]
+
+
+class TestNesting:
+    def test_child_links_to_enclosing_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert a.span_id != b.span_id
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("stage") as stage:
+            with tracer.span("other"):
+                with tracer.span("batch", parent=stage) as batch:
+                    pass
+        assert batch.parent_id == stage.span_id
+
+    def test_finished_in_close_order(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.finished()] == ["outer", "inner"][::-1]
+
+
+class TestClockAndTags:
+    def test_fake_clock_gives_exact_durations(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):  # start=1
+            with tracer.span("inner"):  # start=2, end=3
+                pass
+        # outer: start 1, end 4
+        inner = _by_name(tracer, "inner")
+        outer = _by_name(tracer, "outer")
+        assert inner.duration == pytest.approx(1.0)
+        assert outer.duration == pytest.approx(3.0)
+        assert outer.start < inner.start < inner.end < outer.end
+
+    def test_seed_tags_are_copied_and_tag_chains(self):
+        tracer = Tracer(clock=FakeClock())
+        seed = {"docs": 5}
+        with tracer.span("s", tags=seed) as span:
+            assert span.tag("more", 1) is span
+        seed["docs"] = 99  # caller mutation must not leak in
+        finished = _by_name(tracer, "s")
+        assert finished.tags == {"docs": 5, "more": 1}
+
+    def test_error_tag_on_exception_which_propagates(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(KeyError):
+            with tracer.span("boom"):
+                raise KeyError("x")
+        span = _by_name(tracer, "boom")
+        assert span.tags["error"] == "KeyError"
+        assert span.end is not None
+
+    def test_open_span_has_zero_duration(self):
+        tracer = Tracer(clock=FakeClock())
+        context = tracer.span("open")
+        span = context.__enter__()
+        assert span.duration == pytest.approx(0.0)
+        context.__exit__(None, None, None)
+
+    def test_to_json_dict_shape(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("s", category="test", tags={"k": 1}):
+            pass
+        record = _by_name(tracer, "s").to_json_dict()
+        assert sorted(record) == [
+            "cat", "dur", "id", "name", "parent", "start", "tags",
+            "thread",
+        ]
+        assert record["name"] == "s"
+        assert record["cat"] == "test"
+        assert record["tags"] == {"k": 1}
+
+
+class TestThreads:
+    def test_worker_thread_spans_get_dense_thread_numbers(self):
+        tracer = Tracer(clock=FakeClock())
+
+        def work(stage):
+            with tracer.span("batch", parent=stage):
+                pass
+
+        with tracer.span("stage") as stage:
+            worker = threading.Thread(target=work, args=(stage,))
+            worker.start()
+            worker.join()
+        batch = _by_name(tracer, "batch")
+        assert _by_name(tracer, "stage").thread == 0
+        assert batch.thread == 1
+        assert batch.parent_id == stage.span_id
+
+    def test_worker_without_parent_is_a_root(self):
+        tracer = Tracer(clock=FakeClock())
+
+        def work():
+            with tracer.span("orphan"):
+                pass
+
+        with tracer.span("stage"):
+            worker = threading.Thread(target=work)
+            worker.start()
+            worker.join()
+        assert _by_name(tracer, "orphan").parent_id is None
+
+
+class TestHousekeeping:
+    def test_len_and_clear(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert len(tracer) == 2
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.finished() == []
+
+    def test_span_ids_are_dense_in_open_order(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a") as a:
+            with tracer.span("b") as b:
+                pass
+        with tracer.span("c") as c:
+            pass
+        assert [a.span_id, b.span_id, c.span_id] == [0, 1, 2]
+
+
+class TestNullTracer:
+    def test_span_is_a_usable_noop(self):
+        with NULL_TRACER.span("x", category="y", tags={"a": 1}) as span:
+            assert span.tag("k", "v") is span
+        assert NULL_TRACER.finished() == []
+        assert len(NULL_TRACER) == 0
+
+    def test_never_suppresses_exceptions(self):
+        with pytest.raises(ValueError):
+            with NullTracer().span("x"):
+                raise ValueError("boom")
+
+    def test_clear_is_a_noop(self):
+        NullTracer().clear()
