@@ -9,6 +9,7 @@ regenerated without writing code:
     python -m repro churn               # the SecVI churn study
     python -m repro stream              # incremental streaming consumer
     python -m repro lint                # static-analysis guardrails
+    python -m repro effects             # stage purity / effect checker
     python -m repro trace tables        # any command, traced (repro.obs)
 
 The staged commands (``tables``, ``churn``, ``stream``) also accept
@@ -472,6 +473,7 @@ def cmd_lint(args):
             select=select,
             ignore=ignore,
             exclude=exclude,
+            effects=args.effects,
         )
     except (ValueError, FileNotFoundError) as exc:
         print(f"bivoc lint: {exc}", file=sys.stderr)
@@ -482,6 +484,45 @@ def cmd_lint(args):
         else render_text(report)
     )
     print(rendered)
+    return report.exit_code(fail_on=args.fail_on)
+
+
+def cmd_effects(args):
+    """Run the purity/effect checker (see :mod:`repro.devtools`)."""
+    from repro.devtools import effects_paths, render_json, render_text
+
+    exclude = tuple(
+        part for part in args.exclude.split(",") if part
+    )
+    try:
+        report, stage_reports = effects_paths(
+            args.paths or _default_lint_paths(),
+            exclude=exclude,
+        )
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"bivoc effects: {exc}", file=sys.stderr)
+        return 2
+    rendered = (
+        render_json(report)
+        if args.format == "json"
+        else render_text(report)
+    )
+    print(rendered)
+    if args.explain and args.format != "json":
+        print()
+        print("stage purity verdicts:")
+        for stage in stage_reports:
+            declared = (
+                "pure" if stage.declared_pure is True
+                else "impure" if stage.declared_pure is False
+                else "dynamic"
+            )
+            effects = ", ".join(stage.effects) or "none"
+            print(
+                f"  {stage.verdict:12} {stage.name} "
+                f"[declared {declared}; effects: {effects}] "
+                f"({stage.path}:{stage.line})"
+            )
     return report.exit_code(fail_on=args.fail_on)
 
 
@@ -605,7 +646,50 @@ def build_parser():
         "--fail-on", choices=("error", "warning"), default="warning",
         help="lowest severity that makes the exit code non-zero",
     )
+    lint.add_argument(
+        "--effects", action="store_true",
+        help="also run the interprocedural purity/effect checks on "
+             "package directories (same as 'bivoc effects')",
+    )
     lint.set_defaults(func=cmd_lint)
+
+    effects = sub.add_parser(
+        "effects",
+        help="check stage purity declarations against inferred effects",
+        description=(
+            "Builds a project-wide call graph, infers per-function "
+            "effects (mutation, I/O, wall clock, unseeded RNG, "
+            "ambient observability) to a fixpoint, and verifies every "
+            "Stage subclass and FunctionStage(..., pure=...) "
+            "construction against its declared purity — mis-declared "
+            "pure stages are concurrency bugs under the parallel "
+            "executor. Exit code 0 means the purity contract holds."
+        ),
+    )
+    effects.add_argument(
+        "paths", nargs="*",
+        help="package root directories (default: src/repro)",
+    )
+    effects.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    effects.add_argument(
+        "--exclude", default="__pycache__",
+        help="comma-separated path components to skip "
+             "(default: __pycache__)",
+    )
+    effects.add_argument(
+        "--fail-on", choices=("error", "warning"), default="error",
+        help="lowest severity that makes the exit code non-zero "
+             "(default: error — advisories do not gate)",
+    )
+    effects.add_argument(
+        "--explain", action="store_true",
+        help="list every checked stage with its verdict and inferred "
+             "effect set",
+    )
+    effects.set_defaults(func=cmd_effects)
 
     trace = sub.add_parser(
         "trace",

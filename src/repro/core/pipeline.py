@@ -269,8 +269,17 @@ class RecordLinkStage(MapStage):
         self.calls_table = calls_table
         self.link_mode = link_mode
 
-    def process_document(self, document):
-        """Attach ``record`` (Entity or None) and attempt accounting."""
+    def process_document(
+        self, document
+    ):  # bivoc: effects[mutates-param, ambient-obs]
+        """Attach ``record`` (Entity or None) and attempt accounting.
+
+        Declared for ``bivoc effects``: the injected linker/table are
+        read-only (``CallRecordLinker.link`` only tags spans and bumps
+        counters), so the hook touches nothing but the document and
+        the ambient obs layer — inference cannot see through the
+        injected collaborator on its own.
+        """
         transcript = document.require("transcript")
         if self.link_mode == "metadata":
             record = self.calls_table.get(transcript.call_id)
@@ -294,8 +303,13 @@ class AnnotateStage(MapStage):
         """``engine`` is the domain AnnotationEngine (read-only)."""
         self.engine = engine
 
-    def process_document(self, document):
-        """Annotate full text (indexed) and agent text (flags)."""
+    def process_document(self, document):  # bivoc: effects[mutates-param]
+        """Annotate full text (indexed) and agent text (flags).
+
+        Declared for ``bivoc effects``: ``AnnotationEngine.annotate``
+        builds a fresh AnnotatedDocument from read-only dictionaries,
+        so the only effect is writing the document's artifacts.
+        """
         document.put(
             "annotated",
             self.engine.annotate(
@@ -332,8 +346,13 @@ class DeriveStage(MapStage):
             return "weak"
         return "unknown"
 
-    def process_document(self, document):
-        """Write intent/flag artifacts and the structured index row."""
+    def process_document(self, document):  # bivoc: effects[mutates-param]
+        """Write intent/flag artifacts and the structured index row.
+
+        Declared for ``bivoc effects``: intent detection annotates via
+        the read-only domain engine; everything written lands on the
+        document.
+        """
         agent_doc = document.require("agent_doc")
         record = document.require("record")
         intent = self._detect_intent(document.require("opening"))

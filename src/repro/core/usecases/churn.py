@@ -130,8 +130,13 @@ class MessageLinkStage(MapStage):
         """``linker`` is an EntityLinker over the customers table."""
         self.linker = linker
 
-    def process_document(self, document):
-        """Attach the linked customer's entity id artifact."""
+    def process_document(self, document):  # bivoc: effects[mutates-param]
+        """Attach the linked customer's entity id artifact.
+
+        Declared for ``bivoc effects``: ``EntityLinker.link`` scores
+        candidates without touching shared state, so the hook only
+        writes the document.
+        """
         evidence = link_evidence_text(
             document.channel,
             document.require("cleaned_text"),
@@ -176,8 +181,12 @@ class FeaturizeStage(MapStage):
         """``extractor`` defaults to the standard ChurnFeatureExtractor."""
         self.extractor = extractor or ChurnFeatureExtractor()
 
-    def process_document(self, document):
-        """Write the feature-Counter artifact."""
+    def process_document(self, document):  # bivoc: effects[mutates-param]
+        """Write the feature-Counter artifact.
+
+        Declared for ``bivoc effects``: the extractor tokenises into a
+        fresh Counter; only the document is written.
+        """
         document.put(
             "features",
             self.extractor.extract(document.require("cleaned_text")),

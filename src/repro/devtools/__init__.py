@@ -19,6 +19,13 @@ linter knows about, so this package machine-checks them:
 * **General hygiene** — mutable default arguments, bare ``except:``,
   float-equality asserts in tests, missing public docstrings, stale
   ``__all__`` exports.
+* **Purity / concurrency safety** (``bivoc effects``) — a project-wide
+  call graph (:mod:`repro.devtools.callgraph`), interprocedural effect
+  inference to a fixpoint (:mod:`repro.devtools.effects`) and a
+  checker (:mod:`repro.devtools.purity`) that verifies every stage's
+  declared ``pure`` flag against its inferred effects, so the
+  engine's parallel executor cannot be handed a data race by a
+  mis-declared stage.
 
 Everything is stdlib-only (``ast`` + ``importlib``); run it as
 ``bivoc lint`` or through :func:`lint_paths`.
@@ -35,6 +42,10 @@ from repro.devtools.paper import PaperRegistry, default_registry
 from repro.devtools.rules import ALL_RULE_IDS, default_rules
 from repro.devtools.runner import LintReport, lint_paths
 from repro.devtools.report import render_json, render_text
+from repro.devtools.callgraph import CallGraph, build_callgraph
+from repro.devtools.effects import EffectAnalysis, analyse_package
+from repro.devtools.purity import EFFECT_RULE_IDS, check_purity
+from repro.devtools.effectsrunner import effects_paths
 
 __all__ = [
     "Severity",
@@ -52,4 +63,11 @@ __all__ = [
     "lint_paths",
     "render_text",
     "render_json",
+    "CallGraph",
+    "build_callgraph",
+    "EffectAnalysis",
+    "analyse_package",
+    "EFFECT_RULE_IDS",
+    "check_purity",
+    "effects_paths",
 ]

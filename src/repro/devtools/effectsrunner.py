@@ -1,0 +1,105 @@
+"""The ``bivoc effects`` runner: analyse packages, fold a report.
+
+Mirrors :mod:`repro.devtools.runner` for the effect system: collect
+package roots, build the call graph and effect analysis for each, run
+the purity checker, filter findings through ``# bivoc: noqa`` (with
+the ``effect-*`` namespace wildcard), and report stale effect
+suppressions as ``unused-noqa``.  The public entry point is
+:func:`effects_paths`; ``bivoc effects`` and ``bivoc lint --effects``
+are shells around it.
+"""
+
+from pathlib import Path
+
+from repro.devtools import noqa
+from repro.devtools.effects import analyse_package
+from repro.devtools.purity import EFFECT_RULE_IDS, check_purity
+from repro.devtools.violations import LintReport, Severity, Violation
+
+
+def _package_roots(paths):
+    """Validate that every path is a package root directory."""
+    roots = []
+    for raw in paths:
+        path = Path(raw)
+        if not (path.is_dir() and (path / "__init__.py").exists()):
+            raise FileNotFoundError(
+                f"not a package directory (effect analysis needs a "
+                f"package root with __init__.py): {path}"
+            )
+        roots.append(path)
+    return roots
+
+
+def unused_noqa_violation(path, line, pattern):
+    """The stale-suppression finding for one table entry."""
+    rendered = (
+        "# bivoc: noqa" if pattern == noqa.ALL_RULES
+        else f"# bivoc: noqa[{pattern}]"
+    )
+    return Violation(
+        path=str(path),
+        line=line,
+        col=0,
+        rule_id=noqa.RULE_UNUSED_NOQA,
+        severity=Severity.WARNING,
+        message=(
+            f"suppression '{rendered}' waived nothing this run; "
+            f"remove it (or add 'unused-noqa' to keep it deliberately)"
+        ),
+    )
+
+
+def check_package_effects(package_dir, tracker_cache, report,
+                          exclude=("__pycache__",)):
+    """Analyse one package into ``report``; returns its stage reports.
+
+    ``tracker_cache`` is the run-level ``{resolved path: tracker}``
+    map — shared with the lint runner when effects ride along a lint
+    run, so one file's suppression accounting covers both systems.
+    """
+    analysis = analyse_package(package_dir)
+    violations, stage_reports = check_purity(analysis)
+    module_paths = [
+        path
+        for path in analysis.graph.modgraph.modules.values()
+        if not any(part in exclude for part in path.parts)
+    ]
+    report.files_scanned += len(module_paths)
+    for violation in violations:
+        tracker = noqa.tracker_for_file(violation.path, tracker_cache)
+        if tracker.filter(violation):
+            report.suppressed += 1
+        else:
+            report.violations.append(violation)
+    # Ensure every module's suppression table exists, so stale
+    # effect waivers are found even in files with no findings.
+    for path in module_paths:
+        noqa.tracker_for_file(path, tracker_cache)
+    return stage_reports, module_paths
+
+
+def effects_paths(paths, exclude=("__pycache__",)):
+    """Run effect checking over package roots.
+
+    Returns ``(report, stage_reports)`` — a
+    :class:`~repro.devtools.runner.LintReport` of purity findings plus
+    stale effect suppressions, and the per-stage verdict list for
+    ``--explain``.
+    """
+    report = LintReport()
+    tracker_cache = {}
+    stage_reports = []
+    for package_dir in _package_roots(paths):
+        package_reports, _ = check_package_effects(
+            package_dir, tracker_cache, report, exclude=exclude
+        )
+        stage_reports.extend(package_reports)
+    active = set(EFFECT_RULE_IDS)
+    for tracker in tracker_cache.values():
+        for line, pattern in tracker.unused_entries(active):
+            report.violations.append(
+                unused_noqa_violation(tracker.path, line, pattern)
+            )
+    report.violations.sort()
+    return report, stage_reports

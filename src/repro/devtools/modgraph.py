@@ -19,17 +19,59 @@ class ModuleGraph:
     ``edges[src][dst]`` is the line number of the first import of
     ``dst`` inside ``src``.  Only edges between modules *inside* the
     graph are kept; stdlib and third-party imports are ignored.
+
+    ``imports_from[module]`` maps each name a ``from X import y``
+    statement binds in ``module`` to its ``(X, y)`` origin, which is
+    what :meth:`resolve_export` follows through ``__init__.py``
+    re-export chains so symbol consumers (the call graph) can find the
+    module that actually *defines* a name imported via a package root.
     """
 
     package: str
     modules: "dict[str, Path]" = field(default_factory=dict)
     edges: "dict[str, dict[str, int]]" = field(default_factory=dict)
+    imports_from: "dict[str, dict[str, tuple]]" = field(
+        default_factory=dict
+    )
 
     def add_edge(self, src, dst, line):
         """Record ``src`` importing ``dst`` at ``line`` (first one wins)."""
         self.edges.setdefault(src, {})
         if dst not in self.edges[src]:
             self.edges[src][dst] = line
+
+    def add_import_from(self, module, bound_name, base, original_name):
+        """Record ``from base import original_name [as bound_name]``."""
+        self.imports_from.setdefault(module, {})
+        self.imports_from[module].setdefault(
+            bound_name, (base, original_name)
+        )
+
+    def resolve_export(self, module, name):
+        """``(defining_module, name)`` for ``name`` imported from ``module``.
+
+        Follows ``from .x import y`` chains through any number of
+        re-exporting modules (typically package ``__init__.py`` files)
+        until it reaches a module that does not itself import ``name``
+        — the definition site.  ``from pkg import sub`` where ``sub``
+        is a submodule resolves to ``(pkg.sub, None)``.  Returns
+        ``None`` when ``module`` is not in the graph (an external
+        import).  Chains are cycle-guarded.
+        """
+        seen = set()
+        while True:
+            if module not in self.modules:
+                return None
+            submodule = f"{module}.{name}"
+            if submodule in self.modules:
+                return (submodule, None)
+            origin = self.imports_from.get(module, {}).get(name)
+            if origin is None:
+                return (module, name)
+            if (module, name) in seen:
+                return (module, name)
+            seen.add((module, name))
+            module, name = origin
 
     def subpackage_of(self, module):
         """Top-level subsystem a module belongs to.
@@ -144,6 +186,7 @@ def build_module_graph(package_dir):
     for path in sorted(package_dir.rglob("*.py")):
         graph.modules[_module_name(package_dir, path)] = path
 
+    reexport_candidates = []
     for module, path in graph.modules.items():
         try:
             tree = ast.parse(path.read_text(encoding="utf-8"))
@@ -164,6 +207,13 @@ def build_module_graph(package_dir):
                 if base is None:
                     continue
                 for alias in node.names:
+                    if alias.name == "*":
+                        _record(graph, module, base, node.lineno)
+                        continue
+                    graph.add_import_from(
+                        module, alias.asname or alias.name,
+                        base, alias.name,
+                    )
                     # ``from pkg import sub`` may name a submodule.
                     if f"{base}.{alias.name}" in graph.modules:
                         graph.add_edge(
@@ -171,6 +221,22 @@ def build_module_graph(package_dir):
                         )
                     else:
                         _record(graph, module, base, node.lineno)
+                        reexport_candidates.append(
+                            (module, base, alias.name, node.lineno)
+                        )
+
+    # Second pass: ``from pkg import name`` where ``name`` is neither a
+    # submodule nor defined in ``pkg`` itself is usually a re-export
+    # chained through ``pkg/__init__.py``.  Resolve the chain and add
+    # an edge to the defining module so downstream consumers (layer
+    # checks on symbol provenance, the call graph) do not drop it.
+    for module, base, name, line in reexport_candidates:
+        resolved = graph.resolve_export(base, name)
+        if resolved is None:
+            continue
+        defining, _ = resolved
+        if defining != base and defining != module:
+            graph.add_edge(module, defining, line)
     return graph
 
 

@@ -5,26 +5,83 @@ blanket ``# bivoc: noqa``) is dropped from the report and counted as
 suppressed.  Suppressions are deliberately line-scoped — there is no
 file-level escape hatch, so every waiver is visible next to the code
 it excuses and can carry its justification in the same comment.
+
+Rule ids may be namespaced prefixes ending in ``*``
+(``# bivoc: noqa[effect-*]`` waives every effect rule on the line),
+and every suppression is *accounted for*: an entry that waived nothing
+during a run that actually checked its rules is reported as an
+``unused-noqa`` finding, so stale waivers cannot linger silently.  An
+entry that explicitly lists ``unused-noqa`` opts out of that
+accounting (a documented permanent waiver).
 """
 
+import io
 import re
+import tokenize
+from pathlib import Path
 
 _NOQA_RE = re.compile(
-    r"#\s*bivoc:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\- ]+)\])?",
+    r"#\s*bivoc:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\-* ]+)\])?",
 )
 
 #: Sentinel meaning "every rule" for a blanket ``# bivoc: noqa``.
 ALL_RULES = "*"
 
+#: Rule id of the stale-suppression finding itself.
+RULE_UNUSED_NOQA = "unused-noqa"
+
+
+def rule_matches(rule_id, pattern):
+    """Whether one suppression pattern covers ``rule_id``.
+
+    Patterns are exact ids, the blanket ``*``, or prefix wildcards
+    like ``effect-*``.
+    """
+    if pattern == ALL_RULES:
+        return True
+    if pattern.endswith("*"):
+        return rule_id.startswith(pattern[:-1])
+    return rule_id == pattern
+
+
+def _comment_lines(lines):
+    """``(lineno, text, exact)`` for every *real* comment in ``lines``.
+
+    Tokenising (rather than regex-scanning raw lines) keeps noqa
+    markers quoted inside strings or docstrings — documentation about
+    the syntax, rendered messages — from registering as live
+    suppressions.  ``exact`` marks tokenised comments, which must
+    *start* with the marker (a comment that merely mentions the syntax
+    mid-sentence is prose, not a waiver).  Untokenisable text falls
+    back to the raw substring scan, which can only over-match (a
+    suppression is never lost).
+    """
+    source = "\n".join(lines) + "\n"
+    try:
+        return [
+            (token.start[0], token.string, True)
+            for token in tokenize.generate_tokens(
+                io.StringIO(source).readline
+            )
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return [
+            (lineno, line, False)
+            for lineno, line in enumerate(lines, start=1)
+        ]
+
 
 def suppressions(lines):
-    """Map line number (1-based) -> set of suppressed rule ids.
+    """Map line number (1-based) -> set of suppressed rule patterns.
 
     A blanket ``# bivoc: noqa`` maps to ``{ALL_RULES}``.
     """
     table = {}
-    for lineno, line in enumerate(lines, start=1):
-        match = _NOQA_RE.search(line)
+    for lineno, text, exact in _comment_lines(lines):
+        match = (
+            _NOQA_RE.match(text) if exact else _NOQA_RE.search(text)
+        )
         if not match:
             continue
         spec = match.group("rules")
@@ -42,4 +99,84 @@ def is_suppressed(violation, table):
     rules = table.get(violation.line)
     if not rules:
         return False
-    return ALL_RULES in rules or violation.rule_id in rules
+    return any(
+        rule_matches(violation.rule_id, pattern) for pattern in rules
+    )
+
+
+class SuppressionTracker:
+    """A file's suppression table plus which entries actually fired.
+
+    The runner routes every raw finding for the file through
+    :meth:`filter`; afterwards :meth:`unused_entries` lists the
+    patterns that waived nothing — the raw material for
+    ``unused-noqa`` findings.
+    """
+
+    def __init__(self, lines, path=""):
+        self.path = str(path)
+        self.table = suppressions(lines)
+        #: line -> set of patterns that suppressed at least one finding
+        self.used = {}
+
+    def filter(self, violation):
+        """True (and record the hit) if ``violation`` is suppressed."""
+        patterns = self.table.get(violation.line)
+        if not patterns:
+            return False
+        hit = False
+        for pattern in patterns:
+            if rule_matches(violation.rule_id, pattern):
+                self.used.setdefault(violation.line, set()).add(pattern)
+                hit = True
+        return hit
+
+    def unused_entries(self, active_rules, include_blanket=False):
+        """``(line, pattern)`` pairs that waived nothing this run.
+
+        Only patterns whose rules were actually *checked* are
+        reported: ``active_rules`` is the set of rule ids this run
+        evaluated for the file, and a pattern matching none of them is
+        skipped rather than called stale (a ``bivoc lint
+        --select=...`` run must not flag effect suppressions).  The
+        blanket ``*`` is only reported when ``include_blanket`` is set
+        — i.e. when the run was unfiltered, so *every* rule had its
+        chance to fire.  Entries listing ``unused-noqa`` are exempt.
+        """
+        stale = []
+        for line in sorted(self.table):
+            patterns = self.table[line]
+            if RULE_UNUSED_NOQA in patterns:
+                continue
+            used = self.used.get(line, set())
+            for pattern in sorted(patterns):
+                if pattern in used:
+                    continue
+                if pattern == ALL_RULES:
+                    if include_blanket:
+                        stale.append((line, pattern))
+                    continue
+                if any(
+                    rule_matches(rule, pattern) for rule in active_rules
+                ):
+                    stale.append((line, pattern))
+        return stale
+
+
+def tracker_for_file(path, cache):
+    """Fetch (or build) the tracker for ``path`` in a run-level cache.
+
+    ``cache`` maps resolved paths to trackers so per-file, graph-level
+    and effect-level findings all consult (and mark) one shared table
+    per file.  Unreadable files get an empty tracker.
+    """
+    resolved = Path(path).resolve()
+    tracker = cache.get(resolved)
+    if tracker is None:
+        try:
+            lines = resolved.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            lines = []
+        tracker = SuppressionTracker(lines, path=str(path))
+        cache[resolved] = tracker
+    return tracker

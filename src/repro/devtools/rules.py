@@ -548,12 +548,21 @@ RULE_CLASSES = [
     AllExportsExist,
 ]
 
-#: Rule ids checkable through this engine, plus the two graph-level
-#: checks the runner wires in (kept here so ``--select`` validates).
+#: Rule ids checkable through this engine, plus the graph-level and
+#: effect-system checks the runner wires in (kept here so
+#: ``--select`` validates).  The effect ids live in
+#: :mod:`repro.devtools.purity`; ``unused-noqa`` is the suppression
+#: accounting in :mod:`repro.devtools.noqa`.
 GRAPH_RULE_IDS = ("layer-contract", "import-cycle")
+EFFECT_SYSTEM_RULE_IDS = (
+    "effect-pure-mismatch",
+    "effect-shared-state-race",
+    "effect-missed-parallelism",
+    "unused-noqa",
+)
 ALL_RULE_IDS = tuple(
     cls.rule_id for cls in RULE_CLASSES
-) + GRAPH_RULE_IDS
+) + GRAPH_RULE_IDS + EFFECT_SYSTEM_RULE_IDS
 
 
 def default_rules():

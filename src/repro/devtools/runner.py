@@ -1,19 +1,20 @@
 """The lint runner: collect files, run every checker, fold the report.
 
-Orchestrates the three analysis levels:
+Orchestrates the analysis levels:
 
 1. per-file AST rules (:mod:`repro.devtools.rules`),
-2. ``# bivoc: noqa`` suppression filtering (:mod:`repro.devtools.noqa`),
+2. ``# bivoc: noqa`` suppression filtering with stale-waiver
+   accounting (:mod:`repro.devtools.noqa`),
 3. package-level layering + cycle checks
    (:mod:`repro.devtools.layering`) whenever a linted directory is
-   itself a package root (holds an ``__init__.py``).
+   itself a package root (holds an ``__init__.py``),
+4. optionally (``effects=True``) the interprocedural purity/effect
+   checks (:mod:`repro.devtools.effectsrunner`).
 
 The public entry point is :func:`lint_paths`; ``bivoc lint`` is a thin
 CLI shell around it.
 """
 
-from collections import Counter
-from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.devtools import noqa
@@ -21,43 +22,13 @@ from repro.devtools.layering import DEFAULT_CONTRACT, check_layering
 from repro.devtools.modgraph import build_module_graph
 from repro.devtools.rules import (
     ALL_RULE_IDS,
+    GRAPH_RULE_IDS,
     FileContext,
     default_rules,
 )
-from repro.devtools.violations import Severity, Violation
+from repro.devtools.violations import LintReport, Severity, Violation
 
-
-@dataclass
-class LintReport:
-    """Outcome of one lint run."""
-
-    violations: "list[Violation]" = field(default_factory=list)
-    files_scanned: int = 0
-    suppressed: int = 0
-
-    def counts_by_rule(self):
-        """``{rule_id: count}`` over the surviving violations."""
-        return dict(
-            Counter(v.rule_id for v in self.violations).most_common()
-        )
-
-    def counts_by_severity(self):
-        """``{severity: count}`` over the surviving violations."""
-        return dict(
-            Counter(v.severity for v in self.violations).most_common()
-        )
-
-    def exit_code(self, fail_on=Severity.WARNING):
-        """0 if no violation at or above ``fail_on`` severity, else 1."""
-        threshold = Severity.rank(fail_on)
-        return (
-            1
-            if any(
-                Severity.rank(v.severity) >= threshold
-                for v in self.violations
-            )
-            else 0
-        )
+__all__ = ["LintReport", "lint_paths"]
 
 
 def _select_rules(select=None, ignore=None):
@@ -115,19 +86,33 @@ def _collect(paths, exclude):
 
 
 def lint_paths(paths, select=None, ignore=None, exclude=("__pycache__",),
-               contract=DEFAULT_CONTRACT):
+               contract=DEFAULT_CONTRACT, effects=False):
     """Lint files and/or package directories; returns a :class:`LintReport`.
 
     ``paths`` may mix files and directories.  Directories are walked
     recursively; a directory that is a package root additionally gets
-    the layering and cycle checks.  ``select``/``ignore`` filter by
-    rule id; ``exclude`` drops any file with a matching path component
-    (fixtures, caches).
+    the layering and cycle checks — and, with ``effects=True``, the
+    interprocedural purity/effect checks
+    (:mod:`repro.devtools.effectsrunner`).  ``select``/``ignore``
+    filter by rule id; ``exclude`` drops any file with a matching path
+    component (fixtures, caches).
+
+    Suppression accounting spans all three levels: a ``# bivoc: noqa``
+    entry that waived nothing — for a rule this run actually checked —
+    is itself reported as ``unused-noqa``.
     """
     rules = _select_rules(select, ignore)
     files, package_dirs = _collect(paths, set(exclude))
 
     report = LintReport()
+    tracker_cache = {}
+    #: resolved path -> rule ids this run evaluated for that file
+    active_rules = {}
+
+    def activate(path, rule_ids):
+        resolved = Path(path).resolve()
+        active_rules.setdefault(resolved, set()).update(rule_ids)
+
     for path in files:
         report.files_scanned += 1
         try:
@@ -144,32 +129,74 @@ def lint_paths(paths, select=None, ignore=None, exclude=("__pycache__",),
                 )
             )
             continue
-        table = noqa.suppressions(ctx.lines)
+        tracker = noqa.SuppressionTracker(ctx.lines, path=str(path))
+        tracker_cache[Path(path).resolve()] = tracker
         for rule in rules:
             if not rule.applies(ctx):
                 continue
+            activate(path, (rule.rule_id,))
             for violation in rule.check(ctx):
-                if noqa.is_suppressed(violation, table):
+                if tracker.filter(violation):
                     report.suppressed += 1
                 else:
                     report.violations.append(violation)
 
     for package_dir in package_dirs:
         graph = build_module_graph(package_dir)
+        graph_rules = [
+            rule_id for rule_id in GRAPH_RULE_IDS
+            if _graph_rule_active(rule_id, select, ignore)
+        ]
+        for module_path in graph.modules.values():
+            activate(module_path, graph_rules)
         graph_violations = check_layering(graph, contract)
         for violation in graph_violations:
             if not _graph_rule_active(violation.rule_id, select, ignore):
                 continue
-            try:
-                lines = Path(violation.path).read_text(
-                    encoding="utf-8"
-                ).splitlines()
-            except OSError:
-                lines = []
-            if noqa.is_suppressed(violation, noqa.suppressions(lines)):
+            tracker = noqa.tracker_for_file(
+                violation.path, tracker_cache
+            )
+            if tracker.filter(violation):
                 report.suppressed += 1
             else:
                 report.violations.append(violation)
+
+    if effects:
+        # Imported lazily: the effect system sits on top of the lint
+        # core, and the core must stay importable without it.
+        from repro.devtools.effectsrunner import check_package_effects
+        from repro.devtools.purity import EFFECT_RULE_IDS
+
+        effect_rules = [
+            rule_id for rule_id in EFFECT_RULE_IDS
+            if _graph_rule_active(rule_id, select, ignore)
+        ]
+        for package_dir in package_dirs:
+            effect_report = LintReport()
+            _, module_paths = check_package_effects(
+                package_dir, tracker_cache, effect_report,
+                exclude=set(exclude),
+            )
+            report.suppressed += effect_report.suppressed
+            for violation in effect_report.violations:
+                if _graph_rule_active(violation.rule_id, select, ignore):
+                    report.violations.append(violation)
+            for module_path in module_paths:
+                activate(module_path, effect_rules)
+
+    if _graph_rule_active(noqa.RULE_UNUSED_NOQA, select, ignore):
+        from repro.devtools.effectsrunner import unused_noqa_violation
+
+        include_blanket = select is None and ignore is None and effects
+        for resolved, tracker in tracker_cache.items():
+            stale = tracker.unused_entries(
+                active_rules.get(resolved, set()),
+                include_blanket=include_blanket,
+            )
+            for line, pattern in stale:
+                report.violations.append(
+                    unused_noqa_violation(tracker.path, line, pattern)
+                )
 
     report.violations.sort()
     return report

@@ -1,12 +1,16 @@
-"""The diagnostic record every checker emits.
+"""The diagnostic records every checker emits.
 
-A :class:`Violation` is one finding at one source location.  Keeping it
-a frozen, ordered dataclass makes reports deterministic: the runner
-sorts findings by ``(path, line, col, rule_id)`` so repeated runs over
-an unchanged tree emit byte-identical output.
+A :class:`Violation` is one finding at one source location; a
+:class:`LintReport` is the folded outcome of one run.  Keeping the
+finding a frozen, ordered dataclass makes reports deterministic: the
+runner sorts findings by ``(path, line, col, rule_id)`` so repeated
+runs over an unchanged tree emit byte-identical output.  Both the lint
+runner and the effect runner fold into the same report type, so the
+renderers and CI contract are shared.
 """
 
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 
 
 class Severity:
@@ -54,3 +58,36 @@ class Violation:
             "severity": self.severity,
             "message": self.message,
         }
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint or effect-check run."""
+
+    violations: "list[Violation]" = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+
+    def counts_by_rule(self):
+        """``{rule_id: count}`` over the surviving violations."""
+        return dict(
+            Counter(v.rule_id for v in self.violations).most_common()
+        )
+
+    def counts_by_severity(self):
+        """``{severity: count}`` over the surviving violations."""
+        return dict(
+            Counter(v.severity for v in self.violations).most_common()
+        )
+
+    def exit_code(self, fail_on=Severity.WARNING):
+        """0 if no violation at or above ``fail_on`` severity, else 1."""
+        threshold = Severity.rank(fail_on)
+        return (
+            1
+            if any(
+                Severity.rank(v.severity) >= threshold
+                for v in self.violations
+            )
+            else 0
+        )

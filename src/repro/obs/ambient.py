@@ -33,13 +33,22 @@ _active_tracer = NULL_TRACER
 _active_metrics = NULL_METRICS
 
 
-def get_tracer():
-    """The ambient tracer (the null tracer unless activated)."""
+def get_tracer():  # bivoc: effects[ambient-obs]
+    """The ambient tracer (the null tracer unless activated).
+
+    Declared ``ambient-obs`` for ``bivoc effects``: reading the slot
+    is how code opts into the ambient observability channel, and the
+    effect checker treats that channel as thread-safe by contract.
+    """
     return _active_tracer
 
 
-def get_metrics():
-    """The ambient metrics registry (null unless activated)."""
+def get_metrics():  # bivoc: effects[ambient-obs]
+    """The ambient metrics registry (null unless activated).
+
+    Declared ``ambient-obs`` for ``bivoc effects`` — see
+    :func:`get_tracer`.
+    """
     return _active_metrics
 
 

@@ -1,0 +1,35 @@
+"""Shared fixtures for the devtools suite."""
+
+import textwrap
+
+import pytest
+
+
+@pytest.fixture
+def make_package(tmp_path):
+    """Materialise ``{relpath: source}`` as a package under ``tmp_path``.
+
+    Sources are dedented; every directory gets an ``__init__.py`` unless
+    the caller supplies one explicitly.  Returns the package root, ready
+    for ``build_module_graph`` / ``build_callgraph`` / ``analyse_package``.
+    """
+
+    def _make(files, name="fx"):
+        package = tmp_path / name
+        package.mkdir(exist_ok=True)
+        directories = {package}
+        for relpath, source in files.items():
+            path = package / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+            parent = path.parent
+            while parent != package:
+                directories.add(parent)
+                parent = parent.parent
+        for directory in directories:
+            init = directory / "__init__.py"
+            if not init.exists():
+                init.write_text('"""pkg."""\n')
+        return package
+
+    return _make

@@ -1,0 +1,23 @@
+"""Adversarial fixture package for the ``bivoc effects`` checker.
+
+A vendored mini-engine (:mod:`fxstage.engine`) plus stages that lie
+about their purity in every way the checker must catch — and one that
+under-claims, for the missed-parallelism advisory.  This package is
+analysed statically (never imported by the tests), so the stages are
+deliberately unsafe.
+
+Re-exports below exercise the ``__init__`` re-export chain the call
+graph must resolve.
+"""
+
+from fxstage.engine import FunctionStage, MapStage, Stage
+from fxstage.stages import CachingStage, HonestStage, SamplingStage
+
+__all__ = [
+    "Stage",
+    "MapStage",
+    "FunctionStage",
+    "CachingStage",
+    "HonestStage",
+    "SamplingStage",
+]

@@ -1,0 +1,52 @@
+"""A vendored mini stage engine (structural twin of the real one).
+
+The purity checker detects stage protocols *structurally* — a class
+defining both a ``pure`` attribute and a ``process`` method — so this
+self-contained copy is recognised without any configuration.  Its
+``MapStage`` dispatches through an ``apply`` hook (a different name
+from the real engine's ``process_document``) to prove the checker
+follows the concrete class's own template method rather than
+hard-coded hook names.
+"""
+
+
+class Stage:
+    """Base stage: batch in, batch out."""
+
+    pure = False
+
+    def process(self, batch):
+        """Transform a batch of documents."""
+        raise NotImplementedError
+
+
+class MapStage(Stage):
+    """Per-document stage; subclasses implement ``apply``."""
+
+    pure = True
+
+    def process(self, batch):
+        """Apply the per-document hook to every document."""
+        for document in batch:
+            self.apply(document)
+        return batch
+
+    def apply(self, document):
+        """Process one document in place."""
+        raise NotImplementedError
+
+
+class FunctionStage(Stage):
+    """Adapt ``fn(document) -> None`` into a stage."""
+
+    def __init__(self, name, fn, pure=False):
+        """``pure`` is declared by the caller, as in the real engine."""
+        self.name = name
+        self._fn = fn
+        self.pure = pure
+
+    def process(self, batch):
+        """Apply the wrapped function to every document."""
+        for document in batch:
+            self._fn(document)
+        return batch

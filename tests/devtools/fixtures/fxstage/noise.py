@@ -1,0 +1,18 @@
+"""Helpers that bury an unseeded RNG draw two calls deep.
+
+``SamplingStage.apply`` -> :func:`jitter` -> :func:`_draw` ->
+``random.random()``: the effect checker must carry the
+``unseeded-rng`` effect back up through both hops.
+"""
+
+import random
+
+
+def jitter(value):
+    """Perturb ``value`` by a tiny random amount."""
+    return value + _draw()
+
+
+def _draw():
+    """The actual unseeded draw, one more hop down."""
+    return random.random() * 1e-6

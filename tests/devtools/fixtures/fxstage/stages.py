@@ -1,0 +1,63 @@
+"""Stages that lie about their purity, one per checker rule.
+
+* :class:`CachingStage` — inherits ``pure = True`` from ``MapStage``
+  but memoises into ``self._cache`` inside ``apply``: shared mutable
+  state across parallel workers (``effect-shared-state-race``).
+* :class:`SamplingStage` — also declared pure, but its ``apply``
+  reaches ``random.random()`` two call-graph hops away
+  (``apply`` -> ``jitter`` -> ``_draw``): ``effect-pure-mismatch``.
+* :class:`HonestStage` — provably clean yet declared ``pure = False``:
+  the ``effect-missed-parallelism`` advisory.
+* :func:`build_dedupe_stage` — a ``FunctionStage`` mis-declared
+  ``pure=True`` whose lambda appends to a closure-captured list:
+  the construction-site race finding.
+"""
+
+from fxstage.engine import FunctionStage, MapStage
+from fxstage.noise import jitter
+
+
+class CachingStage(MapStage):
+    """Memoises per-key results in an instance dict — a data race."""
+
+    def __init__(self):
+        self._cache = {}
+
+    def apply(self, document):
+        """Annotate ``document`` from the (shared) cache."""
+        key = document.key
+        if key not in self._cache:
+            self._cache[key] = [document.text]
+        document.tokens = self._cache[key]
+
+
+class SamplingStage(MapStage):
+    """Perturbs scores with an unseeded draw buried two calls deep."""
+
+    def apply(self, document):
+        """Jitter the document score."""
+        document.score = jitter(document.score)
+
+
+class HonestStage(MapStage):
+    """Provably pure, but modestly declared impure."""
+
+    pure = False
+
+    def apply(self, document):
+        """Tokenise the document text in place."""
+        document.tokens = [t for t in document.text.split() if t]
+
+
+def build_dedupe_stage():
+    """Construct a ``FunctionStage`` that lies about its purity.
+
+    The lambda appends every key to ``seen`` — an enclosing local
+    captured by closure, so parallel workers would share it.
+    """
+    seen = []
+    return FunctionStage(
+        "dedupe",
+        lambda document: seen.append(document.key),
+        pure=True,
+    )

@@ -1,0 +1,256 @@
+"""Call-graph construction: symbol resolution, MRO, dispatch, lambdas."""
+
+from repro.devtools.callgraph import (
+    build_callgraph,
+    parse_effects_annotation,
+)
+
+
+def _sites(graph, qualname):
+    return graph.functions[qualname].calls
+
+
+class TestAnnotationParsing:
+    def test_effect_list(self):
+        declared = parse_effects_annotation(
+            "def f():  # bivoc: effects[io, ambient-obs]"
+        )
+        assert declared == frozenset({"io", "ambient-obs"})
+
+    def test_pure_means_empty(self):
+        assert parse_effects_annotation(
+            "def f():  # bivoc: effects[pure]"
+        ) == frozenset()
+
+    def test_plain_line_is_none(self):
+        assert parse_effects_annotation("def f():  # a comment") is None
+
+
+class TestFunctionResolution:
+    def test_same_module_call(self, make_package):
+        graph = build_callgraph(make_package({
+            "a.py": '''\
+                """a."""
+
+
+                def helper(x):
+                    return x
+
+
+                def caller(x):
+                    return helper(x)
+                ''',
+        }))
+        (site,) = _sites(graph, "fx.a.caller")
+        assert site.targets == ("fx.a.helper",)
+        assert not site.unresolved
+
+    def test_cross_module_import(self, make_package):
+        graph = build_callgraph(make_package({
+            "a.py": '''\
+                """a."""
+
+
+                def helper(x):
+                    return x
+                ''',
+            "b.py": '''\
+                """b."""
+
+                from fx.a import helper
+
+
+                def caller(x):
+                    return helper(x)
+                ''',
+        }))
+        (site,) = _sites(graph, "fx.b.caller")
+        assert site.targets == ("fx.a.helper",)
+
+    def test_reexport_chain_through_init(self, make_package):
+        graph = build_callgraph(make_package({
+            "__init__.py": '"""pkg."""\n\nfrom fx.a import helper\n',
+            "a.py": '''\
+                """a."""
+
+
+                def helper(x):
+                    return x
+                ''',
+            "b.py": '''\
+                """b."""
+
+                from fx import helper
+
+
+                def caller(x):
+                    return helper(x)
+                ''',
+        }))
+        (site,) = _sites(graph, "fx.b.caller")
+        assert site.targets == ("fx.a.helper",)
+
+    def test_external_call_keeps_dotted_name(self, make_package):
+        graph = build_callgraph(make_package({
+            "a.py": '''\
+                """a."""
+
+                import json
+
+
+                def dump(x):
+                    return json.dumps(x)
+                ''',
+        }))
+        (site,) = _sites(graph, "fx.a.dump")
+        assert site.external == "json.dumps"
+        assert site.targets == ()
+
+    def test_call_through_parameter_is_unresolved(self, make_package):
+        graph = build_callgraph(make_package({
+            "a.py": '''\
+                """a."""
+
+
+                def run(fn):
+                    return fn()
+                ''',
+        }))
+        (site,) = _sites(graph, "fx.a.run")
+        assert site.unresolved
+        assert site.receiver == ("param", "fn")
+
+
+class TestMethodResolution:
+    def test_mro_resolves_inherited_method(self, make_package):
+        graph = build_callgraph(make_package({
+            "a.py": '''\
+                """a."""
+
+
+                class Base:
+                    def run(self, x):
+                        return x
+
+
+                class Child(Base):
+                    pass
+                ''',
+        }))
+        assert graph.resolve_method("fx.a.Child", "run") == "fx.a.Base.run"
+        assert graph.mro("fx.a.Child") == ["fx.a.Child", "fx.a.Base"]
+
+    def test_self_method_dispatch(self, make_package):
+        graph = build_callgraph(make_package({
+            "a.py": '''\
+                """a."""
+
+
+                class C:
+                    def helper(self, x):
+                        return x
+
+                    def go(self, x):
+                        return self.helper(x)
+                ''',
+        }))
+        (site,) = _sites(graph, "fx.a.C.go")
+        assert site.self_method
+        assert site.targets == ("fx.a.C.helper",)
+
+    def test_self_attr_method_uses_inferred_type(self, make_package):
+        graph = build_callgraph(make_package({
+            "a.py": '''\
+                """a."""
+
+
+                class Helper:
+                    def run(self, x):
+                        return x
+
+
+                class Owner:
+                    def __init__(self):
+                        self.helper = Helper()
+
+                    def go(self, x):
+                        return self.helper.run(x)
+                ''',
+        }))
+        sites = _sites(graph, "fx.a.Owner.go")
+        (call,) = [s for s in sites if s.method == "run"]
+        assert call.targets == ("fx.a.Helper.run",)
+        assert not call.unresolved
+
+    def test_parameter_branch_keeps_open_world(self, make_package):
+        # ``self.x = given or Default()``: the resolved candidate is
+        # kept, but the call stays unresolved (the parameter branch may
+        # be anything).
+        graph = build_callgraph(make_package({
+            "a.py": '''\
+                """a."""
+
+
+                class Default:
+                    def run(self, x):
+                        return x
+
+
+                class Owner:
+                    def __init__(self, given=None):
+                        self.x = given or Default()
+
+                    def go(self, x):
+                        return self.x.run(x)
+                ''',
+        }))
+        sites = _sites(graph, "fx.a.Owner.go")
+        (call,) = [s for s in sites if s.method == "run"]
+        assert call.targets == ("fx.a.Default.run",)
+        assert call.unresolved
+
+
+class TestLambdas:
+    def test_lambda_gets_synthetic_function(self, make_package):
+        graph = build_callgraph(make_package({
+            "a.py": '''\
+                """a."""
+
+
+                def build():
+                    acc = []
+                    fn = lambda d: acc.append(d)
+                    return fn
+                ''',
+        }))
+        info = graph.functions["fx.a.build.<lambda#0>"]
+        assert info.params == ("d",)
+        assert "acc" in info.enclosing_locals
+
+
+class TestDeclaredEffects:
+    def test_annotation_recorded_on_function_info(self, make_package):
+        graph = build_callgraph(make_package({
+            "a.py": '''\
+                """a."""
+
+
+                def reads():  # bivoc: effects[io]
+                    return 1
+
+
+                def clean():  # bivoc: effects[pure]
+                    return 2
+
+
+                def inferred():
+                    return 3
+                ''',
+        }))
+        assert graph.functions["fx.a.reads"].declared_effects == (
+            frozenset({"io"})
+        )
+        assert graph.functions["fx.a.clean"].declared_effects == (
+            frozenset()
+        )
+        assert graph.functions["fx.a.inferred"].declared_effects is None

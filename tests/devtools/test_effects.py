@@ -1,0 +1,300 @@
+"""Effect inference: direct effects, fixpoint propagation, witnesses."""
+
+from repro.devtools.effects import (
+    AMBIENT_OBS,
+    IO,
+    MUTATES_GLOBAL,
+    MUTATES_PARAM,
+    MUTATES_SELF,
+    UNKNOWN,
+    UNSEEDED_RNG,
+    WALL_CLOCK,
+    analyse_package,
+)
+
+
+def _analyse(make_package, source):
+    return analyse_package(make_package({"a.py": source}))
+
+
+class TestDirectEffects:
+    def test_parameter_attribute_write(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+
+            def annotate(doc):
+                doc.label = "x"
+            ''')
+        assert analysis.effects_of("fx.a.annotate") == frozenset(
+            {MUTATES_PARAM}
+        )
+
+    def test_self_attribute_write(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+
+            class C:
+                def remember(self, x):
+                    self.last = x
+            ''')
+        assert analysis.effects_of("fx.a.C.remember") == frozenset(
+            {MUTATES_SELF}
+        )
+
+    def test_global_statement_write(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+            COUNT = 0
+
+
+            def bump():
+                global COUNT
+                COUNT = COUNT + 1
+            ''')
+        assert analysis.effects_of("fx.a.bump") == frozenset(
+            {MUTATES_GLOBAL}
+        )
+
+    def test_mutator_method_on_parameter(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+
+            def push(items, x):
+                items.append(x)
+            ''')
+        assert analysis.effects_of("fx.a.push") == frozenset(
+            {MUTATES_PARAM}
+        )
+
+    def test_print_is_io(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+
+            def shout(x):
+                print(x)
+            ''')
+        assert analysis.effects_of("fx.a.shout") == frozenset({IO})
+
+    def test_wall_clock_external(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+            import time
+
+
+            def stamp():
+                return time.time()
+            ''')
+        assert analysis.effects_of("fx.a.stamp") == frozenset(
+            {WALL_CLOCK}
+        )
+
+    def test_unseeded_rng_external(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+            import random
+
+
+            def draw():
+                return random.random()
+            ''')
+        assert analysis.effects_of("fx.a.draw") == frozenset(
+            {UNSEEDED_RNG}
+        )
+
+    def test_known_clean_external(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+            import math
+
+
+            def root(x):
+                return math.sqrt(x)
+            ''')
+        assert analysis.effects_of("fx.a.root") == frozenset()
+
+    def test_unknown_external_is_conservative(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+            import frobnicator
+
+
+            def call():
+                return frobnicator.go()
+            ''')
+        assert UNKNOWN in analysis.effects_of("fx.a.call")
+
+    def test_obs_method_heuristic(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+
+            def timed(tracer, x):
+                tracer.span("work")
+                return x
+            ''')
+        assert analysis.effects_of("fx.a.timed") == frozenset(
+            {AMBIENT_OBS}
+        )
+
+    def test_benign_methods_are_clean(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+
+            def tokens(text):
+                return text.lower().split()
+            ''')
+        assert analysis.effects_of("fx.a.tokens") == frozenset()
+
+    def test_lambda_closure_mutation_is_shared_state(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+
+            def build():
+                acc = []
+                return lambda d: acc.append(d)
+            ''')
+        assert analysis.effects_of("fx.a.build.<lambda#0>") == (
+            frozenset({MUTATES_GLOBAL})
+        )
+
+
+class TestPropagation:
+    def test_callee_effect_reaches_caller(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+
+            def noisy(x):
+                print(x)
+
+
+            def caller(x):
+                noisy(x)
+            ''')
+        assert IO in analysis.effects_of("fx.a.caller")
+
+    def test_two_hop_chain_with_witnesses(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+            import random
+
+
+            def top(x):
+                return middle(x)
+
+
+            def middle(x):
+                return bottom(x)
+
+
+            def bottom(x):
+                return x + random.random()
+            ''')
+        assert UNSEEDED_RNG in analysis.effects_of("fx.a.top")
+        chain = analysis.witness_chain("fx.a.top", UNSEEDED_RNG)
+        assert [q for q, _ in chain] == [
+            "fx.a.top", "fx.a.middle", "fx.a.bottom",
+        ]
+        assert chain[-1][1].kind == "direct"
+        assert "random.random" in chain[-1][1].detail
+
+    def test_mutual_recursion_terminates(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+
+            def ping(x):
+                print(x)
+                return pong(x)
+
+
+            def pong(x):
+                return ping(x)
+            ''')
+        assert IO in analysis.effects_of("fx.a.ping")
+        assert IO in analysis.effects_of("fx.a.pong")
+
+    def test_self_mutation_maps_through_self_call(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+
+            class C:
+                def _store(self, x):
+                    self.value = x
+
+                def go(self, x):
+                    self._store(x)
+            ''')
+        assert MUTATES_SELF in analysis.effects_of("fx.a.C.go")
+
+    def test_param_mutation_on_local_argument_drops(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+
+            def push(items):
+                items.append(1)
+
+
+            def fresh():
+                batch = []
+                push(batch)
+                return batch
+
+
+            def forward(items):
+                push(items)
+            ''')
+        # Mutating a caller-local list is invisible outside the caller.
+        assert analysis.effects_of("fx.a.fresh") == frozenset()
+        # Mutating a forwarded parameter is the caller's effect too.
+        assert analysis.effects_of("fx.a.forward") == frozenset(
+            {MUTATES_PARAM}
+        )
+
+
+class TestDeclaredOverrides:
+    def test_annotation_pins_the_effect_set(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+            import random
+
+
+            def derive(seed):  # bivoc: effects[pure]
+                return random.Random(seed)
+
+
+            def caller(seed):
+                return derive(seed)
+            ''')
+        assert analysis.effects_of("fx.a.derive") == frozenset()
+        assert analysis.effects_of("fx.a.caller") == frozenset()
+
+    def test_declared_effects_propagate(self, make_package):
+        analysis = _analyse(make_package, '''\
+            """a."""
+
+
+            def emit(x):  # bivoc: effects[io]
+                return x
+
+
+            def caller(x):
+                return emit(x)
+            ''')
+        assert analysis.effects_of("fx.a.emit") == frozenset({IO})
+        assert IO in analysis.effects_of("fx.a.caller")

@@ -1,0 +1,51 @@
+"""The gate: the repository's own stage graph must verify pure.
+
+Companion to ``test_lint_clean.py``: any change that makes a declared-
+pure stage provably racy or non-deterministic — or leaves a stale
+``effect-*`` suppression behind — fails the tier-1 suite, not just CI.
+"""
+
+from pathlib import Path
+
+from repro.devtools.effectsrunner import effects_paths
+from repro.devtools.runner import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_PACKAGE = REPO_ROOT / "src" / "repro"
+
+
+class TestSourceTreeVerifiesPure:
+    def test_zero_effect_findings_over_src_repro(self):
+        report, _ = effects_paths([SRC_PACKAGE])
+        rendered = "\n".join(v.render() for v in report.violations)
+        assert report.violations == [], f"effect findings:\n{rendered}"
+        assert report.exit_code() == 0
+
+    def test_the_stage_graph_was_actually_checked(self):
+        # Guard against the gate passing vacuously: the engine's stage
+        # protocol and the pipeline's concrete stages must be found.
+        _, stage_reports = effects_paths([SRC_PACKAGE])
+        names = {r.name for r in stage_reports}
+        assert any(".engine." in name for name in names)
+        assert len(stage_reports) >= 10
+
+    def test_no_stage_is_mis_verdicted(self):
+        # Every class-declared stage must verify ``consistent`` —
+        # ``unverifiable`` here would mean the checker lost precision
+        # over our own tree (a regression even without a finding).
+        _, stage_reports = effects_paths([SRC_PACKAGE])
+        class_verdicts = {
+            r.name: r.verdict for r in stage_reports if r.kind == "class"
+        }
+        bad = {
+            name: verdict
+            for name, verdict in class_verdicts.items()
+            if verdict != "consistent"
+        }
+        assert bad == {}, f"non-consistent stage verdicts: {bad}"
+
+    def test_lint_with_effects_stays_clean(self):
+        report = lint_paths([SRC_PACKAGE], effects=True)
+        rendered = "\n".join(v.render() for v in report.violations)
+        assert report.violations == [], f"findings:\n{rendered}"
+        assert report.exit_code() == 0

@@ -2,7 +2,14 @@
 
 from pathlib import Path
 
-from repro.devtools.noqa import ALL_RULES, is_suppressed, suppressions
+from repro.devtools.effectsrunner import effects_paths
+from repro.devtools.noqa import (
+    ALL_RULES,
+    SuppressionTracker,
+    is_suppressed,
+    rule_matches,
+    suppressions,
+)
 from repro.devtools.runner import lint_paths
 from repro.devtools.violations import Severity, Violation
 
@@ -60,6 +67,80 @@ class TestMatching:
         assert not is_suppressed(_violation(4), table)
 
 
+class TestWildcards:
+    def test_exact_pattern(self):
+        assert rule_matches("no-bare-except", "no-bare-except")
+        assert not rule_matches("no-bare-except", "no-unseeded-rng")
+
+    def test_blanket_matches_everything(self):
+        assert rule_matches("anything-at-all", ALL_RULES)
+
+    def test_namespace_prefix(self):
+        assert rule_matches("effect-pure-mismatch", "effect-*")
+        assert rule_matches("effect-shared-state-race", "effect-*")
+        assert not rule_matches("no-bare-except", "effect-*")
+
+    def test_wildcard_parses_in_comment(self):
+        table = suppressions(["x = 1  # bivoc: noqa[effect-*]"])
+        assert table == {1: {"effect-*"}}
+
+
+class TestTokenisation:
+    def test_marker_in_string_literal_is_prose(self):
+        assert suppressions(['x = "# bivoc: noqa"']) == {}
+
+    def test_marker_in_docstring_is_prose(self):
+        assert suppressions(
+            ['"""Explains the # bivoc: noqa syntax."""']
+        ) == {}
+
+    def test_marker_quoted_mid_comment_is_prose(self):
+        assert suppressions(
+            ["x = 1  # see the # bivoc: noqa docs for details"]
+        ) == {}
+
+    def test_fallback_scan_on_untokenisable_source(self):
+        # An unterminated bracket breaks tokenisation; the raw-line
+        # fallback must still find the suppression (over-matching is
+        # acceptable, losing a waiver is not).
+        table = suppressions(
+            ["x = (", "1  # bivoc: noqa[no-bare-except]"]
+        )
+        assert table == {2: {"no-bare-except"}}
+
+
+class TestSuppressionTracker:
+    LINE = "x = 1  # bivoc: noqa[no-bare-except]"
+
+    def test_filter_records_usage(self):
+        tracker = SuppressionTracker([self.LINE], path="x.py")
+        assert tracker.filter(_violation(1))
+        assert tracker.unused_entries({"no-bare-except"}) == []
+
+    def test_stale_entry_surfaces(self):
+        tracker = SuppressionTracker([self.LINE])
+        assert tracker.unused_entries({"no-bare-except"}) == [
+            (1, "no-bare-except")
+        ]
+
+    def test_inactive_rule_is_not_called_stale(self):
+        tracker = SuppressionTracker([self.LINE])
+        assert tracker.unused_entries({"no-unseeded-rng"}) == []
+
+    def test_blanket_needs_opt_in(self):
+        tracker = SuppressionTracker(["x = 1  # bivoc: noqa"])
+        assert tracker.unused_entries({"no-bare-except"}) == []
+        assert tracker.unused_entries(
+            {"no-bare-except"}, include_blanket=True
+        ) == [(1, ALL_RULES)]
+
+    def test_listing_unused_noqa_exempts_the_entry(self):
+        tracker = SuppressionTracker(
+            ["x = 1  # bivoc: noqa[no-bare-except, unused-noqa]"]
+        )
+        assert tracker.unused_entries({"no-bare-except"}) == []
+
+
 class TestRunnerIntegration:
     def test_suppressed_fixture_is_clean_but_counted(self):
         report = lint_paths([FIXTURES / "noqa_suppressed.py"])
@@ -70,3 +151,46 @@ class TestRunnerIntegration:
     def test_suppression_is_line_scoped(self):
         report = lint_paths([FIXTURES / "mutable_default.py"])
         assert len(report.violations) == 2
+
+
+class TestUnusedSuppressionReporting:
+    def test_stale_suppression_is_its_own_finding(self, tmp_path):
+        path = tmp_path / "m.py"
+        path.write_text(
+            '"""m."""\n\nX = 1  # bivoc: noqa[no-bare-except]\n'
+        )
+        report = lint_paths([path])
+        assert [v.rule_id for v in report.violations] == ["unused-noqa"]
+        violation = report.violations[0]
+        assert violation.line == 3
+        assert violation.severity == Severity.WARNING
+        assert "no-bare-except" in violation.message
+
+    def test_effect_suppression_untouched_by_plain_lint(self, tmp_path):
+        # Without --effects the effect rules never ran, so an effect
+        # waiver must not be called stale.
+        path = tmp_path / "m.py"
+        path.write_text(
+            '"""m."""\n\nX = 1  # bivoc: noqa[effect-pure-mismatch]\n'
+        )
+        assert lint_paths([path]).violations == []
+
+    def test_effect_suppression_reported_by_effects_run(
+        self, make_package
+    ):
+        package = make_package({
+            "a.py": (
+                '"""a."""\n\n'
+                "X = 1  # bivoc: noqa[effect-pure-mismatch]\n"
+            ),
+        })
+        report, _ = effects_paths([package])
+        assert [v.rule_id for v in report.violations] == ["unused-noqa"]
+
+    def test_stale_blanket_reported_only_on_full_run(self, make_package):
+        package = make_package({
+            "a.py": '"""a."""\n\nX = 1  # bivoc: noqa\n',
+        })
+        assert lint_paths([package]).violations == []
+        report = lint_paths([package], effects=True)
+        assert [v.rule_id for v in report.violations] == ["unused-noqa"]

@@ -213,3 +213,29 @@ class TestEngine:
     def test_violations_are_sorted(self):
         report = lint_paths([FIXTURES / "wallclock.py"])
         assert report.violations == sorted(report.violations)
+
+
+class TestEffectRuleRegistry:
+    def test_effect_system_rule_ids_stay_in_sync(self):
+        # ``rules.py`` duplicates the effect rule ids as string
+        # literals so the rule-engine core stays importable without
+        # the effect system; this pins the two lists together.
+        from repro.devtools import noqa
+        from repro.devtools.purity import EFFECT_RULE_IDS
+        from repro.devtools.rules import (
+            ALL_RULE_IDS,
+            EFFECT_SYSTEM_RULE_IDS,
+        )
+
+        assert EFFECT_SYSTEM_RULE_IDS == (
+            EFFECT_RULE_IDS + (noqa.RULE_UNUSED_NOQA,)
+        )
+        for rule_id in EFFECT_SYSTEM_RULE_IDS:
+            assert rule_id in ALL_RULE_IDS
+
+    def test_effect_rule_ids_are_selectable(self):
+        # ``--select``/``--ignore`` validation must accept them.
+        report = lint_paths(
+            [FIXTURES / "wallclock.py"], select=["effect-pure-mismatch"]
+        )
+        assert report.violations == []
