@@ -38,6 +38,12 @@ def _add_engine_options(parser):
         help="print the per-stage docs in/out/discard + wall-time table",
     )
     parser.add_argument(
+        "--shards", type=int, default=None,
+        help="hash-partition the concept index into N shards; the "
+             "analytics run per-shard partials merged exactly "
+             "(bit-identical to unsharded)",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="write a Chrome-trace JSON of this run to PATH "
              "(traced output is bit-identical to untraced)",
@@ -68,6 +74,7 @@ def cmd_tables(args):
             use_asr=args.asr,
             link_mode="content",
             workers=args.workers,
+            shards=args.shards or 0,
         ),
     )
     if args.stage_stats:
@@ -177,7 +184,8 @@ def cmd_churn(args):
                       seed=args.seed)
     )
     result = run_churn_study(
-        corpus, channel=args.channel, workers=args.workers
+        corpus, channel=args.channel, workers=args.workers,
+        shards=args.shards,
     )
     if args.stage_stats:
         print(result.stage_report.render_text())
@@ -188,6 +196,24 @@ def cmd_churn(args):
         f"{result.train_churner_fraction:.1%}, detection "
         f"{result.detection_rate:.1%} (paper 53.6% for email)"
     )
+    if result.driver_index is not None:
+        from repro.mining import emerging_concepts, shard_count_of
+
+        index = result.driver_index
+        rising = emerging_concepts(
+            index, ("concept", "churn driver"), min_total=1
+        )
+        layout = (
+            f"{shard_count_of(index)} shards"
+            if shard_count_of(index) else "single index"
+        )
+        print()
+        print(
+            f"churn drivers by trend ({len(index)} messages indexed, "
+            f"{layout}):"
+        )
+        for key, slope, total in rising:
+            print(f"  {key[2]:<22} slope {slope:+.3f}  total {total}")
     return 0
 
 
@@ -221,7 +247,10 @@ def _build_carrental_stream(args):
         )
     )
     stages = system.build_call_stages(
-        corpus, index_stage=ConceptIndexStage(on_duplicate="replace")
+        corpus,
+        index_stage=ConceptIndexStage(
+            on_duplicate="replace", shards=args.shards or 0
+        ),
     )
     arrivals = sorted(
         corpus.transcripts, key=lambda t: (t.day, t.call_id)
@@ -290,7 +319,9 @@ def _build_telecom_stream(args):
             ),
             pure=True,
         ),
-        ConceptIndexStage(on_duplicate="replace"),
+        ConceptIndexStage(
+            on_duplicate="replace", shards=args.shards or 0
+        ),
     ]
     arrivals = sorted(
         corpus.messages, key=lambda m: (m.month, m.message_id)

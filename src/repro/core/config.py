@@ -35,6 +35,11 @@ class BIVoCConfig:
     # a thread pool (bit-identical to serial — see repro.engine.runner).
     batch_size: int = 64
     workers: int = 0
+    # Concept-index layout: 0 keeps the single in-memory index, a
+    # positive count hash-partitions it into that many shards and the
+    # mining analytics run per-shard partials merged exactly
+    # (bit-identical — see repro.mining.algebra).
+    shards: int = 0
 
     def __post_init__(self):
         if self.link_mode not in ("content", "metadata"):
@@ -46,3 +51,5 @@ class BIVoCConfig:
             raise ValueError("batch_size must be >= 1")
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0")

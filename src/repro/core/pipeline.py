@@ -438,11 +438,16 @@ class BIVoCSystem:
             ),
             AnnotateStage(self.engine),
             DeriveStage(self.engine),
-            index_stage or ConceptIndexStage(),
+            index_stage or ConceptIndexStage(shards=config.shards),
         ]
 
-    def process_call_center(self, corpus):
-        """Run the full pipeline over a car-rental corpus."""
+    def process_call_center(self, corpus, pool=None):
+        """Run the full pipeline over a car-rental corpus.
+
+        ``pool`` injects an external executor into the runner (see
+        :class:`~repro.engine.PipelineRunner`); callers that follow
+        the run with sharded analytics share one pool across both.
+        """
         stages = self.build_call_stages(corpus)
         index_stage = stages[-1]
         documents = [
@@ -458,6 +463,7 @@ class BIVoCSystem:
             stages,
             batch_size=self.config.batch_size,
             workers=self.config.workers,
+            pool=pool,
         )
         result = runner.run(documents)
 

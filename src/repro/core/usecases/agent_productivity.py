@@ -13,6 +13,7 @@ Two drivers:
   control group.
 """
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 
 from repro.core.config import BIVoCConfig
@@ -51,33 +52,53 @@ _OUTCOMES = ["reservation", "unbooked"]
 
 
 def run_insight_analysis(corpus, config=None):
-    """Run the BIVoC pipeline and build the paper's tables."""
-    system = BIVoCSystem(config=config or BIVoCConfig())
-    analysis = system.process_call_center(corpus)
-    index = analysis.index
-    intent_table = associate(
-        index,
-        ("field", "detected_intent"),
-        ("field", "call_type"),
-        col_values=_OUTCOMES,
+    """Run the BIVoC pipeline and build the paper's tables.
+
+    With ``config.workers > 1`` one thread pool serves both the
+    engine's parallel stages and the sharded analytics' per-shard
+    partials (the algebra's order-preserving fan-out keeps every
+    table bit-identical to the serial run).
+    """
+    config = config or BIVoCConfig()
+    system = BIVoCSystem(config=config)
+    pool = (
+        ThreadPoolExecutor(max_workers=config.workers)
+        if config.workers > 1
+        else None
     )
-    utterance_tables = {
-        "value_selling": associate(
+    try:
+        analysis = system.process_call_center(corpus, pool=pool)
+        index = analysis.index
+        intent_table = associate(
             index,
-            ("field", "agent_value_selling"),
+            ("field", "detected_intent"),
             ("field", "call_type"),
             col_values=_OUTCOMES,
-        ),
-        "discount": associate(
-            index,
-            ("field", "agent_discount"),
-            ("field", "call_type"),
-            col_values=_OUTCOMES,
-        ),
-    }
-    location_vehicle_table = associate(
-        index, ("concept", "place"), ("concept", "vehicle type")
-    )
+            pool=pool,
+        )
+        utterance_tables = {
+            "value_selling": associate(
+                index,
+                ("field", "agent_value_selling"),
+                ("field", "call_type"),
+                col_values=_OUTCOMES,
+                pool=pool,
+            ),
+            "discount": associate(
+                index,
+                ("field", "agent_discount"),
+                ("field", "call_type"),
+                col_values=_OUTCOMES,
+                pool=pool,
+            ),
+        }
+        location_vehicle_table = associate(
+            index, ("concept", "place"), ("concept", "vehicle type"),
+            pool=pool,
+        )
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
     return AgentProductivityStudy(
         analysis=analysis,
         intent_table=intent_table,

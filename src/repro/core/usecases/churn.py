@@ -39,6 +39,7 @@ class ChurnStudyResult:
     flagged_customers: set = field(default_factory=set)
     test_churners: set = field(default_factory=set)
     stage_report: object = None  # engine PipelineReport for the run
+    driver_index: object = None  # churn-driver concept index (opt-in)
 
     @property
     def customer_precision(self):
@@ -114,6 +115,67 @@ def link_evidence_text(channel, cleaned_text, raw_text):
     if not lines:
         return cleaned_text
     return f"{cleaned_text} {lines[0]}"
+
+
+class DriverAnnotateStage(MapStage):
+    """Annotate cleaned messages with churn-driver concepts.
+
+    Opt-in tail of the churn graph (see :func:`build_driver_index_stages`):
+    tags each surviving message with the shared "churn driver" category
+    and stages the index row (channel field + month time bucket) for
+    the concept index stage that follows.
+    """
+
+    name = "annotate-drivers"
+
+    def __init__(self, engine):
+        """``engine`` is the telecom churn-driver AnnotationEngine."""
+        self.engine = engine
+
+    def process_document(self, document):  # bivoc: effects[mutates-param]
+        """Write the annotated/index_fields/timestamp artifacts.
+
+        Declared for ``bivoc effects``: ``AnnotationEngine.annotate``
+        builds a fresh AnnotatedDocument from read-only dictionaries,
+        so the hook only writes the document.
+        """
+        document.put(
+            "annotated",
+            self.engine.annotate(document.require("cleaned_text")),
+        )
+        document.put("index_fields", {"channel": document.channel})
+        document.put("timestamp", document.require("message").month)
+
+
+def build_driver_index_stages(shards=0):
+    """The opt-in churn-driver indexing tail of the churn graph.
+
+    Returns ``[DriverAnnotateStage, ConceptIndexStage]``: annotate the
+    surviving cleaned messages with the shared "churn driver" concept
+    category and index them — into a hash-sharded index when
+    ``shards`` > 0 — so the VoC mining analytics (emerging drivers,
+    driver x channel association) run over the churn corpus through
+    the partial-aggregate algebra.
+    """
+    from repro.annotation.domains import CHURN_DRIVER_SURFACES
+    from repro.annotation.dictionary import (
+        DictionaryEntry,
+        DomainDictionary,
+    )
+    from repro.annotation.matcher import AnnotationEngine
+    from repro.mining.stage import ConceptIndexStage
+
+    dictionary = DomainDictionary()
+    for driver, surfaces in CHURN_DRIVER_SURFACES.items():
+        for surface in surfaces:
+            dictionary.add(
+                DictionaryEntry(surface, driver, "churn driver")
+            )
+    engine = AnnotationEngine(dictionary=dictionary)
+    return [
+        DriverAnnotateStage(engine),
+        ConceptIndexStage(shards=shards),
+    ]
 
 
 class MessageLinkStage(MapStage):
@@ -241,13 +303,18 @@ def _channelled_messages(corpus, channel):
 def run_churn_study(corpus, channel="email", split_month=None,
                     classifier=None, undersample_ratio=6.0,
                     threshold=0.5, spell_correct=False,
-                    batch_size=64, workers=0):
+                    batch_size=64, workers=0, shards=None):
     """Run the churn study over one channel of a telecom corpus.
 
     ``split_month`` separates training history from the evaluation
     month (defaults to the corpus's last month).  ``batch_size`` and
     ``workers`` are the engine execution knobs (parallel execution of
     pure stages is bit-identical to serial).
+
+    ``shards`` opts into the churn-driver concept index
+    (:func:`build_driver_index_stages`): ``None`` (the default) skips
+    it, 0 builds a single index, a positive count a hash-sharded one;
+    the built index lands on the result's ``driver_index``.
     """
     config = corpus.config
     if split_month is None:
@@ -256,6 +323,11 @@ def run_churn_study(corpus, channel="email", split_month=None,
     stages = build_churn_stages(
         corpus, pipeline=CleaningPipeline(spell_correct=spell_correct)
     )
+    driver_index_stage = None
+    if shards is not None:
+        driver_stages = build_driver_index_stages(shards=shards)
+        driver_index_stage = driver_stages[-1]
+        stages = stages + driver_stages
     cleaning_stage = stages[0]
     documents = [
         Document(
@@ -350,4 +422,8 @@ def run_churn_study(corpus, channel="email", split_month=None,
         flagged_customers=flagged,
         test_churners=test_churners,
         stage_report=result.report,
+        driver_index=(
+            driver_index_stage.index
+            if driver_index_stage is not None else None
+        ),
     )

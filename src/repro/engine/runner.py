@@ -154,13 +154,19 @@ class PipelineRunner:
     """
 
     def __init__(self, stages, batch_size=64, workers=0, clock=None,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, pool=None):
         """``stages`` is an ordered list of Stage instances.
 
         ``tracer``/``metrics`` override the ambient observability
         collectors for this runner (``None`` means "resolve the
         ambient slot at each run", which is how ``bivoc trace``
         reaches a runner built long before tracing was activated).
+
+        ``pool`` supplies an external executor for parallel stages:
+        the runner then never creates (or shuts down) its own, so one
+        pool can serve many runs — and the sharded analytics that
+        follow them.  Without it, each :meth:`run` creates one pool
+        and reuses it across all parallel stages of that run.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -178,10 +184,26 @@ class PipelineRunner:
         self._clock = clock if clock is not None else time.perf_counter
         self._tracer = tracer
         self._metrics = metrics
+        self._pool = pool
 
     def run(self, documents):
         """Run every stage over ``documents``; returns a result with
-        surviving documents in corpus order plus the stage report."""
+        surviving documents in corpus order plus the stage report.
+
+        One thread pool serves every parallel stage of the run: the
+        external ``pool`` when one was injected, otherwise a pool
+        created here once (not per stage — executor construction and
+        teardown is pure overhead between stages) and torn down when
+        the run completes.  Parallel output stays bit-identical to
+        serial either way (order-preserving map).
+        """
+        if self._pool is not None or self.workers <= 1:
+            return self._run(documents, self._pool)
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return self._run(documents, pool)
+
+    def _run(self, documents, pool):
+        """The run body, executing parallel stages on ``pool``."""
         tracer = self._tracer if self._tracer is not None else get_tracer()
         metrics = (
             self._metrics if self._metrics is not None else get_metrics()
@@ -196,7 +218,7 @@ class PipelineRunner:
             tags={"docs_in": len(live), "stages": len(self.stages)},
         ) as run_span:
             for stage in self.stages:
-                live, stats = self._run_stage(stage, live, tracer)
+                live, stats = self._run_stage(stage, live, tracer, pool)
                 report.stages.append(stats)
                 discarded_here = [doc for doc in live if doc.discarded]
                 if discarded_here:
@@ -219,11 +241,18 @@ class PipelineRunner:
             documents=live, discarded=all_discarded, report=report
         )
 
-    def _run_stage(self, stage, live, tracer):
-        """Run one stage over all live documents, batched."""
+    def _run_stage(self, stage, live, tracer, pool):
+        """Run one stage over all live documents, batched.
+
+        ``pool`` is the run's shared executor (None when the run is
+        serial); pure stages with more than one batch map across it.
+        """
         batches = _batched(live, self.batch_size)
         use_parallel = (
-            self.workers > 1 and stage.pure and len(batches) > 1
+            pool is not None
+            and self.workers > 1
+            and stage.pure
+            and len(batches) > 1
         )
         stats = StageStats(
             name=stage.stage_name,
@@ -258,10 +287,9 @@ class PipelineRunner:
                 # submission order, so output order (and therefore
                 # every downstream computation) matches serial
                 # execution exactly.
-                with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                    out_batches = list(
-                        pool.map(process, range(len(batches)), batches)
-                    )
+                out_batches = list(
+                    pool.map(process, range(len(batches)), batches)
+                )
             else:
                 out_batches = [
                     process(index, batch)

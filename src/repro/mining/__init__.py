@@ -5,7 +5,11 @@ classifications).  This allows quick reporting to be done on datasets
 containing even millions of documents."
 
 * :class:`ConceptIndex` — inverted index over concept keys, mixing
-  unstructured concepts and structured fields.
+  unstructured concepts and structured fields;
+  :class:`ShardedConceptIndex` — the same API hash-partitioned over N
+  shards (:mod:`sharded`).
+* :mod:`algebra` — the partial/merge/finalize aggregate algebra every
+  analytic below runs through (bit-identical across layouts).
 * :mod:`relfreq` — relevancy analysis with relative frequency.
 * :mod:`assoc2d` — two-dimensional association analysis with the
   interval-estimated lift of Eqn 4, plus drill-down (Fig 4).
@@ -14,15 +18,37 @@ containing even millions of documents."
 """
 
 from repro.mining.index import ConceptIndex, concept_key, field_key
-from repro.mining.relfreq import RelevancyResult, relative_frequency
-from repro.mining.assoc2d import AssociationCell, AssociationTable, associate
+from repro.mining.sharded import (
+    ShardedConceptIndex,
+    make_concept_index,
+    shard_count_of,
+)
+from repro.mining.algebra import PartialAggregate, compute, iter_shards
+from repro.mining.relfreq import (
+    RelativeFrequencyAggregate,
+    RelevancyResult,
+    relative_frequency,
+)
+from repro.mining.assoc2d import (
+    AssociationAggregate,
+    AssociationCell,
+    AssociationTable,
+    associate,
+)
 from repro.mining.trends import (
+    EmergingConceptsAggregate,
+    TrendSeriesAggregate,
     emerging_concepts,
     observed_bucket_range,
     trend_series,
     trend_slope,
 )
-from repro.mining.olap import ConceptCube, CubeCell
+from repro.mining.olap import (
+    ConceptCube,
+    ConceptCubeAggregate,
+    CubeCell,
+    concept_cube,
+)
 from repro.mining.kpi import (
     AgentKpi,
     agent_kpis,
@@ -38,18 +64,30 @@ from repro.mining.reports import (
 
 __all__ = [
     "ConceptIndex",
+    "ShardedConceptIndex",
+    "make_concept_index",
+    "shard_count_of",
+    "PartialAggregate",
+    "compute",
+    "iter_shards",
     "concept_key",
     "field_key",
     "relative_frequency",
+    "RelativeFrequencyAggregate",
     "RelevancyResult",
     "AssociationTable",
     "AssociationCell",
+    "AssociationAggregate",
     "associate",
     "trend_series",
     "trend_slope",
+    "TrendSeriesAggregate",
     "observed_bucket_range",
     "emerging_concepts",
+    "EmergingConceptsAggregate",
     "ConceptCube",
+    "ConceptCubeAggregate",
+    "concept_cube",
     "CubeCell",
     "AgentKpi",
     "agent_kpis",

@@ -8,23 +8,25 @@ from structured data", paper Section IV-D.2):
 * ``concept_key(category, canonical)`` — an annotation-engine concept,
 * ``field_key(name, value)`` — a structured attribute of the linked
   record.
+
+Both key constructors live in :mod:`repro.store.contract` (the
+index protocol's home layer) and are re-exported here for the mining
+call sites.
 """
 
 from collections import defaultdict
 
-
-def concept_key(category, canonical):
-    """Key for an unstructured concept occurrence."""
-    return ("concept", category, str(canonical))
-
-
-def field_key(name, value):
-    """Key for a structured field value of the linked record."""
-    return ("field", name, str(value))
+# concept_key/field_key are re-exported: the mining layer's historic
+# import path for the key constructors that now live with the contract.
+from repro.store.contract import (
+    InvertedIndexContract,
+    concept_key,
+    field_key,
+)
 
 
-class ConceptIndex:
-    """Inverted index: concept key -> document ids.
+class ConceptIndex(InvertedIndexContract):
+    """Single in-memory inverted index: concept key -> document ids.
 
     With ``keep_documents=True`` the index also retains each document's
     text so drill-down (Fig 4: "right upto individual documents") can
@@ -38,46 +40,6 @@ class ConceptIndex:
         self._dimension_values = defaultdict(set)
         self._keep_documents = keep_documents
         self._texts = {}
-
-    #: Accepted duplicate-handling policies for :meth:`add`/:meth:`add_keys`.
-    ON_DUPLICATE = ("raise", "replace", "skip")
-
-    def add(self, doc_id, annotated=None, fields=None, timestamp=None,
-            text=None, on_duplicate="raise"):
-        """Index one document.
-
-        ``annotated`` is an :class:`AnnotatedDocument` (its concepts are
-        indexed by (category, canonical)); ``fields`` maps structured
-        field names to values; ``timestamp`` is an arbitrary orderable
-        time bucket used by trend analysis.  ``text`` overrides the
-        stored drill-down text (defaults to ``annotated.text``) when the
-        index keeps documents.
-
-        ``on_duplicate`` selects what a re-delivered ``doc_id`` does:
-        ``"raise"`` (the default, the one-shot batch contract),
-        ``"replace"`` (drop the old postings and re-index — the
-        idempotent upsert streaming consumers need), or ``"skip"``
-        (keep the first delivery, ignore this one).
-        """
-        keys = set()
-        if annotated is not None:
-            for concept in annotated.concepts:
-                key = concept_key(concept.category, concept.canonical)
-                keys.add(key)
-        for name, value in (fields or {}).items():
-            if value is None:
-                continue
-            keys.add(field_key(name, value))
-        stored = text
-        if stored is None and annotated is not None:
-            stored = annotated.text
-        return self.add_keys(
-            doc_id,
-            keys,
-            timestamp=timestamp,
-            text=stored,
-            on_duplicate=on_duplicate,
-        )
 
     def add_keys(self, doc_id, keys, timestamp=None, text=None,
                  on_duplicate="raise"):
@@ -173,8 +135,18 @@ class ConceptIndex:
         """The time bucket the document was indexed under."""
         return self._documents[doc_id]["timestamp"]
 
+    def postings_view(self, key):
+        """Read-only doc-id set for one concept key (no copy).
+
+        The hot-loop accessor behind the analytics' per-shard partials:
+        it hands back the internal postings set, so the caller must not
+        mutate it — :meth:`documents_with` is the public read that
+        copies.
+        """
+        return self._postings.get(key, frozenset())
+
     def documents_with(self, key):
-        """Doc-id set for one concept key."""
+        """Doc-id set for one concept key (a defensive copy)."""
         return set(self._postings.get(key, ()))
 
     def count(self, key):
@@ -195,11 +167,3 @@ class ConceptIndex:
         ``("field", name)``.
         """
         return sorted(self._dimension_values.get(tuple(dimension), ()))
-
-    def keys_of_dimension(self, dimension):
-        """All concept keys of one dimension."""
-        dimension = tuple(dimension)
-        return [
-            dimension + (value,)
-            for value in self.values_of_dimension(dimension)
-        ]

@@ -1,0 +1,207 @@
+"""Hash-partitioned concept index: N sub-indexes, one public API.
+
+Production VoC analytics shard their concept stores so indexing and
+query fan out across cores (the ROADMAP's "sharding, batching, async"
+north star).  :class:`ShardedConceptIndex` partitions documents over N
+:class:`~repro.mining.index.ConceptIndex` shards by a *deterministic*
+hash of ``doc_id`` — CRC-32 of its string form, never Python's
+per-process-randomised ``hash()`` — so the same corpus always lands in
+the same layout and every run stays reproducible.
+
+The sharded index honours the full
+:class:`~repro.store.contract.InvertedIndexContract`: global reads
+(counts, postings, dimension catalogues) union or sum over the shards,
+and a global insertion-order map keeps ``document_ids`` (and the
+"replace moves to the end" upsert semantics) identical to the single
+index.  Analytics never iterate it document-by-document, though — they
+run per-shard partials through :mod:`repro.mining.algebra` and merge.
+"""
+
+import zlib
+
+from repro.mining.index import ConceptIndex
+from repro.store.contract import InvertedIndexContract
+
+
+def shard_id(doc_id, n_shards):
+    """Deterministic shard number of a document id.
+
+    CRC-32 over the id's string form modulo the shard count: stable
+    across processes and runs (unlike ``hash(str)``), cheap, and
+    well-spread for both integer and string ids.
+    """
+    return zlib.crc32(str(doc_id).encode("utf-8")) % n_shards
+
+
+def make_concept_index(shards=0, keep_documents=False):
+    """Build an index with the requested layout.
+
+    ``shards == 0`` (the default) builds the single in-memory
+    :class:`ConceptIndex`; any positive count builds a
+    :class:`ShardedConceptIndex` with that many partitions (1 is a
+    valid degenerate layout — useful for layout-parity tests).
+    """
+    if shards < 0:
+        raise ValueError("shards must be >= 0")
+    if shards == 0:
+        return ConceptIndex(keep_documents=keep_documents)
+    return ShardedConceptIndex(shards, keep_documents=keep_documents)
+
+
+def shard_count_of(index):
+    """The shard count of an index (0 for a single unsharded index)."""
+    return getattr(index, "n_shards", 0)
+
+
+class ShardedConceptIndex(InvertedIndexContract):
+    """Concept index hash-partitioned by ``doc_id`` over N shards.
+
+    Same public API as :class:`ConceptIndex`; additionally exposes the
+    partition structure (:attr:`shards`, :attr:`n_shards`,
+    :meth:`shard_of`, :meth:`shard_sizes`) so the partial-aggregate
+    algebra can fan analytics out per shard and merge.
+    """
+
+    def __init__(self, n_shards, keep_documents=False):
+        """``n_shards`` >= 1 partitions; ``keep_documents`` as usual."""
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self._n_shards = int(n_shards)
+        self._keep_documents = keep_documents
+        self._shards = tuple(
+            ConceptIndex(keep_documents=keep_documents)
+            for _ in range(self._n_shards)
+        )
+        # Global insertion order: doc_id -> shard number.  Keeps
+        # ``document_ids`` and the replace-moves-to-end upsert
+        # behaviour identical to the single index.
+        self._order = {}
+
+    @property
+    def n_shards(self):
+        """Number of partitions."""
+        return self._n_shards
+
+    @property
+    def shards(self):
+        """The sub-indexes, in shard order (treat as read-only)."""
+        return self._shards
+
+    def shard_of(self, doc_id):
+        """Shard number a document id routes to (deterministic)."""
+        return shard_id(doc_id, self._n_shards)
+
+    def shard_sizes(self):
+        """Documents per shard, in shard order (skew diagnostics)."""
+        return [len(shard) for shard in self._shards]
+
+    def add_keys(self, doc_id, keys, timestamp=None, text=None,
+                 on_duplicate="raise"):
+        """Index one document under pre-built concept keys.
+
+        Routes to the document's hash shard; the ``on_duplicate``
+        contract (and the global insertion-order bookkeeping) matches
+        :meth:`ConceptIndex.add_keys` exactly.
+        """
+        if on_duplicate not in self.ON_DUPLICATE:
+            raise ValueError(
+                f"on_duplicate must be one of {self.ON_DUPLICATE}, "
+                f"got {on_duplicate!r}"
+            )
+        if doc_id in self._order:
+            if on_duplicate == "raise":
+                raise ValueError(f"document {doc_id!r} already indexed")
+            if on_duplicate == "skip":
+                return self
+            self.remove(doc_id)
+        number = self.shard_of(doc_id)
+        self._shards[number].add_keys(
+            doc_id, keys, timestamp=timestamp, text=text
+        )
+        self._order[doc_id] = number
+        return self
+
+    def remove(self, doc_id):
+        """Un-index one document from its shard."""
+        try:
+            number = self._order.pop(doc_id)
+        except KeyError:
+            raise KeyError(f"document {doc_id!r} not indexed") from None
+        self._shards[number].remove(doc_id)
+        return self
+
+    @property
+    def keeps_documents(self):
+        """Whether the index stores drill-down texts."""
+        return self._keep_documents
+
+    def text_of(self, doc_id):
+        """Drill-down text of a document (requires keep_documents)."""
+        if not self._keep_documents:
+            raise RuntimeError(
+                "index built without keep_documents=True"
+            )
+        if doc_id not in self._order:
+            raise KeyError(f"document {doc_id!r} not indexed")
+        return self._shards[self._order[doc_id]].text_of(doc_id)
+
+    def __len__(self):
+        return len(self._order)
+
+    def __contains__(self, doc_id):
+        return doc_id in self._order
+
+    @property
+    def document_ids(self):
+        """All indexed document ids, insertion-ordered globally."""
+        return list(self._order)
+
+    def keys_of(self, doc_id):
+        """All concept keys of one document."""
+        return self._shards[self._require_shard(doc_id)].keys_of(doc_id)
+
+    def timestamp_of(self, doc_id):
+        """The time bucket the document was indexed under."""
+        return self._shards[
+            self._require_shard(doc_id)
+        ].timestamp_of(doc_id)
+
+    def _require_shard(self, doc_id):
+        """Shard number of an indexed document (KeyError otherwise)."""
+        try:
+            return self._order[doc_id]
+        except KeyError:
+            raise KeyError(doc_id) from None
+
+    def postings_view(self, key):
+        """Doc-id set for one concept key, unioned over shards.
+
+        The union materialises a fresh set (shards hold disjoint
+        documents), so unlike the single index this view never aliases
+        internal state — but callers must still treat it as frozen.
+        """
+        docs = set()
+        for shard in self._shards:
+            docs |= shard.postings_view(key)
+        return docs
+
+    def count(self, key):
+        """Number of documents carrying the key (summed over shards)."""
+        return sum(shard.count(key) for shard in self._shards)
+
+    def count_pair(self, key_a, key_b):
+        """Documents carrying both keys (summed over shards).
+
+        Exact because the shards partition the documents: a document
+        carries both keys in exactly one shard.
+        """
+        return sum(
+            shard.count_pair(key_a, key_b) for shard in self._shards
+        )
+
+    def values_of_dimension(self, dimension):
+        """All observed values of a dimension, sorted (shard union)."""
+        values = set()
+        for shard in self._shards:
+            values.update(shard.values_of_dimension(dimension))
+        return sorted(values)

@@ -7,6 +7,11 @@ of tables, and the exact/fuzzy indexes the linking engine uses for
 candidate generation.
 """
 
+from repro.store.contract import (
+    InvertedIndexContract,
+    concept_key,
+    field_key,
+)
 from repro.store.schema import Attribute, AttributeType, Schema
 from repro.store.table import Entity, Table
 from repro.store.database import Database
@@ -19,6 +24,9 @@ from repro.store.index import (
 from repro.store.query import Query, count_by, ratio_by
 
 __all__ = [
+    "InvertedIndexContract",
+    "concept_key",
+    "field_key",
     "Attribute",
     "AttributeType",
     "Schema",

@@ -13,19 +13,29 @@ checkpoint intact rather than a torn file.
 import json
 import os
 
-from repro.mining.index import ConceptIndex
+from repro.mining.sharded import make_concept_index, shard_count_of
 
-#: Format version stamped into every checkpoint payload.
-CHECKPOINT_VERSION = 1
+#: Format version stamped into every checkpoint payload.  Version 2
+#: adds the optional ``layout`` key to index snapshots (sharded
+#: layouts); single-index snapshots are byte-identical to version 1.
+CHECKPOINT_VERSION = 2
+
+#: Payload versions :meth:`Checkpointer.load` accepts.  Version 1
+#: checkpoints (pre-sharding builds) carry no ``layout`` key and
+#: restore as a single index unless the caller re-shards.
+SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
 
 
 def index_to_state(index):
-    """JSON-safe snapshot of a :class:`ConceptIndex`.
+    """JSON-safe snapshot of a concept index (single or sharded).
 
     Documents are listed in insertion order with their full key sets
     and timestamps (and drill-down texts when the index keeps them),
     which is exactly what :func:`index_from_state` needs to rebuild an
-    equal index.
+    equal index.  A sharded index additionally records its layout
+    (``{"kind": "sharded", "shards": N}``); single indexes omit the
+    key entirely, so their snapshots stay readable by version-1
+    builds.
     """
     keep_documents = index.keeps_documents
     documents = []
@@ -38,15 +48,32 @@ def index_to_state(index):
         if keep_documents:
             entry["text"] = index.text_of(doc_id)
         documents.append(entry)
-    return {
+    state = {
         "keep_documents": keep_documents,
         "documents": documents,
     }
+    shards = shard_count_of(index)
+    if shards:
+        state["layout"] = {"kind": "sharded", "shards": shards}
+    return state
 
 
-def index_from_state(state):
-    """Rebuild a :class:`ConceptIndex` from :func:`index_to_state`."""
-    index = ConceptIndex(keep_documents=state["keep_documents"])
+def index_from_state(state, shards=None):
+    """Rebuild a concept index from :func:`index_to_state`.
+
+    ``shards`` overrides the layout recorded in the snapshot: pass
+    ``0`` to force a single index, ``N >= 1`` to (re-)shard, ``None``
+    to honour the snapshot's own layout (version-1 snapshots carry
+    none and restore as a single index).  Re-sharding is lossless —
+    shard routing is a pure function of ``doc_id``, so the same
+    documents land in the same shards regardless of the layout they
+    were saved under.
+    """
+    if shards is None:
+        shards = state.get("layout", {}).get("shards", 0)
+    index = make_concept_index(
+        shards=shards, keep_documents=state["keep_documents"]
+    )
     for entry in state["documents"]:
         index.add_keys(
             entry["doc_id"],
@@ -88,11 +115,13 @@ class Checkpointer:
         except FileNotFoundError:
             return None
         version = payload.get("version")
-        if version != CHECKPOINT_VERSION:
+        if version not in SUPPORTED_CHECKPOINT_VERSIONS:
+            supported = ", ".join(
+                str(v) for v in SUPPORTED_CHECKPOINT_VERSIONS
+            )
             raise ValueError(
                 f"checkpoint {self.path!r} has format version "
-                f"{version!r}; this build reads version "
-                f"{CHECKPOINT_VERSION}"
+                f"{version!r}; this build reads versions {supported}"
             )
         return payload
 

@@ -1,0 +1,142 @@
+"""The runner's shared thread pool: one executor per run, reusable.
+
+Guards the pool-hoisting refactor: a parallel run constructs exactly
+one :class:`ThreadPoolExecutor` no matter how many parallel stages it
+executes (previously one per stage), an injected external pool is
+reused across runs and never shut down by the runner, and parallel
+output stays bit-identical to serial in every configuration.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine import Document, MapStage, PipelineRunner
+import repro.engine.runner as runner_module
+
+
+class Square(MapStage):
+    """value <- doc_id ** 2 (pure)."""
+
+    name = "square"
+
+    def process_document(self, document):
+        """Record the squared id."""
+        document.put("value", document.doc_id ** 2)
+
+
+class Offset(MapStage):
+    """value <- value + 7 (pure)."""
+
+    name = "offset"
+
+    def process_document(self, document):
+        """Shift the running value."""
+        document.put("value", document.get("value") + 7)
+
+
+class Offset2(Offset):
+    """Second offset stage (stage names must be unique per graph)."""
+
+    name = "offset-2"
+
+
+def _docs(n):
+    return [Document(doc_id=i) for i in range(n)]
+
+
+def _values(result):
+    return [d.get("value") for d in result.documents]
+
+
+class CountingExecutor(ThreadPoolExecutor):
+    """ThreadPoolExecutor that counts constructions and shutdowns."""
+
+    created = 0
+    closed = 0
+
+    def __init__(self, *args, **kwargs):
+        type(self).created += 1
+        super().__init__(*args, **kwargs)
+
+    def shutdown(self, *args, **kwargs):
+        type(self).closed += 1
+        super().shutdown(*args, **kwargs)
+
+
+def _reset_counts():
+    CountingExecutor.created = 0
+    CountingExecutor.closed = 0
+
+
+class TestOneExecutorPerRun:
+    def test_single_pool_spans_all_stages(self, monkeypatch):
+        _reset_counts()
+        monkeypatch.setattr(
+            runner_module, "ThreadPoolExecutor", CountingExecutor
+        )
+        runner = PipelineRunner(
+            [Square(), Offset(), Offset2()], batch_size=4, workers=3
+        )
+        result = runner.run(_docs(32))
+        # Three parallel stages, one executor — and it was torn down.
+        assert CountingExecutor.created == 1
+        assert CountingExecutor.closed == 1
+        assert all(s.parallel for s in result.report.stages)
+
+    def test_each_run_gets_a_fresh_pool(self, monkeypatch):
+        _reset_counts()
+        monkeypatch.setattr(
+            runner_module, "ThreadPoolExecutor", CountingExecutor
+        )
+        runner = PipelineRunner([Square()], batch_size=4, workers=2)
+        runner.run(_docs(16))
+        runner.run(_docs(16))
+        assert CountingExecutor.created == 2
+        assert CountingExecutor.closed == 2
+
+    def test_serial_run_builds_no_pool(self, monkeypatch):
+        _reset_counts()
+        monkeypatch.setattr(
+            runner_module, "ThreadPoolExecutor", CountingExecutor
+        )
+        runner = PipelineRunner([Square(), Offset()], batch_size=4)
+        result = runner.run(_docs(16))
+        assert CountingExecutor.created == 0
+        assert not any(s.parallel for s in result.report.stages)
+
+
+class TestExternalPool:
+    def test_injected_pool_is_used_and_kept_open(self, monkeypatch):
+        _reset_counts()
+        monkeypatch.setattr(
+            runner_module, "ThreadPoolExecutor", CountingExecutor
+        )
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            runner = PipelineRunner(
+                [Square(), Offset()], batch_size=4, workers=3, pool=pool
+            )
+            first = runner.run(_docs(24))
+            second = runner.run(_docs(24))
+            # The runner built no pool of its own and left the
+            # injected one usable between runs.
+            assert CountingExecutor.created == 0
+            assert all(s.parallel for s in first.report.stages)
+            assert pool.submit(lambda: 41 + 1).result() == 42
+        assert _values(first) == _values(second)
+
+
+class TestBitIdentity:
+    def test_parallel_matches_serial(self):
+        stages = [Square(), Offset()]
+        serial = PipelineRunner(
+            [Square(), Offset()], batch_size=4
+        ).run(_docs(40))
+        hoisted = PipelineRunner(
+            stages, batch_size=4, workers=4
+        ).run(_docs(40))
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            injected = PipelineRunner(
+                [Square(), Offset()], batch_size=4, workers=4, pool=pool
+            ).run(_docs(40))
+        assert _values(hoisted) == _values(serial)
+        assert _values(injected) == _values(serial)
+        assert [d.doc_id for d in hoisted.documents] == list(range(40))

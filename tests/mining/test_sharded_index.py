@@ -1,0 +1,228 @@
+"""Contract parity of the sharded concept index vs the single index."""
+
+import pytest
+
+from repro.mining.index import ConceptIndex, concept_key, field_key
+from repro.mining.sharded import (
+    ShardedConceptIndex,
+    make_concept_index,
+    shard_count_of,
+    shard_id,
+)
+
+ROWS = [
+    (0, [("vehicle", "suv"), ("place", "seattle")], "reservation", 0),
+    (1, [("vehicle", "suv"), ("place", "seattle")], "reservation", 1),
+    (2, [("vehicle", "luxury"), ("place", "new york")], "unbooked", 2),
+    (3, [("vehicle", "suv"), ("place", "boston")], "unbooked", 0),
+    (4, [("vehicle", "compact"), ("place", "seattle")], "reservation", 1),
+    (5, [("vehicle", "luxury"), ("place", "new york")], "reservation", 2),
+    (6, [("vehicle", "compact"), ("place", "boston")], "unbooked", 0),
+    (7, [("vehicle", "compact"), ("place", "new york")], "unbooked", 1),
+]
+
+
+def fill(index):
+    """Load the shared fixture rows into any contract implementation."""
+    for doc_id, pairs, outcome, ts in ROWS:
+        keys = [concept_key(cat, canon) for cat, canon in pairs]
+        keys.append(field_key("call_type", outcome))
+        index.add_keys(
+            doc_id, keys, timestamp=ts, text=f"call {doc_id}"
+        )
+    return index
+
+
+@pytest.fixture
+def single():
+    """The reference single index over the fixture rows."""
+    return fill(ConceptIndex(keep_documents=True))
+
+
+@pytest.fixture(params=[1, 2, 4, 7])
+def sharded(request):
+    """Sharded layouts including one that does not divide the corpus."""
+    return fill(
+        ShardedConceptIndex(request.param, keep_documents=True)
+    )
+
+
+class TestFactory:
+    def test_zero_builds_single(self):
+        index = make_concept_index(shards=0)
+        assert isinstance(index, ConceptIndex)
+        assert shard_count_of(index) == 0
+
+    def test_positive_builds_sharded(self):
+        index = make_concept_index(shards=3)
+        assert isinstance(index, ShardedConceptIndex)
+        assert shard_count_of(index) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="shards must be >= 0"):
+            make_concept_index(shards=-1)
+        with pytest.raises(ValueError, match="n_shards must be >= 1"):
+            ShardedConceptIndex(0)
+
+
+class TestRouting:
+    def test_deterministic_and_stable(self):
+        # CRC-32 routing never changes between runs or processes —
+        # pinned values guard against anyone swapping in hash().
+        assert shard_id(0, 4) == 1
+        assert shard_id(1, 4) == 3
+        assert shard_id("call-17", 4) == shard_id("call-17", 4)
+        for doc_id in range(50):
+            assert 0 <= shard_id(doc_id, 7) < 7
+
+    def test_documents_land_on_their_shard(self, sharded):
+        for doc_id, _, _, _ in ROWS:
+            number = sharded.shard_of(doc_id)
+            assert doc_id in sharded.shards[number]
+            for other, shard in enumerate(sharded.shards):
+                if other != number:
+                    assert doc_id not in shard
+
+    def test_shard_sizes_partition_the_corpus(self, sharded):
+        sizes = sharded.shard_sizes()
+        assert len(sizes) == sharded.n_shards
+        assert sum(sizes) == len(ROWS)
+
+
+class TestContractParity:
+    def test_len_contains_document_ids(self, single, sharded):
+        assert len(sharded) == len(single)
+        assert sharded.document_ids == single.document_ids
+        assert 0 in sharded
+        assert 99 not in sharded
+
+    def test_counts_and_postings(self, single, sharded):
+        for key in [
+            concept_key("vehicle", "suv"),
+            concept_key("place", "seattle"),
+            field_key("call_type", "unbooked"),
+            concept_key("vehicle", "missing"),
+        ]:
+            assert sharded.count(key) == single.count(key)
+            assert sharded.documents_with(key) == (
+                single.documents_with(key)
+            )
+            assert set(sharded.postings_view(key)) == set(
+                single.postings_view(key)
+            )
+
+    def test_count_pair(self, single, sharded):
+        pair = (
+            concept_key("vehicle", "suv"),
+            field_key("call_type", "reservation"),
+        )
+        assert sharded.count_pair(*pair) == single.count_pair(*pair)
+        assert sharded.count_pair(*pair) == 2
+
+    def test_per_document_reads(self, single, sharded):
+        for doc_id, _, _, _ in ROWS:
+            assert sharded.keys_of(doc_id) == single.keys_of(doc_id)
+            assert sharded.timestamp_of(doc_id) == (
+                single.timestamp_of(doc_id)
+            )
+            assert sharded.text_of(doc_id) == single.text_of(doc_id)
+
+    def test_dimension_catalogues(self, single, sharded):
+        for dimension in [
+            ("concept", "vehicle"),
+            ("concept", "place"),
+            ("field", "call_type"),
+            ("field", "missing"),
+        ]:
+            assert sharded.values_of_dimension(dimension) == (
+                single.values_of_dimension(dimension)
+            )
+            assert sharded.keys_of_dimension(dimension) == (
+                single.keys_of_dimension(dimension)
+            )
+
+    def test_missing_document_errors_match(self, sharded):
+        with pytest.raises(KeyError):
+            sharded.keys_of(99)
+        with pytest.raises(KeyError):
+            sharded.timestamp_of(99)
+        with pytest.raises(KeyError, match="not indexed"):
+            sharded.remove(99)
+        with pytest.raises(KeyError, match="not indexed"):
+            sharded.text_of(99)
+
+    def test_text_requires_keep_documents(self):
+        bare = ShardedConceptIndex(2)
+        bare.add_keys(1, [concept_key("a", "b")])
+        with pytest.raises(RuntimeError, match="keep_documents"):
+            bare.text_of(1)
+
+
+class TestDuplicates:
+    def test_raise_is_default(self, sharded):
+        with pytest.raises(ValueError, match="already indexed"):
+            sharded.add_keys(0, [concept_key("vehicle", "suv")])
+
+    def test_bad_mode_rejected(self, sharded):
+        with pytest.raises(ValueError, match="on_duplicate"):
+            sharded.add_keys(
+                0, [concept_key("a", "b")], on_duplicate="upsert"
+            )
+
+    def test_skip_keeps_original(self, single, sharded):
+        for index in (single, sharded):
+            index.add_keys(
+                0, [concept_key("vehicle", "van")], on_duplicate="skip"
+            )
+        assert sharded.keys_of(0) == single.keys_of(0)
+        assert concept_key("vehicle", "van") not in sharded.keys_of(0)
+
+    def test_replace_moves_to_end(self, single, sharded):
+        for index in (single, sharded):
+            index.add_keys(
+                0,
+                [concept_key("vehicle", "van")],
+                timestamp=9,
+                on_duplicate="replace",
+            )
+        assert sharded.document_ids == single.document_ids
+        assert sharded.document_ids[-1] == 0
+        assert sharded.keys_of(0) == {concept_key("vehicle", "van")}
+        assert sharded.timestamp_of(0) == 9
+
+    def test_remove_releases_postings(self, single, sharded):
+        for index in (single, sharded):
+            index.remove(2).remove(5)
+        key = concept_key("vehicle", "luxury")
+        assert sharded.count(key) == 0
+        assert sharded.values_of_dimension(("concept", "vehicle")) == (
+            single.values_of_dimension(("concept", "vehicle"))
+        )
+        assert len(sharded) == len(single)
+
+
+class TestPostingsAliasing:
+    def test_documents_with_still_copies(self, single):
+        # Regression guard for the non-copying accessor refactor: the
+        # public read must stay a defensive copy.
+        key = concept_key("vehicle", "suv")
+        copied = single.documents_with(key)
+        copied.add(999)
+        assert 999 not in single.documents_with(key)
+        assert single.count(key) == 3
+
+    def test_postings_view_does_not_copy(self, single):
+        key = concept_key("vehicle", "suv")
+        assert single.postings_view(key) is single.postings_view(key)
+        assert single.postings_view(key) is single._postings[key]
+
+    def test_postings_view_missing_key_is_empty(self, single):
+        assert single.postings_view(("concept", "x", "y")) == frozenset()
+
+    def test_sharded_view_is_fresh_union(self, sharded):
+        # Shard unions materialise a fresh set, so mutating the result
+        # can never corrupt shard state.
+        key = concept_key("vehicle", "suv")
+        view = sharded.postings_view(key)
+        view.add(999)
+        assert 999 not in sharded.documents_with(key)
