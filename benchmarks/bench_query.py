@@ -1,0 +1,172 @@
+"""Query serving: cold/warm latency, cache hit ratio, reader throughput.
+
+The serving subsystem (``repro.serve``) promises that a cached,
+snapshot-isolated answer is the *same object of information* as the
+one-shot batch analytic — ``==``, never approximately.  This bench
+measures what that layer costs and emits the trajectory artifact:
+
+* per-kind cold (computed) vs warm (cache hit) latency;
+* the deterministic serial cache hit ratio over a fixed workload;
+* sustained queries/sec with 1, 4 and 8 concurrent reader threads;
+* ``cache_correct`` as the gated correctness metric (1 = every served
+  answer, cold and cached, equalled the batch computation exactly).
+"""
+
+import threading
+import time
+
+from repro.obs import MetricsRegistry, activated
+from repro.serve import QueryCache, QueryEngine, QuerySpec, plan_query
+from repro.stream import EpochStore
+from repro.util.tabletext import format_table
+
+from benchjson import emit
+
+READER_COUNTS = [1, 4, 8]
+REPEATS = 5          # serial repeats per payload for the hit ratio
+WORKLOAD_ROUNDS = 30  # per-reader rounds over the payload mix
+
+
+def _payloads(index):
+    """The served query mix over the pipeline-built car-rental index."""
+    trend_key = index.keys_of_dimension(("concept", "vehicle type"))[0]
+    return {
+        "relfreq": {
+            "kind": "relfreq",
+            "focus": [["field", "call_type", "unbooked"]],
+            "candidates": ["concept", "place"],
+        },
+        "assoc2d": {
+            "kind": "assoc2d",
+            "rows": ["concept", "place"],
+            "cols": ["concept", "vehicle type"],
+        },
+        "trends": {"kind": "trends", "key": list(trend_key)},
+        "emerging": {
+            "kind": "emerging",
+            "dimension": ["concept", "vehicle type"],
+            "min_total": 1,
+        },
+        "cube": {
+            "kind": "cube",
+            "dimensions": [["concept", "place"],
+                           ["field", "call_type"]],
+        },
+        "drilldown": {"kind": "drilldown", "keys": [list(trend_key)]},
+    }
+
+
+def _hit_ratio(epochs, specs):
+    """Deterministic serial hit ratio: REPEATS passes over the mix."""
+    metrics = MetricsRegistry()
+    engine = QueryEngine(epochs, cache=QueryCache(capacity=64))
+    with activated(None, metrics):
+        for _ in range(REPEATS):
+            for spec in specs.values():
+                engine.query(spec)
+    counters = metrics.snapshot()["counters"]
+    hits = counters.get("query.cache_hits", 0)
+    misses = counters.get("query.cache_misses", 0)
+    return hits / (hits + misses) if hits + misses else 0.0
+
+
+def _throughput(epochs, specs, readers):
+    """Sustained queries/sec with ``readers`` concurrent clients."""
+    engine = QueryEngine(epochs, cache=QueryCache(capacity=64))
+    items = list(specs.values())
+    per_reader = WORKLOAD_ROUNDS * len(items)
+    barrier = threading.Barrier(readers + 1)
+
+    def worker(offset):
+        barrier.wait()
+        for i in range(per_reader):
+            engine.query(items[(i + offset) % len(items)])
+
+    threads = [
+        threading.Thread(target=worker, args=(n,))
+        for n in range(readers)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    return (readers * per_reader) / elapsed if elapsed else 0.0
+
+
+def test_query_serving(clean_study, smoke):
+    """Latency + throughput of the serving layer, gated on exactness."""
+    index = clean_study.analysis.index
+    epochs = EpochStore()
+    epochs.publish(index, len(index) - 1)
+    specs = {
+        name: QuerySpec.parse(dict(payload))
+        for name, payload in _payloads(index).items()
+    }
+
+    engine = QueryEngine(epochs, cache=QueryCache(capacity=64))
+    cache_correct = 1
+    cold_ms = {}
+    warm_ms = {}
+    for name, spec in specs.items():
+        start = time.perf_counter()
+        first = engine.query(spec)
+        cold_ms[name] = (time.perf_counter() - start) * 1000.0
+        start = time.perf_counter()
+        again = engine.query(spec)
+        warm_ms[name] = (time.perf_counter() - start) * 1000.0
+        reference = plan_query(spec, index)
+        exact = (
+            first.value == reference
+            and again.value == reference
+            and again.cached
+            and not first.cached
+        )
+        cache_correct = cache_correct if exact else 0
+
+    hit_ratio = _hit_ratio(epochs, specs)
+    throughput = {
+        str(readers): _throughput(epochs, specs, readers)
+        for readers in READER_COUNTS
+    }
+
+    print()
+    print(
+        format_table(
+            ["kind", "cold", "warm (cached)"],
+            [
+                [name, f"{cold_ms[name]:.2f} ms",
+                 f"{warm_ms[name]:.3f} ms"]
+                for name in specs
+            ],
+            title=(
+                f"query serving over {len(index):,} documents "
+                f"(epoch {epochs.current().epoch})"
+            ),
+        )
+    )
+    print(
+        "  queries/sec: "
+        + ", ".join(
+            f"{readers} reader(s) = {qps:,.0f}"
+            for readers, qps in throughput.items()
+        )
+        + f"; serial hit ratio {hit_ratio:.3f}"
+    )
+
+    assert cache_correct == 1
+    emit(
+        "query",
+        {
+            "bench": "query",
+            "smoke": smoke,
+            "documents": len(index),
+            "cache_correct": cache_correct,
+            "hit_ratio": hit_ratio,
+            "cold_latency_ms": cold_ms,
+            "warm_latency_ms": warm_ms,
+            "queries_per_sec": throughput,
+        },
+    )

@@ -8,6 +8,7 @@ regenerated without writing code:
     python -m repro training            # the SecV-C A/B experiment
     python -m repro churn               # the SecVI churn study
     python -m repro stream              # incremental streaming consumer
+    python -m repro serve               # HTTP query serving over a stream
     python -m repro lint                # static-analysis guardrails
     python -m repro effects             # stage purity / effect checker
     python -m repro trace tables        # any command, traced (repro.obs)
@@ -409,6 +410,91 @@ def cmd_stream(args):
     return 0
 
 
+def cmd_serve(args):
+    """Serve analytic queries over HTTP while a stream ingests."""
+    import json
+    import threading
+
+    from repro.serve import InsightServer, QueryCache, QueryEngine
+    from repro.stream import Checkpointer, EpochStore, StreamConsumer
+
+    if args.source == "carrental":
+        source, stages, _ = _build_carrental_stream(args)
+    else:
+        source, stages, _ = _build_telecom_stream(args)
+    checkpointer = (
+        Checkpointer(args.checkpoint) if args.checkpoint else None
+    )
+    epochs = EpochStore(history=args.epoch_history)
+    consumer = StreamConsumer(
+        source,
+        stages,
+        checkpointer=checkpointer,
+        batch_docs=args.batch_docs,
+        checkpoint_interval=args.checkpoint_interval,
+        workers=args.workers,
+        epochs=epochs,
+    )
+    if checkpointer is not None and consumer.restore():
+        print(
+            f"warm start from checkpoint at offset "
+            f"{consumer.committed_offset}"
+        )
+    engine = QueryEngine(
+        epochs,
+        workers=args.query_workers,
+        cache=QueryCache(
+            capacity=args.cache_capacity, ttl=args.cache_ttl
+        ),
+    )
+    server = InsightServer(engine, host=args.host, port=args.port)
+    ingest = threading.Thread(
+        target=consumer.run,
+        kwargs={"max_batches": args.max_batches},
+        name="bivoc-serve-ingest",
+    )
+    server.start()
+    ingest.start()
+    print(f"serving on http://{server.host}:{server.port}")
+    print(
+        f"  try: curl -s http://{server.host}:{server.port}/status"
+    )
+    print(
+        f"  try: curl -s -X POST "
+        f"http://{server.host}:{server.port}/query "
+        f"-d '{{\"kind\": \"cube\", "
+        f"\"dimensions\": [[\"field\", \"channel\"]]}}'"
+    )
+    if args.ready_file:
+        with open(args.ready_file, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"host": server.host, "port": server.port}, handle
+            )
+    timer = None
+    if args.serve_seconds is not None:
+        timer = threading.Timer(
+            args.serve_seconds, server.request_shutdown
+        )
+        timer.daemon = True
+        timer.start()
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        pass
+    if timer is not None:
+        timer.cancel()
+    server.stop()
+    ingest.join()
+    engine.close()
+    stats = epochs.current().stats()
+    print(
+        f"stopped at epoch {stats['epoch']} "
+        f"({stats['documents']} documents, "
+        f"{stats['concepts']} concepts indexed)"
+    )
+    return 0
+
+
 def cmd_trace(args):
     """Run another subcommand under an active tracer.
 
@@ -641,6 +727,81 @@ def build_parser():
         help="stop after this many micro-batches (default: drain)",
     )
     stream.set_defaults(func=cmd_stream)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve analytic queries over a live ingesting stream",
+        description=(
+            "Starts the streaming consumer on a background thread and "
+            "answers JSON analytic queries over HTTP while it ingests: "
+            "POST /query, GET /status (alias /healthz), POST "
+            "/shutdown. Every response is computed on an immutable "
+            "epoch snapshot and stamped with its epoch, so answers "
+            "are bit-identical to batch analytics on that stream "
+            "prefix. Re-run with the same --checkpoint path for a "
+            "warm start."
+        ),
+    )
+    _add_common(serve)
+    _add_engine_options(serve)
+    serve.add_argument(
+        "--source", choices=("carrental", "telecom"),
+        default="carrental",
+        help="which synthetic generator feeds the stream",
+    )
+    serve.add_argument("--agents", type=int, default=30,
+                       help="carrental: number of agents")
+    serve.add_argument("--days", type=int, default=6,
+                       help="carrental: number of days")
+    serve.add_argument("--scale", type=float, default=0.02,
+                       help="telecom: fraction of paper message volume")
+    serve.add_argument("--customers", type=int, default=1000,
+                       help="telecom: number of customers")
+    serve.add_argument("--window", type=int, default=3,
+                       help=argparse.SUPPRESS)  # stream-builder compat
+    serve.add_argument("--batch-docs", type=int, default=25,
+                       help="documents per ingestion micro-batch")
+    serve.add_argument(
+        "--checkpoint", default=None,
+        help="checkpoint file path (warm start + periodic snapshots)",
+    )
+    serve.add_argument("--checkpoint-interval", type=int, default=4,
+                       help="micro-batches between checkpoints")
+    serve.add_argument(
+        "--max-batches", type=int, default=None,
+        help="stop ingesting after this many micro-batches "
+             "(default: drain the source; serving continues either way)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="bind port (0 picks a free port)")
+    serve.add_argument(
+        "--query-workers", type=int, default=0,
+        help="thread workers for per-shard query partials "
+             "(0 = serial; pooled results are bit-identical)",
+    )
+    serve.add_argument("--cache-capacity", type=int, default=128,
+                       help="epoch-keyed result cache entries")
+    serve.add_argument(
+        "--cache-ttl", type=float, default=None,
+        help="result cache TTL seconds (default: no TTL; epoch "
+             "advance already invalidates)",
+    )
+    serve.add_argument(
+        "--epoch-history", type=int, default=8,
+        help="published epoch snapshots retained for verification",
+    )
+    serve.add_argument(
+        "--serve-seconds", type=float, default=None,
+        help="self-shutdown after this many seconds (default: serve "
+             "until POST /shutdown or Ctrl-C)",
+    )
+    serve.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write {host, port} JSON here once the server is bound",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     lint = sub.add_parser(
         "lint",

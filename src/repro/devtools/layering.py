@@ -11,8 +11,9 @@ testable and replaceable:
     asr cleaning linking annotation   (rank 4: channel engines)
     mining churn                  (rank 5: analysis layer)
     core devtools stream          (rank 6: facade / tooling / streaming)
-    cli                           (rank 7: entry points)
-    __main__                      (rank 8)
+    serve                         (rank 7: query serving over streams)
+    cli                           (rank 8: entry points)
+    __main__                      (rank 9)
 
 A module may import from strictly lower-ranked subsystems and from its
 own subsystem; same-rank cross-package imports (``asr`` -> ``cleaning``)
@@ -49,8 +50,12 @@ DEFAULT_LAYERS = {
     # mirrors the mining analyses (rank 5), so it sits with the
     # facades; same-rank isolation keeps it independent of ``core``.
     "stream": 6,
-    "cli": 7,
-    "__main__": 8,
+    # Serving answers queries over the stream layer's epoch snapshots
+    # with the mining algebra, so it sits above both and below the CLI
+    # entry points that host it.
+    "serve": 7,
+    "cli": 8,
+    "__main__": 9,
 }
 
 

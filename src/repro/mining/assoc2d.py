@@ -56,6 +56,28 @@ class AssociationTable:
         self.col_values = list(col_values)
         self._cells = cells
 
+    def __eq__(self, other):
+        """Value equality over the analytic content.
+
+        Two tables are equal when their dimensions, value orders and
+        every :class:`AssociationCell` match exactly — the backing
+        index is deliberately excluded, so a table computed on an
+        epoch snapshot equals one computed on an independently rebuilt
+        index of the same corpus (the serving layer's bit-identity
+        contract).
+        """
+        if not isinstance(other, AssociationTable):
+            return NotImplemented
+        return (
+            self.row_dimension == other.row_dimension
+            and self.col_dimension == other.col_dimension
+            and self.row_values == other.row_values
+            and self.col_values == other.col_values
+            and self._cells == other._cells
+        )
+
+    __hash__ = None  # value-equal and mutable-adjacent: not hashable
+
     def cell(self, row_value, col_value):
         """The :class:`AssociationCell` at (row, col)."""
         try:

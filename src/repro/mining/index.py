@@ -40,6 +40,45 @@ class ConceptIndex(InvertedIndexContract):
         self._dimension_values = defaultdict(set)
         self._keep_documents = keep_documents
         self._texts = {}
+        # Snapshot support (copy-on-write).  ``_frozen`` marks an
+        # immutable snapshot view; the two ``_shared_*`` sets name the
+        # postings / dimension-value sets currently aliased by a live
+        # snapshot, which a writer must copy before mutating.
+        self._frozen = False
+        self._shared_postings = set()
+        self._shared_dimensions = set()
+
+    def _owned_postings(self, key):
+        """The postings set of ``key``, safe to mutate in place.
+
+        Copy-on-write half of the snapshot contract: a set still
+        shared with a published snapshot is replaced by a private copy
+        before the caller touches it, so the snapshot's view never
+        moves.
+        """
+        postings = self._postings[key]
+        if key in self._shared_postings:
+            postings = set(postings)
+            self._postings[key] = postings
+            self._shared_postings.discard(key)
+        return postings
+
+    def _owned_dimension(self, dimension):
+        """The value set of ``dimension``, safe to mutate in place."""
+        values = self._dimension_values[dimension]
+        if dimension in self._shared_dimensions:
+            values = set(values)
+            self._dimension_values[dimension] = values
+            self._shared_dimensions.discard(dimension)
+        return values
+
+    def _require_writable(self):
+        """Raise when this index is a frozen snapshot view."""
+        if self._frozen:
+            raise RuntimeError(
+                "index snapshot is immutable; write to the live index "
+                "and publish a new snapshot instead"
+            )
 
     def add_keys(self, doc_id, keys, timestamp=None, text=None,
                  on_duplicate="raise"):
@@ -58,6 +97,7 @@ class ConceptIndex(InvertedIndexContract):
                 f"on_duplicate must be one of {self.ON_DUPLICATE}, "
                 f"got {on_duplicate!r}"
             )
+        self._require_writable()
         if doc_id in self._documents:
             if on_duplicate == "raise":
                 raise ValueError(f"document {doc_id!r} already indexed")
@@ -66,8 +106,8 @@ class ConceptIndex(InvertedIndexContract):
             self.remove(doc_id)
         keys = {tuple(key) for key in keys}
         for key in keys:
-            self._postings[key].add(doc_id)
-            self._dimension_values[key[:2]].add(key[2])
+            self._owned_postings(key).add(doc_id)
+            self._owned_dimension(key[:2]).add(key[2])
         self._documents[doc_id] = {
             "keys": keys,
             "timestamp": timestamp,
@@ -84,17 +124,18 @@ class ConceptIndex(InvertedIndexContract):
         catalogue, so an index after ``add`` + ``remove`` is
         indistinguishable from one that never saw the document.
         """
+        self._require_writable()
         try:
             entry = self._documents.pop(doc_id)
         except KeyError:
             raise KeyError(f"document {doc_id!r} not indexed") from None
         for key in entry["keys"]:
-            postings = self._postings[key]
+            postings = self._owned_postings(key)
             postings.discard(doc_id)
             if not postings:
                 del self._postings[key]
                 dimension = key[:2]
-                values = self._dimension_values[dimension]
+                values = self._owned_dimension(dimension)
                 values.discard(key[2])
                 if not values:
                     del self._dimension_values[dimension]
@@ -167,3 +208,54 @@ class ConceptIndex(InvertedIndexContract):
         ``("field", name)``.
         """
         return sorted(self._dimension_values.get(tuple(dimension), ()))
+
+    def concept_keys(self):
+        """All distinct concept keys in the index, sorted."""
+        return sorted(self._postings)
+
+    def stats(self):
+        """Cheap structural counters: documents, concepts, layout.
+
+        O(1) dictionary sizes — safe to expose on a hot health
+        endpoint.  ``shards`` is 0: this is the single-index layout.
+        """
+        return {
+            "documents": len(self._documents),
+            "concepts": len(self._postings),
+            "shards": 0,
+        }
+
+    @property
+    def is_snapshot(self):
+        """True for an immutable snapshot view, False for a live index."""
+        return self._frozen
+
+    def snapshot(self):
+        """An immutable point-in-time view of this index (copy-on-write).
+
+        The view shallow-copies the posting/document/dimension tables
+        and *shares the posting sets* with the live index; every
+        shared set is recorded so the next live-index write to it
+        copies first (:meth:`_owned_postings`).  Publication therefore
+        costs O(distinct keys) pointer copies, not a deep copy of the
+        postings — and the view is frozen forever: later upserts
+        (including the replace path, which removes old postings in
+        place) can never alter what the view observes.  Snapshotting a
+        snapshot returns the snapshot itself.
+        """
+        if self._frozen:
+            return self
+        view = ConceptIndex.__new__(ConceptIndex)
+        view._postings = dict(self._postings)
+        view._documents = dict(self._documents)
+        view._dimension_values = dict(self._dimension_values)
+        view._keep_documents = self._keep_documents
+        view._texts = dict(self._texts)
+        view._frozen = True
+        view._shared_postings = set()
+        view._shared_dimensions = set()
+        # Every current set is now aliased by the view: the live index
+        # must copy-on-write before its next in-place mutation.
+        self._shared_postings = set(self._postings)
+        self._shared_dimensions = set(self._dimension_values)
+        return view

@@ -85,6 +85,23 @@ class ConceptCube:
         else:
             self._cells = Counter(cells)
 
+    def __eq__(self, other):
+        """Value equality over dimensions and cell counts.
+
+        The backing index is excluded (see
+        :meth:`AssociationTable.__eq__ <repro.mining.assoc2d.AssociationTable.__eq__>`
+        for the rationale): a cube over an epoch snapshot equals the
+        cube over any index holding the same documents.
+        """
+        if not isinstance(other, ConceptCube):
+            return NotImplemented
+        return (
+            self.dimensions == other.dimensions
+            and self._cells == other._cells
+        )
+
+    __hash__ = None  # value-equal and mutable-adjacent: not hashable
+
     @property
     def total(self):
         """Total documents in the cube (all cells summed)."""

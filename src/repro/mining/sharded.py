@@ -76,6 +76,15 @@ class ShardedConceptIndex(InvertedIndexContract):
         # ``document_ids`` and the replace-moves-to-end upsert
         # behaviour identical to the single index.
         self._order = {}
+        self._frozen = False
+
+    def _require_writable(self):
+        """Raise when this index is a frozen snapshot view."""
+        if self._frozen:
+            raise RuntimeError(
+                "index snapshot is immutable; write to the live index "
+                "and publish a new snapshot instead"
+            )
 
     @property
     def n_shards(self):
@@ -108,6 +117,7 @@ class ShardedConceptIndex(InvertedIndexContract):
                 f"on_duplicate must be one of {self.ON_DUPLICATE}, "
                 f"got {on_duplicate!r}"
             )
+        self._require_writable()
         if doc_id in self._order:
             if on_duplicate == "raise":
                 raise ValueError(f"document {doc_id!r} already indexed")
@@ -123,6 +133,7 @@ class ShardedConceptIndex(InvertedIndexContract):
 
     def remove(self, doc_id):
         """Un-index one document from its shard."""
+        self._require_writable()
         try:
             number = self._order.pop(doc_id)
         except KeyError:
@@ -205,3 +216,56 @@ class ShardedConceptIndex(InvertedIndexContract):
         for shard in self._shards:
             values.update(shard.values_of_dimension(dimension))
         return sorted(values)
+
+    def concept_keys(self):
+        """All distinct concept keys, sorted (union over shards)."""
+        keys = set()
+        for shard in self._shards:
+            keys.update(shard.concept_keys())
+        return sorted(keys)
+
+    def stats(self):
+        """Cheap structural counters, plus the per-shard size lists.
+
+        ``concepts`` is the count of *distinct* keys across shards (a
+        key posted in several shards counts once, matching the single
+        index); ``shard_documents`` / ``shard_concepts`` expose the
+        partition skew.
+        """
+        per_shard = [shard.stats() for shard in self._shards]
+        distinct = set()
+        for shard in self._shards:
+            distinct.update(shard.concept_keys())
+        return {
+            "documents": len(self._order),
+            "concepts": len(distinct),
+            "shards": self._n_shards,
+            "shard_documents": [s["documents"] for s in per_shard],
+            "shard_concepts": [s["concepts"] for s in per_shard],
+        }
+
+    @property
+    def is_snapshot(self):
+        """True for an immutable snapshot view, False for a live index."""
+        return self._frozen
+
+    def snapshot(self):
+        """An immutable point-in-time view over per-shard snapshots.
+
+        Each shard contributes its own copy-on-write snapshot
+        (:meth:`ConceptIndex.snapshot`), and the global insertion-order
+        map is copied, so the view is atomic across shard boundaries:
+        a reader holding it can never observe a document present in
+        one shard's postings but missing from the global order — the
+        torn read a live sharded index would expose mid-upsert.
+        Snapshotting a snapshot returns the snapshot itself.
+        """
+        if self._frozen:
+            return self
+        view = ShardedConceptIndex.__new__(ShardedConceptIndex)
+        view._n_shards = self._n_shards
+        view._keep_documents = self._keep_documents
+        view._shards = tuple(shard.snapshot() for shard in self._shards)
+        view._order = dict(self._order)
+        view._frozen = True
+        return view

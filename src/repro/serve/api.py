@@ -1,0 +1,38 @@
+"""The one request handler both frontends share.
+
+The HTTP server and the in-process client answer queries through the
+same two functions here, so the two transports cannot drift: a payload
+gets the same status code and the same JSON body whether it arrived
+over a socket or a function call (asserted in ``tests/serve``).
+
+Status mapping:
+
+* 200 — answered; body is :meth:`QueryResult.to_wire`
+  (``epoch`` / ``seq`` / ``kind`` / ``cached`` / ``result``);
+* 400 — malformed or unanswerable spec
+  (:class:`~repro.serve.queries.QueryError`); body carries ``error``;
+* 503 — no epoch published yet (a server warming up before its
+  consumer's first commit); body carries ``error``.
+"""
+
+from repro.serve.queries import QueryError
+
+
+def api_query(engine, payload):
+    """Answer one JSON query payload; returns ``(status, body)``."""
+    try:
+        result = engine.query(payload)
+    except QueryError as exc:
+        return 400, {"error": str(exc)}
+    except LookupError as exc:
+        return 503, {"error": str(exc)}
+    return 200, result.to_wire()
+
+
+def api_status(engine):
+    """The health/status view; returns ``(status, body)``.
+
+    Sugar for a ``{"kind": "status"}`` query — index stats, epoch
+    stamps, cache occupancy — so load balancers can GET it.
+    """
+    return api_query(engine, {"kind": "status"})

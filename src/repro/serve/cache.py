@@ -1,0 +1,131 @@
+"""The epoch-keyed result cache: stale answers are unrepresentable.
+
+Classic result caches pair a TTL with explicit invalidation hooks and
+still serve stale data in the gap.  This cache keys every entry by
+``(analytic fingerprint, epoch)`` — the canonical spec string plus the
+epoch the result was computed at — so advancing the stream *is* the
+invalidation: a lookup always carries the current epoch, entries from
+older epochs simply never match again, and :meth:`evict_before`
+reclaims their memory eagerly on publication.
+
+Eviction is LRU over a bounded capacity, with an optional TTL for
+deployments that also want time-based bounds (the TTL clock is
+injectable and defaults to ``time.perf_counter``; it only ever
+*removes* entries, so it can affect latency but never correctness —
+the correctness argument rests on the epoch key alone).
+
+Hit / miss / eviction counters and a size gauge land in the ambient
+:class:`~repro.obs.MetricsRegistry` under ``query.cache_*``.
+Thread-safe: one lock serialises bookkeeping; the cached values
+themselves are results over immutable snapshots and are shared
+without copying.
+"""
+
+import threading
+import time
+from collections import OrderedDict
+
+from repro.obs import get_metrics
+
+
+class QueryCache:
+    """LRU + optional-TTL cache keyed by (fingerprint, epoch)."""
+
+    def __init__(self, capacity=128, ttl=None, clock=None):
+        """``capacity`` bounds entries; ``ttl`` seconds (None = no TTL).
+
+        ``clock`` injects the TTL time source (a zero-argument
+        callable); tests pass a fake so expiry is deterministic.
+        """
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None)")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock if clock is not None else time.perf_counter
+        self._lock = threading.Lock()
+        self._entries = OrderedDict()  # (fingerprint, epoch) -> (value, born)
+
+    def _metrics(self):
+        """The ambient metrics registry (resolved per call)."""
+        return get_metrics()
+
+    def get(self, fingerprint, epoch):
+        """The cached ``(hit, value)`` pair for one spec at one epoch.
+
+        ``hit`` is False on a miss *or* a TTL expiry (the expired
+        entry is evicted); the value is only meaningful when ``hit``.
+        """
+        metrics = self._metrics()
+        key = (fingerprint, epoch)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and self.ttl is not None:
+                if self._clock() - entry[1] > self.ttl:
+                    del self._entries[key]
+                    entry = None
+                    metrics.counter("query.cache_evictions").inc()
+            if entry is None:
+                metrics.counter("query.cache_misses").inc()
+                return False, None
+            self._entries.move_to_end(key)
+            metrics.counter("query.cache_hits").inc()
+            return True, entry[0]
+
+    def put(self, fingerprint, epoch, value):
+        """Store one computed result, evicting LRU entries over capacity."""
+        metrics = self._metrics()
+        key = (fingerprint, epoch)
+        with self._lock:
+            self._entries[key] = (value, self._clock())
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                metrics.counter("query.cache_evictions").inc()
+            metrics.gauge("query.cache_size").set(len(self._entries))
+        return value
+
+    def evict_before(self, epoch):
+        """Drop every entry computed at an epoch below ``epoch``.
+
+        Called on epoch advance: entries keyed by older epochs can
+        never be returned again (lookups carry the current epoch), so
+        this only reclaims memory early — correctness never depends on
+        it.  Returns the number of entries dropped.
+        """
+        metrics = self._metrics()
+        with self._lock:
+            stale = [
+                key for key in self._entries if key[1] < epoch
+            ]
+            for key in stale:
+                del self._entries[key]
+            if stale:
+                metrics.counter("query.cache_evictions").inc(len(stale))
+                metrics.gauge("query.cache_size").set(len(self._entries))
+        return len(stale)
+
+    def clear(self):
+        """Drop every entry (counts as evictions)."""
+        metrics = self._metrics()
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            if dropped:
+                metrics.counter("query.cache_evictions").inc(dropped)
+            metrics.gauge("query.cache_size").set(0)
+        return dropped
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self):
+        """JSON-safe cache descriptor for the status endpoint."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "ttl": self.ttl,
+            }

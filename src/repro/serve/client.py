@@ -1,0 +1,44 @@
+"""The in-process client: the HTTP API without the socket.
+
+Embedding callers (notebooks, tests, the CLI's own smoke checks) talk
+to a :class:`QueryEngine` through :class:`LocalClient`, which routes
+every call through the *same* :mod:`repro.serve.api` handlers as the
+HTTP server — same status codes, same JSON-safe bodies — so anything
+asserted against the client holds verbatim for the wire.
+"""
+
+from repro.serve.api import api_query, api_status
+from repro.serve.queries import QueryError
+
+
+class LocalClient:
+    """Answer query payloads against an engine, HTTP-equivalently."""
+
+    def __init__(self, engine):
+        """Wrap one :class:`~repro.serve.engine.QueryEngine`."""
+        self.engine = engine
+
+    def request(self, payload):
+        """The raw ``(status, body)`` pair, exactly as HTTP returns it."""
+        return api_query(self.engine, payload)
+
+    def query(self, payload):
+        """The response body of a successful query.
+
+        Raises :class:`~repro.serve.queries.QueryError` on a 400 and
+        :class:`LookupError` on a 503, mirroring the engine's own
+        exceptions so callers handle one error surface.
+        """
+        status, body = api_query(self.engine, payload)
+        if status == 400:
+            raise QueryError(body["error"])
+        if status == 503:
+            raise LookupError(body["error"])
+        return body
+
+    def status(self):
+        """The health/status body (raises like :meth:`query`)."""
+        status, body = api_status(self.engine)
+        if status == 503:
+            raise LookupError(body["error"])
+        return body

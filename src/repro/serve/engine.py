@@ -1,0 +1,180 @@
+"""The query engine: specs in, snapshot-isolated results out.
+
+:class:`QueryEngine` is the serving core.  Every query resolves the
+*current* epoch snapshot once, up front, and the whole computation —
+cache lookup included — runs against that one immutable view, so a
+response is internally consistent even while the consumer commits new
+batches mid-flight.  The result carries the epoch it answered from;
+callers that need read-your-writes can compare it to the consumer's
+committed offset.
+
+Execution reuses the partial-aggregate machinery verbatim: the engine
+hands :func:`~repro.serve.queries.plan_query` the snapshot plus its
+hoisted thread pool, exactly the arguments a batch caller would pass,
+which is what makes the served ``==`` bit-identity contract hold by
+construction rather than by testing luck.
+
+Observability is write-only: ``query:<kind>`` spans, a
+``query.latency_s`` histogram and request/error counters record the
+run without feeding anything back — a traced, cached engine returns
+the same values as a bare one.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from threading import Lock
+
+from repro.obs import get_metrics, get_tracer
+from repro.serve.queries import CACHEABLE_KINDS, QuerySpec, plan_query
+from repro.serve.wire import result_to_wire
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered query: the value plus its provenance stamps."""
+
+    epoch: int   # committed source offset the answer reflects
+    seq: int     # dense publication number of that snapshot
+    kind: str    # the spec's query kind
+    value: object  # rich analytic result (what == is asserted on)
+    cached: bool   # served from the epoch-keyed cache?
+
+    def to_wire(self):
+        """The JSON-safe response body (shared by HTTP and in-process)."""
+        return {
+            "epoch": self.epoch,
+            "seq": self.seq,
+            "kind": self.kind,
+            "cached": self.cached,
+            "result": result_to_wire(self.kind, self.value),
+        }
+
+
+class QueryEngine:
+    """Plans declarative specs onto the current epoch snapshot.
+
+    ``epochs`` is the :class:`~repro.stream.epoch.EpochStore` the
+    ingesting consumer publishes into.  ``workers`` > 1 hoists one
+    owned :class:`~concurrent.futures.ThreadPoolExecutor` reused by
+    every query (per-query pools would pay thread spawn on the hot
+    path); alternatively ``pool`` injects a shared external executor,
+    which the engine does not own and will not shut down.  ``cache``
+    is an optional :class:`~repro.serve.cache.QueryCache`; the engine
+    evicts entries below the current epoch whenever it observes an
+    advance.  ``clock`` injects the latency time source (defaults to
+    ``time.perf_counter``); timing is observability-only.
+
+    Thread-safe: concurrent ``query()`` calls share the pool, the
+    cache and the epoch store, each of which carries its own lock.
+    """
+
+    def __init__(self, epochs, pool=None, workers=0, cache=None,
+                 clock=None):
+        """See the class docstring for the knobs."""
+        if pool is not None and workers > 1:
+            raise ValueError("pass either pool or workers, not both")
+        self.epochs = epochs
+        self.cache = cache
+        self._clock = clock if clock is not None else time.perf_counter
+        self._owned_pool = None
+        if pool is None and workers > 1:
+            pool = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="bivoc-query",
+            )
+            self._owned_pool = pool
+        self._pool = pool
+        self._purge_lock = Lock()
+        self._purged_below = None  # highest epoch we evicted below
+
+    def query(self, payload):
+        """Answer one query payload (or pre-parsed spec).
+
+        Returns a :class:`QueryResult` stamped with the epoch and
+        publication sequence it answered from.  Raises
+        :class:`~repro.serve.queries.QueryError` on malformed specs
+        and :class:`LookupError` if no epoch has been published yet.
+        """
+        spec = (
+            payload
+            if isinstance(payload, QuerySpec)
+            else QuerySpec.parse(payload)
+        )
+        tracer = get_tracer()
+        metrics = get_metrics()
+        snapshot = self.epochs.current()
+        started = self._clock()
+        with tracer.span(
+            f"query:{spec.kind}",
+            category="serve",
+            tags={"epoch": snapshot.epoch, "seq": snapshot.seq},
+        ) as span:
+            cached = False
+            use_cache = (
+                self.cache is not None and spec.kind in CACHEABLE_KINDS
+            )
+            if use_cache:
+                self._purge_stale(snapshot.epoch)
+                fingerprint = spec.fingerprint()
+                cached, value = self.cache.get(
+                    fingerprint, snapshot.epoch
+                )
+            if not cached:
+                value = plan_query(spec, snapshot.index, pool=self._pool)
+                if use_cache:
+                    self.cache.put(fingerprint, snapshot.epoch, value)
+            if spec.kind == "status":
+                value = self._status_body(snapshot, value)
+            span.tag("cached", cached)
+        metrics.counter("query.requests").inc()
+        metrics.counter(f"query.requests.{spec.kind}").inc()
+        metrics.histogram("query.latency_s").observe(
+            self._clock() - started
+        )
+        return QueryResult(
+            epoch=snapshot.epoch,
+            seq=snapshot.seq,
+            kind=spec.kind,
+            value=value,
+            cached=cached,
+        )
+
+    def _purge_stale(self, epoch):
+        """Evict cache entries below ``epoch`` once per advance."""
+        with self._purge_lock:
+            if self._purged_below is not None and (
+                epoch <= self._purged_below
+            ):
+                return
+            self._purged_below = epoch
+        self.cache.evict_before(epoch)
+
+    def _status_body(self, snapshot, stats):
+        """Enrich the raw snapshot stats into the status response."""
+        body = dict(stats)
+        body["cache"] = (
+            None if self.cache is None else self.cache.stats()
+        )
+        body["workers"] = (
+            self._owned_pool._max_workers
+            if self._owned_pool is not None
+            else 0
+        )
+        return body
+
+    def close(self):
+        """Shut down the owned pool (no-op for injected pools)."""
+        if self._owned_pool is not None:
+            self._owned_pool.shutdown(wait=True)
+            self._owned_pool = None
+            self._pool = None
+
+    def __enter__(self):
+        """Context manager: the engine itself."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        """Context manager exit: close the owned pool."""
+        self.close()
+        return False

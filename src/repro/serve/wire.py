@@ -1,0 +1,128 @@
+"""JSON-safe renderings of every query result type.
+
+The analytics return rich Python objects — dataclasses, tuple-keyed
+dicts, an :class:`~repro.mining.assoc2d.AssociationTable`, a
+:class:`~repro.mining.olap.ConceptCube`.  The HTTP frontend and the
+in-process client must agree on *one* wire shape, so both render
+through :func:`result_to_wire` and an HTTP round-trip never sees a
+field the in-process path lacks (or vice versa).
+
+Rendering is presentation only: the engine computes, caches and
+verifies on the rich objects (that's what the ``==`` bit-identity
+contract is asserted on); wire forms are derived at the edge, after
+the cache, so serialisation can never perturb a cached value.
+"""
+
+from repro.mining.assoc2d import AssociationTable
+from repro.mining.olap import ConceptCube
+
+
+def _key_list(key):
+    """One concept key as a JSON list."""
+    return list(key)
+
+
+def _relfreq_to_wire(results):
+    """Relevancy results: one dict per ranked concept, order kept."""
+    return [
+        {
+            "key": _key_list(result.key),
+            "focus_count": result.focus_count,
+            "focus_total": result.focus_total,
+            "overall_count": result.overall_count,
+            "overall_total": result.overall_total,
+            "focus_frequency": result.focus_frequency,
+            "overall_frequency": result.overall_frequency,
+            "relative_frequency": result.relative_frequency,
+        }
+        for result in results
+    ]
+
+
+def _assoc2d_to_wire(table):
+    """The association table: dimensions, value orders, cells row-major."""
+    return {
+        "rows": _key_list(table.row_dimension),
+        "cols": _key_list(table.col_dimension),
+        "row_values": list(table.row_values),
+        "col_values": list(table.col_values),
+        "cells": [
+            {
+                "row": cell.row_value,
+                "col": cell.col_value,
+                "count": cell.count,
+                "row_total": cell.row_total,
+                "col_total": cell.col_total,
+                "grand_total": cell.grand_total,
+                "strength": cell.strength,
+                "point_lift": cell.point_lift,
+                "row_share": cell.row_share,
+            }
+            for cell in table.cells()
+        ],
+    }
+
+
+def _trends_to_wire(series):
+    """The time series: ``[bucket, count]`` pairs in bucket order."""
+    return [[bucket, count] for bucket, count in series]
+
+
+def _emerging_to_wire(ranking):
+    """The rising-trend ranking: ``[key, slope, total]`` rows."""
+    return [
+        [_key_list(key), slope, total] for key, slope, total in ranking
+    ]
+
+
+def _coordinate_cells_to_wire(cells):
+    """A ``{coordinate: count}`` view (slice / rollup) as sorted rows."""
+    return [
+        [list(coordinates), count]
+        for coordinates, count in sorted(
+            cells.items(), key=lambda item: str(item[0])
+        )
+    ]
+
+
+def _cube_to_wire(cube):
+    """The full cube: dimensions, total, every cell (empty coords too)."""
+    return {
+        "dimensions": [_key_list(d) for d in cube.dimensions],
+        "total": cube.total,
+        "cells": [
+            [list(cell.coordinates), cell.count]
+            for cell in cube.cells(include_empty_coordinates=True)
+        ],
+    }
+
+
+def result_to_wire(kind, value):
+    """Render one planned result to its JSON-safe wire form.
+
+    ``kind`` is the spec's query kind; ``value`` is whatever
+    :func:`~repro.serve.queries.plan_query` returned for it.  Cube
+    specs yield either a :class:`~repro.mining.olap.ConceptCube` (no
+    view op) or a coordinate dict (slice / rollup), so the cube branch
+    dispatches on the value's actual shape.
+    """
+    if kind == "relfreq":
+        return _relfreq_to_wire(value)
+    if kind == "assoc2d":
+        if not isinstance(value, AssociationTable):
+            raise TypeError(
+                f"assoc2d result must be an AssociationTable, "
+                f"got {type(value).__name__}"
+            )
+        return _assoc2d_to_wire(value)
+    if kind == "trends":
+        return _trends_to_wire(value)
+    if kind == "emerging":
+        return _emerging_to_wire(value)
+    if kind == "cube":
+        if isinstance(value, ConceptCube):
+            return _cube_to_wire(value)
+        return _coordinate_cells_to_wire(value)
+    if kind in ("drilldown", "status"):
+        return value
+    raise ValueError(f"unknown result kind {kind!r}")

@@ -45,6 +45,16 @@ class InvertedIndexContract:
       defensive copy callers may mutate freely;
     * :meth:`postings_view` — the read-only hot-loop accessor: may
       return internal state and must never be mutated by the caller.
+
+    Concurrent serving adds a third leg to that contract:
+    :meth:`snapshot` returns an *immutable point-in-time view* of the
+    index.  A snapshot may share postings storage with the live index
+    (copy-on-write), but the implementation guarantees that no
+    subsequent write to the live index — including replace-path
+    upserts — ever alters what the snapshot (or any
+    ``postings_view`` obtained from it) observes.  Snapshots are what
+    the serving layer publishes per epoch so readers never see a
+    half-applied micro-batch.
     """
 
     #: Accepted duplicate-handling policies for :meth:`add`/:meth:`add_keys`.
@@ -94,6 +104,34 @@ class InvertedIndexContract:
 
     def remove(self, doc_id):
         """Un-index one document, releasing all its postings."""
+        raise NotImplementedError
+
+    def snapshot(self):
+        """An immutable point-in-time view of this index.
+
+        The view exposes the full read side of the contract and raises
+        :class:`RuntimeError` on any write.  Implementations may share
+        postings storage with the live index, but must copy-on-write
+        before mutating shared state so the view stays frozen forever
+        — an upsert on the live index after the snapshot never changes
+        what the snapshot reports.  Snapshotting a snapshot returns
+        the snapshot itself.
+        """
+        raise NotImplementedError
+
+    def stats(self):
+        """Cheap structural counters for health/status reporting.
+
+        Returns a JSON-safe dict with at least ``documents`` (indexed
+        document count), ``concepts`` (distinct concept keys) and
+        ``shards`` (partition count, 0 for a single index).  Sharded
+        implementations add ``shard_documents`` / ``shard_concepts``
+        per-shard size lists.
+        """
+        raise NotImplementedError
+
+    def concept_keys(self):
+        """All distinct concept keys in the index, sorted."""
         raise NotImplementedError
 
     @property

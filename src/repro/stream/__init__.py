@@ -16,7 +16,11 @@ Section IV-D).  This subsystem turns the one-shot stage graphs of
   by delta updates yet bit-identical to the batch mining functions;
 * :mod:`~repro.stream.checkpoint` — atomic JSON checkpoints of offset
   + index + window so a killed consumer resumes without reprocessing
-  or double-counting.
+  or double-counting;
+* :mod:`~repro.stream.epoch` — :class:`EpochStore`, the snapshot
+  publication protocol: immutable, offset-stamped views of the live
+  index published at every commit boundary, the read side the
+  :mod:`repro.serve` query layer answers from.
 """
 
 from repro.stream.checkpoint import (
@@ -24,6 +28,7 @@ from repro.stream.checkpoint import (
     index_from_state,
     index_to_state,
 )
+from repro.stream.epoch import EpochSnapshot, EpochStore
 from repro.stream.consumer import StreamConsumer, StreamReport
 from repro.stream.source import (
     MemorySource,
@@ -48,4 +53,6 @@ __all__ = [
     "Checkpointer",
     "index_to_state",
     "index_from_state",
+    "EpochStore",
+    "EpochSnapshot",
 ]

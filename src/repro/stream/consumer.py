@@ -137,12 +137,21 @@ class StreamConsumer:
     def __init__(self, source, stages, window=None, checkpointer=None,
                  batch_docs=32, queue_capacity=4, checkpoint_interval=4,
                  runner_batch_size=64, workers=0, clock=None,
-                 failpoint=None, tracer=None, metrics=None):
+                 failpoint=None, tracer=None, metrics=None, epochs=None):
         """Wire the consumer; raises on an unsafe index stage.
 
         ``tracer``/``metrics`` override the ambient observability
         collectors (``None`` resolves the ambient slot per step, so an
         already-built consumer is traceable by activation).
+
+        ``epochs`` is an optional
+        :class:`~repro.stream.epoch.EpochStore`: when given, the
+        consumer publishes an immutable snapshot of the main index at
+        every commit boundary (and after every restore), stamped with
+        the committed offset, so concurrent readers always see a fully
+        applied micro-batch.  An initial epoch (-1, the empty index)
+        is published immediately so a serving layer wired before the
+        first batch already has a view to answer from.
         """
         if batch_docs < 1:
             raise ValueError("batch_docs must be >= 1")
@@ -176,6 +185,7 @@ class StreamConsumer:
             )
         self._tracer = tracer
         self._metrics = metrics
+        self.epochs = epochs
         self._runner = PipelineRunner(
             stages, batch_size=runner_batch_size, workers=workers,
             clock=self._clock, tracer=tracer, metrics=metrics,
@@ -185,6 +195,7 @@ class StreamConsumer:
         self._since_checkpoint = 0
         self.report = StreamReport()
         self._stage_totals = _StageTotals()
+        self._publish_epoch()
 
     @property
     def index(self):
@@ -320,6 +331,7 @@ class StreamConsumer:
         )
         if self.window is not None:
             metrics.gauge("stream.window_docs").set(len(self.window))
+        self._publish_epoch()
         self._fire("batch-committed")
         if (
             self.checkpointer is not None
@@ -352,6 +364,17 @@ class StreamConsumer:
         """Invoke the failpoint hook (tests crash the consumer here)."""
         if self._failpoint is not None:
             self._failpoint(event)
+
+    def _publish_epoch(self):
+        """Publish the committed state as an immutable epoch snapshot.
+
+        No-op without an epoch store.  Runs at construction (epoch -1,
+        empty index), after every committed micro-batch, and after a
+        restore — exactly the moments the index is in a fully applied
+        state.
+        """
+        if self.epochs is not None:
+            self.epochs.publish(self.index, self._committed_offset)
 
     # ------------------------------------------------------------------
     # checkpoint / restore
@@ -446,5 +469,6 @@ class StreamConsumer:
         self._since_checkpoint = 0
         self._queue.clear()
         self.source.seek(self._committed_offset + 1)
+        self._publish_epoch()
         metrics.counter("stream.restores").inc()
         return True

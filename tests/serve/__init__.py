@@ -1,0 +1,1 @@
+"""Tests for the query-serving subsystem (repro.serve)."""

@@ -1,0 +1,134 @@
+"""``bivoc serve``: end-to-end CLI serving, warm start, shutdown."""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+
+
+def _serve_in_thread(argv):
+    """Run ``main(argv)`` on a thread; returns (thread, result box)."""
+    box = {}
+
+    def run():
+        """Capture the CLI exit code for the joining test."""
+        box["code"] = main(argv)
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    return thread, box
+
+
+def _await_ready(path, timeout=30.0):
+    """Poll the --ready-file until the server reports its address."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            time.sleep(0.05)
+    raise AssertionError(f"server never wrote ready file {path}")
+
+
+def _post(base, path, payload):
+    """POST JSON to the served API."""
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def _get(base, path):
+    """GET JSON from the served API."""
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def _await_drained(base, timeout=30.0):
+    """Poll /status until the committed epoch stops advancing."""
+    deadline = time.monotonic() + timeout
+    last = None
+    stable = 0
+    while time.monotonic() < deadline:
+        body = _get(base, "/status")
+        if body["epoch"] == last:
+            stable += 1
+            if stable >= 3:
+                return body
+        else:
+            stable = 0
+            last = body["epoch"]
+        time.sleep(0.1)
+    raise AssertionError("ingestion never settled")
+
+
+@pytest.fixture()
+def serve_args(tmp_path):
+    """Small-corpus baseline argv; tests extend it."""
+    ready = tmp_path / "ready.json"
+    return ready, [
+        "serve", "--source", "carrental", "--agents", "4",
+        "--days", "2", "--port", "0",
+        "--ready-file", str(ready),
+    ]
+
+
+def test_serve_answers_and_shuts_down_gracefully(serve_args):
+    """The CLI server ingests, answers queries, and drains on request."""
+    ready, argv = serve_args
+    thread, box = _serve_in_thread(argv + ["--shards", "2",
+                                           "--query-workers", "2"])
+    try:
+        info = _await_ready(ready)
+        base = f"http://{info['host']}:{info['port']}"
+        status = _get(base, "/status")
+        assert status["result"]["shards"] == 2
+        body = _post(
+            base, "/query",
+            {"kind": "cube", "dimensions": [["field", "channel"]]},
+        )
+        assert body["kind"] == "cube"
+        assert body["epoch"] >= -1
+        assert _post(base, "/shutdown", {}) == {"stopping": True}
+    finally:
+        thread.join(timeout=60)
+    assert not thread.is_alive()
+    assert box["code"] == 0
+
+
+def test_serve_warm_starts_from_checkpoint(serve_args, tmp_path):
+    """A second run with the same --checkpoint resumes, not replays."""
+    ready, argv = serve_args
+    checkpoint = tmp_path / "serve.ckpt"
+    argv = argv + ["--checkpoint", str(checkpoint),
+                   "--checkpoint-interval", "1"]
+
+    thread, box = _serve_in_thread(list(argv))
+    info = _await_ready(ready)
+    base = f"http://{info['host']}:{info['port']}"
+    first = _await_drained(base)
+    _post(base, "/shutdown", {})
+    thread.join(timeout=60)
+    assert box["code"] == 0
+    assert checkpoint.exists()
+
+    ready.unlink()
+    thread, box = _serve_in_thread(list(argv))
+    info = _await_ready(ready)
+    base = f"http://{info['host']}:{info['port']}"
+    second = _await_drained(base)
+    _post(base, "/shutdown", {})
+    thread.join(timeout=60)
+    assert box["code"] == 0
+    # The warm-started server sees the same fully drained corpus.
+    assert second["result"]["documents"] == first["result"]["documents"]
+    assert second["epoch"] >= first["epoch"]
