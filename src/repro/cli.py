@@ -9,6 +9,7 @@ regenerated without writing code:
     python -m repro churn               # the SecVI churn study
     python -m repro stream              # incremental streaming consumer
     python -m repro serve               # HTTP query serving over a stream
+    python -m repro chaos               # seeded fault-injection drill
     python -m repro lint                # static-analysis guardrails
     python -m repro effects             # stage purity / effect checker
     python -m repro trace tables        # any command, traced (repro.obs)
@@ -413,8 +414,11 @@ def cmd_stream(args):
 def cmd_serve(args):
     """Serve analytic queries over HTTP while a stream ingests."""
     import json
+    import os
+    import signal
     import threading
 
+    from repro.faults import BreakerBoard, RetryPolicy
     from repro.serve import InsightServer, QueryCache, QueryEngine
     from repro.stream import Checkpointer, EpochStore, StreamConsumer
 
@@ -422,8 +426,20 @@ def cmd_serve(args):
         source, stages, _ = _build_carrental_stream(args)
     else:
         source, stages, _ = _build_telecom_stream(args)
+    retry = (
+        RetryPolicy(max_attempts=args.retry, seed=args.seed)
+        if args.retry > 1 else None
+    )
+    breakers = (
+        BreakerBoard(
+            failure_threshold=args.breaker_threshold,
+            cooldown=args.breaker_cooldown,
+        )
+        if args.breaker_threshold > 0 else None
+    )
     checkpointer = (
-        Checkpointer(args.checkpoint) if args.checkpoint else None
+        Checkpointer(args.checkpoint, retry=retry)
+        if args.checkpoint else None
     )
     epochs = EpochStore(history=args.epoch_history)
     consumer = StreamConsumer(
@@ -446,6 +462,9 @@ def cmd_serve(args):
         cache=QueryCache(
             capacity=args.cache_capacity, ttl=args.cache_ttl
         ),
+        retry=retry,
+        deadline_ms=args.deadline_ms,
+        breakers=breakers,
     )
     server = InsightServer(engine, host=args.host, port=args.port)
     ingest = threading.Thread(
@@ -470,6 +489,16 @@ def cmd_serve(args):
             json.dump(
                 {"host": server.host, "port": server.port}, handle
             )
+    # SIGTERM (an orchestrator's stop signal) must drain exactly like
+    # POST /shutdown; handlers only install from the main thread.
+    previous_term = None
+    restore_term = False
+    if threading.current_thread() is threading.main_thread():
+        previous_term = signal.signal(
+            signal.SIGTERM,
+            lambda signum, frame: server.request_shutdown(),
+        )
+        restore_term = True
     timer = None
     if args.serve_seconds is not None:
         timer = threading.Timer(
@@ -481,11 +510,21 @@ def cmd_serve(args):
         server.wait()
     except KeyboardInterrupt:
         pass
-    if timer is not None:
-        timer.cancel()
-    server.stop()
-    ingest.join()
-    engine.close()
+    finally:
+        if timer is not None:
+            timer.cancel()
+        server.stop()
+        ingest.join()
+        engine.close()
+        if restore_term:
+            signal.signal(signal.SIGTERM, previous_term)
+        # The ready-file advertises a live endpoint; leaving it behind
+        # after the drain points orchestration at a dead port.
+        if args.ready_file:
+            try:
+                os.remove(args.ready_file)
+            except FileNotFoundError:
+                pass
     stats = epochs.current().stats()
     print(
         f"stopped at epoch {stats['epoch']} "
@@ -493,6 +532,110 @@ def cmd_serve(args):
         f"{stats['concepts']} concepts indexed)"
     )
     return 0
+
+
+def cmd_chaos(args):
+    """Crash/retry/resume a stream under a seeded fault plan.
+
+    Builds the default chaos plan for ``--seed``, runs the car-rental
+    stream to completion once fault-free, then replays it with the
+    plan armed — restarting a fresh consumer from its checkpoint after
+    every injected crash, exactly the loop the ``tests/faults`` suite
+    gates — and verifies the faulted run's final index is ``==`` to
+    the uninterrupted one.  Exit 0 on bit-identity, 1 on divergence
+    (with the plan JSON on stderr for one-command reproduction).
+    """
+    import json
+    import os
+    import tempfile
+
+    from repro.faults import (
+        InjectedFault,
+        RetryPolicy,
+        default_chaos_plan,
+        injecting,
+    )
+    from repro.stream import CheckpointCorrupt, Checkpointer, StreamConsumer
+    from repro.stream.checkpoint import index_to_state
+
+    plan = default_chaos_plan(args.seed)
+    if args.plan_only:
+        print(json.dumps(plan.to_json_dict(), indent=2))
+        return 0
+
+    def build_consumer(checkpointer):
+        # Rebuilt from scratch per (re)start: a crash loses every bit
+        # of in-memory state, so the resume path must too.
+        source, stages, _ = _build_carrental_stream(args)
+        return StreamConsumer(
+            source,
+            stages,
+            checkpointer=checkpointer,
+            batch_docs=args.batch_docs,
+            checkpoint_interval=2,
+            workers=args.workers,
+        )
+
+    reference = build_consumer(None)
+    reference.run(checkpoint_at_end=False)
+    expected = index_to_state(reference.index)
+
+    retry = RetryPolicy(
+        max_attempts=8, base_delay=0.0, max_delay=0.0, seed=args.seed
+    )
+    injector = plan.injector(sleep=lambda _delay: None)
+    restarts = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        ck_path = os.path.join(tmp, "chaos-checkpoint.json")
+        with injecting(injector):
+            while True:
+                checkpointer = Checkpointer(
+                    ck_path, retry=retry, sleep=lambda _delay: None
+                )
+                consumer = build_consumer(checkpointer)
+                try:
+                    consumer.restore()
+                except CheckpointCorrupt:
+                    # Every copy corrupted: cold-start, the last
+                    # resort (at-least-once delivery makes it safe).
+                    checkpointer.clear()
+                    continue
+                try:
+                    consumer.run()
+                    break
+                except InjectedFault:
+                    restarts += 1
+                    if restarts > 50:
+                        print(
+                            "chaos: runaway restart loop (plan below)",
+                            file=sys.stderr,
+                        )
+                        print(
+                            json.dumps(plan.to_json_dict(), indent=2),
+                            file=sys.stderr,
+                        )
+                        return 1
+
+    fired = {
+        name: counts["fired"]
+        for name, counts in injector.counts().items()
+        if counts["fired"]
+    }
+    print(
+        f"chaos seed {args.seed}: {restarts} injected crashes "
+        f"survived, {len(consumer.index)} documents indexed"
+    )
+    print(f"faults fired: {fired if fired else 'none'}")
+    if index_to_state(consumer.index) == expected:
+        print("faulted crash/retry/resume run == uninterrupted run")
+        return 0
+    print(
+        "MISMATCH: the faulted run diverged from the uninterrupted "
+        "run; reproduce with the plan below",
+        file=sys.stderr,
+    )
+    print(json.dumps(plan.to_json_dict(), indent=2), file=sys.stderr)
+    return 1
 
 
 def cmd_trace(args):
@@ -799,9 +942,64 @@ def build_parser():
     )
     serve.add_argument(
         "--ready-file", default=None, metavar="PATH",
-        help="write {host, port} JSON here once the server is bound",
+        help="write {host, port} JSON here once the server is bound "
+             "(removed again on clean shutdown)",
+    )
+    serve.add_argument(
+        "--retry", type=int, default=3, metavar="N",
+        help="max attempts absorbing transient faults around query "
+             "execution and checkpoint I/O (1 disables retrying)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-query deadline budget in milliseconds; exhaustion "
+             "answers 504 (default: unbounded)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive failures opening a query kind's circuit "
+             "breaker, after which last-good answers are served "
+             "degraded (0 disables breakers)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=1.0,
+        help="seconds an open breaker rejects before probing again",
     )
     serve.set_defaults(func=cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="verify crash/retry/resume under a seeded fault plan",
+        description=(
+            "Runs the car-rental stream fault-free, then replays it "
+            "with the default chaos plan for --seed armed: injected "
+            "I/O errors, crashes and checkpoint corruption, survived "
+            "by retry policies and previous-good fallback. Exits 0 "
+            "when the faulted run's final index is bit-identical to "
+            "the uninterrupted one — the same contract the "
+            "tests/faults suite gates in CI."
+        ),
+    )
+    _add_common(chaos)
+    chaos.add_argument(
+        "--plan-only", action="store_true",
+        help="print the fault plan JSON for this seed and exit",
+    )
+    chaos.add_argument(
+        "--shards", type=int, default=None,
+        help="hash-partition the concept index into N shards",
+    )
+    chaos.add_argument("--agents", type=int, default=12,
+                       help="carrental: number of agents")
+    chaos.add_argument("--days", type=int, default=4,
+                       help="carrental: number of days")
+    chaos.add_argument("--batch-docs", type=int, default=16,
+                       help="documents per ingestion micro-batch")
+    chaos.add_argument("--workers", type=int, default=0,
+                       help=argparse.SUPPRESS)
+    chaos.add_argument("--window", type=int, default=3,
+                       help=argparse.SUPPRESS)
+    chaos.set_defaults(func=cmd_chaos)
 
     lint = sub.add_parser(
         "lint",

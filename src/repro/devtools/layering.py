@@ -6,7 +6,7 @@ testable and replaceable:
 
     util                          (rank 0: imports nothing from repro)
     obs                           (rank 1: tracing + metrics substrate)
-    engine store                  (rank 2: pipeline engine; warehouse)
+    engine store faults           (rank 2: engine; warehouse; resilience)
     synth                         (rank 3: generators fill the store)
     asr cleaning linking annotation   (rank 4: channel engines)
     mining churn                  (rank 5: analysis layer)
@@ -37,6 +37,11 @@ DEFAULT_LAYERS = {
     "obs": 1,
     "engine": 2,
     "store": 2,
+    # The resilience substrate (fault injection, retries, breakers)
+    # must be importable by everything that does I/O or serves —
+    # stream, serve, cli — while itself needing only the RNG helpers
+    # and write-only observability, so it sits with the engine.
+    "faults": 2,
     "synth": 3,
     "asr": 4,
     "cleaning": 4,

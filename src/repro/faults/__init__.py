@@ -1,0 +1,94 @@
+"""Resilience: deterministic fault injection, retries, breakers.
+
+Real-time voice-of-customer systems treat graceful degradation and
+bounded latency as core requirements — a transcript feed hiccups, a
+checkpoint read fails, a query runs long — and this package is the
+reproduction's answer, kept as deterministic as everything else:
+
+* :mod:`~repro.faults.plan` — seeded :class:`FaultPlan` schedules and
+  the :class:`FaultInjector` that fires them: every fault a chaos run
+  injects is a pure function of the plan seed, so any CI failure
+  replays locally, bit for bit;
+* :mod:`~repro.faults.points` — the ambient fault-point slot:
+  production code declares ``fault_point("checkpoint.save")`` /
+  ``corrupt_point("checkpoint.bytes", data)`` at its failure
+  surfaces and pays one no-op call unless a chaos run arms a plan
+  with :func:`injecting`;
+* :mod:`~repro.faults.retry` — :class:`RetryPolicy` (exponential
+  backoff with seeded decorrelated jitter, type-based retryable
+  classification) and :class:`Deadline` budgets threaded through
+  checkpoint I/O, replay-log reads and query execution;
+* :mod:`~repro.faults.breaker` — per-operation
+  :class:`CircuitBreaker` state machines behind a
+  :class:`BreakerBoard`, the trigger for the serving layer's
+  degraded mode (last-good answers marked ``degraded``).
+
+The house correctness bar applies: under any seeded fault schedule, a
+crash/retry/resume run produces results ``==`` to an uninterrupted
+run (asserted in ``tests/faults``), and all fault/retry/breaker
+observability is write-only.
+"""
+
+from repro.faults.breaker import (
+    STATE_CLOSED,
+    STATE_CODES,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerBoard,
+    BreakerOpen,
+    CircuitBreaker,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectedIOError,
+    InjectedTimeout,
+    default_chaos_plan,
+)
+from repro.faults.points import (
+    NULL_INJECTOR,
+    NullInjector,
+    corrupt_point,
+    fault_point,
+    get_injector,
+    injecting,
+)
+from repro.faults.retry import (
+    DEFAULT_RETRYABLE,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    call_with_retry,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "FAULT_KINDS",
+    "InjectedFault",
+    "InjectedIOError",
+    "InjectedTimeout",
+    "default_chaos_plan",
+    "fault_point",
+    "corrupt_point",
+    "get_injector",
+    "injecting",
+    "NullInjector",
+    "NULL_INJECTOR",
+    "RetryPolicy",
+    "Deadline",
+    "DeadlineExceeded",
+    "DEFAULT_RETRYABLE",
+    "call_with_retry",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "BreakerOpen",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "STATE_CODES",
+]

@@ -1,0 +1,244 @@
+"""Circuit breakers: fail fast, probe carefully, recover cleanly.
+
+When a query kind starts failing systematically (a poisoned analytic,
+a corrupted shard), retrying every request multiplies the damage.  A
+:class:`CircuitBreaker` watches consecutive failures per protected
+operation and trips **open** at a threshold: further calls are
+rejected instantly with :class:`BreakerOpen` (carrying a
+``retry_after`` hint) until a cooldown elapses, after which the
+breaker goes **half-open** and admits a limited number of probe
+calls — success closes it, failure re-opens it for another cooldown.
+
+The serving layer keys one breaker per query kind through a
+:class:`BreakerBoard`; an open breaker is what triggers degraded
+serving (the last-good cached answer marked ``degraded``) in
+:class:`~repro.serve.engine.QueryEngine`.
+
+All clocks are injectable (tests drive transitions with a fake), all
+transitions are lock-protected, and observability is write-only: a
+state gauge (0 closed / 1 half-open / 2 open) plus open/reject
+counters per breaker name.
+"""
+
+import time
+from threading import Lock
+
+from repro.obs import get_metrics
+
+#: Breaker states, also the human-readable gauge legend.
+STATE_CLOSED = "closed"
+STATE_HALF_OPEN = "half-open"
+STATE_OPEN = "open"
+
+#: Numeric encoding for the ``breaker.state.<name>`` gauge.
+STATE_CODES = {STATE_CLOSED: 0, STATE_HALF_OPEN: 1, STATE_OPEN: 2}
+
+
+class BreakerOpen(RuntimeError):
+    """The protected operation is rejected: its breaker is open.
+
+    ``retry_after`` is the cooldown remainder in seconds — the serving
+    layer turns it into an HTTP ``Retry-After`` header.
+    """
+
+    def __init__(self, name, retry_after):
+        """Name the breaker and the suggested wait."""
+        super().__init__(
+            f"circuit breaker {name!r} is open; retry in "
+            f"{retry_after:.3f}s"
+        )
+        self.name = name
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """One protected operation's failure gate.
+
+    ``failure_threshold`` consecutive failures trip the breaker open;
+    ``cooldown`` seconds later it admits ``half_open_probes`` probe
+    calls.  Any probe failure re-opens it (fresh cooldown); enough
+    probe successes close it and reset the failure count.  ``clock``
+    injects the monotonic time source.
+    """
+
+    def __init__(self, name, failure_threshold=5, cooldown=1.0,
+                 half_open_probes=1, clock=None):
+        """Build a closed breaker; see the class docstring."""
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got "
+                f"{failure_threshold}"
+            )
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be positive, got {cooldown}")
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.half_open_probes = half_open_probes
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = Lock()
+        self._state = STATE_CLOSED
+        self._failures = 0
+        self._opened_at = None
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    def _set_state(self, state):
+        """Transition (caller holds the lock) and write the gauge."""
+        self._state = state
+        get_metrics().gauge(f"breaker.state.{self.name}").set(
+            STATE_CODES[state]
+        )
+
+    @property
+    def state(self):
+        """The current state string (for status bodies and tests)."""
+        with self._lock:
+            return self._state
+
+    def allow(self):
+        """Admit one call or raise :class:`BreakerOpen`.
+
+        Closed: always admits.  Open: admits nothing until the
+        cooldown elapses, then flips half-open and admits probes.
+        Half-open: admits up to ``half_open_probes`` concurrent
+        probes; the rest are rejected with the remaining cooldown as
+        the hint.
+        """
+        metrics = get_metrics()
+        with self._lock:
+            if self._state == STATE_OPEN:
+                elapsed = self._clock() - self._opened_at
+                if elapsed < self.cooldown:
+                    metrics.counter(
+                        f"breaker.rejected.{self.name}"
+                    ).inc()
+                    raise BreakerOpen(
+                        self.name, self.cooldown - elapsed
+                    )
+                self._set_state(STATE_HALF_OPEN)
+                self._probes_in_flight = 0
+                self._probe_successes = 0
+            if self._state == STATE_HALF_OPEN:
+                if self._probes_in_flight >= self.half_open_probes:
+                    metrics.counter(
+                        f"breaker.rejected.{self.name}"
+                    ).inc()
+                    raise BreakerOpen(self.name, self.cooldown)
+                self._probes_in_flight += 1
+            return self
+
+    def record_success(self):
+        """Report one admitted call's success."""
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
+                self._probes_in_flight = max(
+                    0, self._probes_in_flight - 1
+                )
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._set_state(STATE_CLOSED)
+                    self._failures = 0
+                    self._opened_at = None
+            elif self._state == STATE_CLOSED:
+                self._failures = 0
+        return self
+
+    def record_ignored(self):
+        """Report an admitted call whose outcome says nothing.
+
+        Releases a half-open probe slot without counting success or
+        failure — for outcomes like a malformed request, which must
+        neither close the breaker nor re-open it (and must not reset
+        a closed breaker's failure streak the way a success does).
+        """
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
+                self._probes_in_flight = max(
+                    0, self._probes_in_flight - 1
+                )
+        return self
+
+    def record_failure(self):
+        """Report one admitted call's failure."""
+        metrics = get_metrics()
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
+                self._probes_in_flight = max(
+                    0, self._probes_in_flight - 1
+                )
+                self._open(metrics)
+            elif self._state == STATE_CLOSED:
+                self._failures += 1
+                if self._failures >= self.failure_threshold:
+                    self._open(metrics)
+        return self
+
+    def _open(self, metrics):
+        """Trip open (caller holds the lock)."""
+        self._set_state(STATE_OPEN)
+        self._opened_at = self._clock()
+        metrics.counter(f"breaker.opened.{self.name}").inc()
+
+    def force_open(self):
+        """Trip the breaker open unconditionally (tests, drills)."""
+        with self._lock:
+            self._open(get_metrics())
+        return self
+
+    def reset(self):
+        """Force-close and zero the failure bookkeeping."""
+        with self._lock:
+            self._set_state(STATE_CLOSED)
+            self._failures = 0
+            self._opened_at = None
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+        return self
+
+
+class BreakerBoard:
+    """Get-or-create registry of breakers sharing one configuration.
+
+    The serving engine keys breakers by query kind; the board makes
+    that a one-liner while keeping per-kind isolation — a poisoned
+    ``cube`` analytic must not take ``status`` down with it.
+    """
+
+    def __init__(self, failure_threshold=5, cooldown=1.0,
+                 half_open_probes=1, clock=None):
+        """Shared configuration for every breaker created here."""
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = Lock()
+        self._breakers = {}
+
+    def breaker(self, name):
+        """The breaker called ``name``, created closed on first use."""
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    name,
+                    failure_threshold=self.failure_threshold,
+                    cooldown=self.cooldown,
+                    half_open_probes=self.half_open_probes,
+                    clock=self._clock,
+                )
+                self._breakers[name] = breaker
+            return breaker
+
+    def states(self):
+        """``{name: state}`` for every breaker created so far."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {
+            name: breaker.state
+            for name, breaker in sorted(breakers.items())
+        }

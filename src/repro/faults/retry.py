@@ -1,0 +1,208 @@
+"""Retries with decorrelated jitter, and deadline propagation.
+
+Transient faults (a flaky filesystem, an injected I/O error, a slow
+shard) are absorbed by retrying; *systematic* faults must not be, or
+the retry loop turns one failure into ``max_attempts`` failures plus
+seconds of added latency.  :class:`RetryPolicy` draws that line with a
+type-based retryable classification, and :class:`Deadline` bounds the
+whole loop: every attempt and every backoff sleep is checked against
+the remaining budget, so a caller's latency bound survives any fault
+schedule.
+
+Backoff is exponential with **decorrelated jitter**: each delay is
+drawn uniformly from ``[base, previous * 3]`` and capped, which
+de-synchronises competing retriers without the lock-step thundering
+herd of plain exponential backoff.  The jitter stream comes from
+:func:`~repro.util.rng.derive_rng`, so a policy with a given seed
+produces the same delay sequence on every run — chaos tests assert
+the exact delays.
+
+Sleeping and clock reads are injectable everywhere (tests pass fakes)
+and observability is write-only: ``retry:`` spans, attempt/giveup
+counters and a delay histogram record the loop without influencing
+it.
+"""
+
+import time
+from threading import Lock
+
+from repro.obs import get_metrics, get_tracer
+from repro.util.rng import derive_rng
+
+#: Exception types retried by default: transient I/O and timeouts.
+#: (:class:`DeadlineExceeded` is carved back out — an exhausted
+#: budget must fail fast, never burn more of it retrying.)
+DEFAULT_RETRYABLE = (OSError, TimeoutError, ConnectionError)
+
+
+class DeadlineExceeded(TimeoutError):
+    """An operation ran out of its deadline budget."""
+
+    def __init__(self, op, budget):
+        """Name the operation and the budget it exhausted."""
+        super().__init__(
+            f"{op} exceeded its deadline ({budget * 1000.0:.0f} ms)"
+        )
+        self.op = op
+        self.budget = budget
+
+
+class Deadline:
+    """A monotonic time budget threaded through an operation.
+
+    Built from a budget in seconds plus an injectable zero-argument
+    clock (defaults to ``time.monotonic``; timing never feeds result
+    values, only *whether* an attempt is allowed to start).  One
+    deadline instance covers one logical operation: pass it down
+    through retries so nested steps share a single budget instead of
+    resetting it at every layer.
+    """
+
+    def __init__(self, budget, clock=None, op="operation"):
+        """Start the clock on a budget of ``budget`` seconds."""
+        if budget <= 0:
+            raise ValueError(f"budget must be positive, got {budget}")
+        self.budget = budget
+        self.op = op
+        self._clock = clock if clock is not None else time.monotonic
+        self._started = self._clock()
+
+    @classmethod
+    def after_ms(cls, milliseconds, clock=None, op="operation"):
+        """A deadline ``milliseconds`` from now."""
+        return cls(milliseconds / 1000.0, clock=clock, op=op)
+
+    def elapsed(self):
+        """Seconds consumed so far."""
+        return self._clock() - self._started
+
+    def remaining(self):
+        """Seconds left in the budget (never below zero)."""
+        return max(0.0, self.budget - self.elapsed())
+
+    def expired(self):
+        """True once the budget is exhausted."""
+        return self.elapsed() >= self.budget
+
+    def check(self, op=None):
+        """Raise :class:`DeadlineExceeded` if the budget is exhausted."""
+        if self.expired():
+            raise DeadlineExceeded(op or self.op, self.budget)
+        return self
+
+
+class RetryPolicy:
+    """How many times to retry what, and how long to wait in between.
+
+    ``max_attempts`` counts the first try (``1`` disables retrying);
+    ``base_delay``/``max_delay`` bound the decorrelated-jitter backoff;
+    ``retryable`` is the exception-type tuple worth retrying (anything
+    else propagates immediately, as does :class:`DeadlineExceeded`
+    regardless of its ``TimeoutError`` parentage); ``seed`` feeds the
+    jitter stream through ``derive_rng`` so delay sequences are
+    reproducible.  A policy is shared freely across threads — the
+    jitter draw is the only mutable state and it is lock-protected.
+    """
+
+    def __init__(self, max_attempts=3, base_delay=0.01, max_delay=1.0,
+                 retryable=DEFAULT_RETRYABLE, seed=0):
+        """Validate and freeze the knobs; see the class docstring."""
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if base_delay < 0:
+            raise ValueError(
+                f"base_delay must be >= 0, got {base_delay}"
+            )
+        if max_delay < base_delay:
+            raise ValueError(
+                f"max_delay ({max_delay}) must be >= base_delay "
+                f"({base_delay})"
+            )
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.retryable = tuple(retryable)
+        self.seed = seed
+        self._rng = derive_rng(seed, "retry-jitter")
+        self._lock = Lock()
+
+    def is_retryable(self, exc):
+        """Is ``exc`` worth another attempt under this policy?"""
+        if isinstance(exc, DeadlineExceeded):
+            return False
+        return isinstance(exc, self.retryable)
+
+    def next_delay(self, previous):
+        """The next backoff delay after sleeping ``previous`` seconds.
+
+        Decorrelated jitter: uniform in ``[base_delay, previous * 3]``
+        (treating a first retry's ``previous`` as the base), capped at
+        ``max_delay``.
+        """
+        low = self.base_delay
+        high = max(low, min(self.max_delay, previous * 3.0))
+        if high <= low:
+            return low
+        with self._lock:
+            return float(self._rng.uniform(low, high))
+
+
+def call_with_retry(fn, policy, deadline=None, sleep=None, op="call",
+                    on_retry=None):
+    """Run ``fn()`` under ``policy``, honouring an optional deadline.
+
+    Retries only exceptions :meth:`RetryPolicy.is_retryable` accepts,
+    sleeps the policy's jittered backoff between attempts (clamped to
+    the deadline's remaining budget), and gives up — re-raising the
+    last error — when attempts or the deadline run out.  ``sleep``
+    injects the backoff sleeper (defaults to ``time.sleep``);
+    ``on_retry(attempt, exc, delay)`` is an optional observation hook
+    for tests.
+
+    Observability lands under the ``op`` label: a ``retry:<op>`` span
+    per retry, ``retry.attempts`` / ``retry.giveups`` counters and the
+    ``retry.delay_s`` histogram — all write-only.
+    """
+    sleep = sleep if sleep is not None else time.sleep
+    metrics = get_metrics()
+    tracer = get_tracer()
+    delay = policy.base_delay
+    attempt = 0
+    while True:
+        attempt += 1
+        if deadline is not None:
+            deadline.check(op)
+        try:
+            return fn()
+        except Exception as exc:
+            if not policy.is_retryable(exc):
+                raise
+            if attempt >= policy.max_attempts:
+                metrics.counter("retry.giveups").inc()
+                metrics.counter(f"retry.giveups.{op}").inc()
+                raise
+            delay = policy.next_delay(delay)
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0.0:
+                    metrics.counter("retry.giveups").inc()
+                    metrics.counter(f"retry.giveups.{op}").inc()
+                    raise
+                delay = min(delay, remaining)
+            with tracer.span(
+                f"retry:{op}",
+                category="faults",
+                tags={
+                    "attempt": attempt,
+                    "delay_s": delay,
+                    "error": type(exc).__name__,
+                },
+            ):
+                metrics.counter("retry.attempts").inc()
+                metrics.counter(f"retry.attempts.{op}").inc()
+                metrics.histogram("retry.delay_s").observe(delay)
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                sleep(delay)

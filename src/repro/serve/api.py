@@ -8,13 +8,25 @@ over a socket or a function call (asserted in ``tests/serve``).
 Status mapping:
 
 * 200 — answered; body is :meth:`QueryResult.to_wire`
-  (``epoch`` / ``seq`` / ``kind`` / ``cached`` / ``result``);
+  (``epoch`` / ``seq`` / ``kind`` / ``cached`` / ``degraded`` /
+  ``result``; degraded answers are still 200s — they are honest
+  last-good data, just stamped as such);
 * 400 — malformed or unanswerable spec
-  (:class:`~repro.serve.queries.QueryError`); body carries ``error``;
-* 503 — no epoch published yet (a server warming up before its
-  consumer's first commit); body carries ``error``.
+  (:class:`~repro.serve.queries.QueryError`);
+* 503 — temporarily unable to answer: no epoch published yet (a
+  server warming up before its consumer's first commit) or the query
+  kind's circuit breaker is open with no last-good answer to degrade
+  to (body then carries ``retry_after`` seconds);
+* 504 — the query's deadline budget ran out
+  (:class:`~repro.faults.retry.DeadlineExceeded`);
+* 500 — anything else escaping the engine; the error text is
+  reported, never swallowed.
+
+Every error body carries a human ``error`` string plus a stable
+machine ``code`` so clients can branch without parsing prose.
 """
 
+from repro.faults import BreakerOpen, DeadlineExceeded
 from repro.serve.queries import QueryError
 
 
@@ -23,9 +35,22 @@ def api_query(engine, payload):
     try:
         result = engine.query(payload)
     except QueryError as exc:
-        return 400, {"error": str(exc)}
+        return 400, {"error": str(exc), "code": "bad-request"}
+    except BreakerOpen as exc:
+        return 503, {
+            "error": str(exc),
+            "code": "breaker-open",
+            "retry_after": exc.retry_after,
+        }
+    except DeadlineExceeded as exc:
+        return 504, {"error": str(exc), "code": "deadline-exceeded"}
     except LookupError as exc:
-        return 503, {"error": str(exc)}
+        return 503, {"error": str(exc), "code": "not-ready"}
+    except Exception as exc:
+        return 500, {
+            "error": f"{type(exc).__name__}: {exc}",
+            "code": "internal-error",
+        }
     return 200, result.to_wire()
 
 
@@ -33,6 +58,7 @@ def api_status(engine):
     """The health/status view; returns ``(status, body)``.
 
     Sugar for a ``{"kind": "status"}`` query — index stats, epoch
-    stamps, cache occupancy — so load balancers can GET it.
+    stamps, cache occupancy, breaker states — so load balancers can
+    GET it.
     """
     return api_query(engine, {"kind": "status"})

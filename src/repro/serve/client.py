@@ -25,8 +25,9 @@ class LocalClient:
     def query(self, payload):
         """The response body of a successful query.
 
-        Raises :class:`~repro.serve.queries.QueryError` on a 400 and
-        :class:`LookupError` on a 503, mirroring the engine's own
+        Raises :class:`~repro.serve.queries.QueryError` on a 400,
+        :class:`LookupError` on a 503, :class:`TimeoutError` on a 504
+        and :class:`RuntimeError` on a 500, mirroring the engine's own
         exceptions so callers handle one error surface.
         """
         status, body = api_query(self.engine, payload)
@@ -34,6 +35,10 @@ class LocalClient:
             raise QueryError(body["error"])
         if status == 503:
             raise LookupError(body["error"])
+        if status == 504:
+            raise TimeoutError(body["error"])
+        if status >= 500:
+            raise RuntimeError(body["error"])
         return body
 
     def status(self):

@@ -19,11 +19,17 @@ background thread owned by this class.
 """
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.obs import get_metrics
 from repro.serve.api import api_query, api_status
+
+#: Largest accepted request body.  Query specs are tiny; anything
+#: bigger is a mistake or an attack and is refused with 413 before a
+#: byte of it is parsed.
+MAX_BODY_BYTES = 1 << 20
 
 
 class _DrainingHTTPServer(ThreadingHTTPServer):
@@ -51,28 +57,60 @@ class _Handler(BaseHTTPRequestHandler):
         """Silence per-request stderr logging (metrics cover it)."""
 
     def _send_json(self, status, body):
-        """Write one JSON response with explicit length (keep-alive)."""
+        """Write one JSON response with explicit length (keep-alive).
+
+        A body carrying ``retry_after`` (an open circuit breaker's
+        cooldown hint) also gets it as an HTTP ``Retry-After`` header,
+        rounded up to whole seconds, so standards-following clients
+        back off without reading the JSON.
+        """
         payload = json.dumps(body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        if isinstance(body, dict) and "retry_after" in body:
+            self.send_header(
+                "Retry-After",
+                str(max(1, int(math.ceil(body["retry_after"])))),
+            )
         self.end_headers()
         self.wfile.write(payload)
 
     def _read_json_body(self):
-        """The request body parsed as JSON, or ``None`` after a 400."""
+        """The request body parsed as JSON, or ``None`` after an error.
+
+        Refuses oversized bodies (413) by declared length — without
+        reading them, and dropping the connection rather than trying
+        to resynchronise keep-alive framing past an unread payload.
+        """
         try:
             length = int(self.headers.get("Content-Length", 0))
         except (TypeError, ValueError):
             length = 0
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            self._send_json(413, {
+                "error": (
+                    f"request body of {length} bytes exceeds the "
+                    f"{MAX_BODY_BYTES}-byte limit"
+                ),
+                "code": "body-too-large",
+            })
+            return None
         raw = self.rfile.read(length) if length > 0 else b""
         if not raw:
-            self._send_json(400, {"error": "empty request body"})
+            self._send_json(400, {
+                "error": "empty request body",
+                "code": "empty-body",
+            })
             return None
         try:
             return json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            self._send_json(400, {"error": f"invalid JSON body: {exc}"})
+            self._send_json(400, {
+                "error": f"invalid JSON body: {exc}",
+                "code": "invalid-json",
+            })
             return None
 
     def do_GET(self):
@@ -82,7 +120,9 @@ class _Handler(BaseHTTPRequestHandler):
             status, body = api_status(self.server.engine)
             self._send_json(status, body)
             return
-        self._send_json(404, {"error": f"no route {self.path!r}"})
+        self._send_json(404, {
+            "error": f"no route {self.path!r}", "code": "not-found",
+        })
 
     def do_POST(self):
         """POST /query and /shutdown."""
@@ -98,7 +138,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, {"stopping": True})
             self.server.owner.request_shutdown()
             return
-        self._send_json(404, {"error": f"no route {self.path!r}"})
+        self._send_json(404, {
+            "error": f"no route {self.path!r}", "code": "not-found",
+        })
 
 
 class InsightServer:

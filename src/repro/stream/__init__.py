@@ -14,9 +14,10 @@ Section IV-D).  This subsystem turns the one-shot stage graphs of
 * :mod:`~repro.stream.window` — :class:`WindowedAnalytics`, sliding-
   window relative-frequency / association / trend snapshots maintained
   by delta updates yet bit-identical to the batch mining functions;
-* :mod:`~repro.stream.checkpoint` — atomic JSON checkpoints of offset
-  + index + window so a killed consumer resumes without reprocessing
-  or double-counting;
+* :mod:`~repro.stream.checkpoint` — atomic, checksummed JSON
+  checkpoints of offset + index + window (with fallback to the
+  previous good copy on corruption) so a killed consumer resumes
+  without reprocessing or double-counting;
 * :mod:`~repro.stream.epoch` — :class:`EpochStore`, the snapshot
   publication protocol: immutable, offset-stamped views of the live
   index published at every commit boundary, the read side the
@@ -24,6 +25,7 @@ Section IV-D).  This subsystem turns the one-shot stage graphs of
 """
 
 from repro.stream.checkpoint import (
+    CheckpointCorrupt,
     Checkpointer,
     index_from_state,
     index_to_state,
@@ -51,6 +53,7 @@ __all__ = [
     "AssocSpec",
     "RelFreqSpec",
     "Checkpointer",
+    "CheckpointCorrupt",
     "index_to_state",
     "index_from_state",
     "EpochStore",

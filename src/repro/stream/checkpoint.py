@@ -8,22 +8,42 @@ the sliding-window state.  The style follows :mod:`repro.store.persist`
 round-trip functions — and writes are atomic (temp file +
 ``os.replace``) so a crash *during* checkpointing leaves the previous
 checkpoint intact rather than a torn file.
+
+On top of atomicity, version-3 checkpoints are defended in depth:
+
+* every payload carries a SHA-256 stamp
+  (:mod:`repro.store.integrity`), so silent on-disk corruption is
+  detected at load time rather than resurfacing as a wrong answer;
+* each save rotates the previous file to ``<path>.prev`` first, so a
+  corrupted current checkpoint falls back to the last good one
+  automatically (at-least-once delivery makes the older offset safe);
+* the I/O is wrapped in named fault points
+  (``checkpoint.save`` / ``checkpoint.load`` / ``checkpoint.bytes``)
+  and an optional :class:`~repro.faults.retry.RetryPolicy`, so the
+  chaos suite can prove all of the above under injected failures.
 """
 
 import json
 import os
 
+from repro.faults import call_with_retry, corrupt_point, fault_point
 from repro.mining.sharded import make_concept_index, shard_count_of
+from repro.obs import get_metrics
+from repro.store.integrity import IntegrityError, decode_stamped, stamp_checksum
 
-#: Format version stamped into every checkpoint payload.  Version 2
-#: adds the optional ``layout`` key to index snapshots (sharded
-#: layouts); single-index snapshots are byte-identical to version 1.
-CHECKPOINT_VERSION = 2
+#: Format version stamped into every checkpoint payload.  Version 3
+#: adds the SHA-256 integrity stamp; version 2 added the optional
+#: ``layout`` key to index snapshots (sharded layouts).
+CHECKPOINT_VERSION = 3
 
-#: Payload versions :meth:`Checkpointer.load` accepts.  Version 1
-#: checkpoints (pre-sharding builds) carry no ``layout`` key and
-#: restore as a single index unless the caller re-shards.
-SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
+#: Payload versions :meth:`Checkpointer.load` accepts.  Versions 1
+#: and 2 carry no integrity stamp and load unverified (their
+#: protection starts at the next save, which rewrites as version 3).
+SUPPORTED_CHECKPOINT_VERSIONS = (1, 2, 3)
+
+
+class CheckpointCorrupt(ValueError):
+    """Both the checkpoint and its previous-good copy are unusable."""
 
 
 def index_to_state(index):
@@ -85,34 +105,117 @@ def index_from_state(state, shards=None):
 
 
 class Checkpointer:
-    """Atomic save/load of one consumer's checkpoint file.
+    """Atomic, checksummed save/load of one consumer's checkpoint.
 
-    ``save`` writes the payload to ``<path>.tmp`` and renames it over
-    ``<path>`` in one step; ``load`` returns ``None`` when no
-    checkpoint exists yet (a fresh consumer), and raises on a payload
-    whose format version this code does not understand.
+    ``save`` stamps the payload with its checksum, rotates the current
+    file to ``<path>.prev``, writes the new payload to ``<path>.tmp``
+    and renames it over ``<path>`` — each step atomic, so any crash
+    leaves at least one loadable copy.  ``load`` verifies the stamp
+    and falls back to the previous copy when the current one is torn
+    or corrupted; it returns ``None`` when no checkpoint exists yet (a
+    fresh consumer), raises :class:`CheckpointCorrupt` when every copy
+    fails verification, and raises ``ValueError`` on a payload whose
+    format version this code does not understand.
+
+    ``retry`` (a :class:`~repro.faults.retry.RetryPolicy`) makes both
+    operations absorb transient ``OSError`` faults; ``sleep`` injects
+    the backoff sleeper for tests.  The I/O passes through the
+    ``checkpoint.save`` / ``checkpoint.load`` fault points and the
+    ``checkpoint.bytes`` corruption point, which is how the chaos
+    suite exercises every one of these paths.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, retry=None, sleep=None):
         """``path`` is the checkpoint file location."""
         self.path = os.fspath(path)
+        self.prev_path = self.path + ".prev"
+        self.retry = retry
+        self._sleep = sleep
+
+    def _run(self, fn, op):
+        """Run one I/O closure, retried when a policy is configured."""
+        if self.retry is None:
+            return fn()
+        return call_with_retry(
+            fn, self.retry, sleep=self._sleep, op=op
+        )
 
     def save(self, state):
-        """Atomically persist one checkpoint payload."""
+        """Atomically persist one checkpoint payload.
+
+        The corruption point runs once per save (outside the retry
+        loop), so a retried write lands the same bytes — corrupted or
+        not — that the first attempt would have.
+        """
         payload = dict(state)
         payload["version"] = CHECKPOINT_VERSION
+        data = corrupt_point(
+            "checkpoint.bytes",
+            json.dumps(stamp_checksum(payload)).encode("utf-8"),
+        )
         tmp_path = self.path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp_path, self.path)
+
+        def attempt():
+            fault_point("checkpoint.save")
+            with open(tmp_path, "wb") as handle:
+                handle.write(data)
+            if os.path.exists(self.path):
+                os.replace(self.path, self.prev_path)
+            os.replace(tmp_path, self.path)
+
+        self._run(attempt, op="checkpoint.save")
         return self
 
-    def load(self):
-        """The last saved payload, or ``None`` if none exists."""
+    def _read_verified(self, path):
+        """One file's payload, stamp-verified; ``None`` if missing."""
         try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
+            with open(path, "rb") as handle:
+                data = handle.read()
         except FileNotFoundError:
+            return None
+        return decode_stamped(data, source=f"checkpoint {path!r}")
+
+    def load(self):
+        """The last good payload, or ``None`` if none exists.
+
+        A current checkpoint that fails integrity verification is
+        counted (``checkpoint.corrupt``) and the previous-good copy is
+        served instead (``checkpoint.fallback``); only when every copy
+        is unusable does :class:`CheckpointCorrupt` propagate.
+        """
+
+        def attempt():
+            fault_point("checkpoint.load")
+            metrics = get_metrics()
+            try:
+                payload = self._read_verified(self.path)
+            except IntegrityError as exc:
+                metrics.counter("checkpoint.corrupt").inc()
+                try:
+                    payload = self._read_verified(self.prev_path)
+                except IntegrityError:
+                    payload = None
+                if payload is None:
+                    raise CheckpointCorrupt(
+                        f"checkpoint {self.path!r} is corrupted and "
+                        f"no previous good copy is available: {exc}"
+                    ) from exc
+                metrics.counter("checkpoint.fallback").inc()
+                return payload
+            if payload is None:
+                # A crash between the two renames in save() can leave
+                # only the rotated copy; honour it rather than
+                # restarting from offset zero.
+                try:
+                    payload = self._read_verified(self.prev_path)
+                except IntegrityError:
+                    return None
+                if payload is not None:
+                    metrics.counter("checkpoint.fallback").inc()
+            return payload
+
+        payload = self._run(attempt, op="checkpoint.load")
+        if payload is None:
             return None
         version = payload.get("version")
         if version not in SUPPORTED_CHECKPOINT_VERSIONS:
@@ -130,9 +233,10 @@ class Checkpointer:
         return os.path.exists(self.path)
 
     def clear(self):
-        """Delete the checkpoint file if present."""
-        try:
-            os.remove(self.path)
-        except FileNotFoundError:
-            pass
+        """Delete the checkpoint file (and its rotated copy)."""
+        for path in (self.path, self.prev_path):
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
         return self

@@ -39,6 +39,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.engine import PipelineReport, PipelineRunner, StageStats
+from repro.faults import fault_point
 from repro.mining.sharded import shard_count_of
 from repro.mining.stage import ConceptIndexStage
 from repro.obs import get_metrics, get_tracer
@@ -361,7 +362,15 @@ class StreamConsumer:
         return self.report
 
     def _fire(self, event):
-        """Invoke the failpoint hook (tests crash the consumer here)."""
+        """Hit the event's fault point, then the legacy test hook.
+
+        Every commit boundary doubles as a named ambient fault point
+        (``stream.batch-committed``, ``stream.checkpoint-written``) so
+        chaos plans can crash the consumer at the worst possible
+        moments without wiring a ``failpoint`` callable in; the
+        callable hook is kept for targeted single-crash tests.
+        """
+        fault_point(f"stream.{event}")
         if self._failpoint is not None:
             self._failpoint(event)
 

@@ -23,6 +23,7 @@ import json
 from dataclasses import dataclass
 
 from repro.engine import Document
+from repro.faults import call_with_retry, fault_point
 
 
 @dataclass(frozen=True)
@@ -163,20 +164,38 @@ class ReplayLogSource(StreamSource):
     construction); offsets are validated to be dense and monotonic so
     a truncated or hand-edited log fails loudly at open time instead
     of corrupting commit bookkeeping later.
+
+    The read passes through the ``replay.read`` fault point; ``retry``
+    (a :class:`~repro.faults.retry.RetryPolicy`) makes the open absorb
+    transient ``OSError`` faults, with ``sleep`` injecting the backoff
+    sleeper for tests.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, retry=None, sleep=None):
         """``path`` is the JSONL replay log to load."""
-        self._records = []
+        if retry is None:
+            self._records = self._load(path)
+        else:
+            self._records = call_with_retry(
+                lambda: self._load(path), retry, sleep=sleep,
+                op="replay.read",
+            )
+        self._cursor = 0
+
+    @staticmethod
+    def _load(path):
+        """Read and validate the whole log; the retryable unit."""
+        fault_point("replay.read")
+        records = []
         with open(path, "r", encoding="utf-8") as handle:
             for line_no, line in enumerate(handle):
                 if not line.strip():
                     continue
                 entry = json.loads(line)
-                if entry["offset"] != len(self._records):
+                if entry["offset"] != len(records):
                     raise ValueError(
                         f"replay log {path!r} line {line_no + 1}: "
-                        f"expected offset {len(self._records)}, found "
+                        f"expected offset {len(records)}, found "
                         f"{entry['offset']} (log must be dense and "
                         f"in delivery order)"
                     )
@@ -186,14 +205,14 @@ class ReplayLogSource(StreamSource):
                     text=entry.get("text", ""),
                     artifacts=dict(entry.get("artifacts", {})),
                 )
-                self._records.append(
+                records.append(
                     StreamRecord(
                         offset=entry["offset"],
                         timestamp=entry["timestamp"],
                         document=document,
                     )
                 )
-        self._cursor = 0
+        return records
 
     def poll(self, max_records):
         """Deliver the next ``max_records`` records at the cursor."""

@@ -1,0 +1,19 @@
+"""Shared chaos-suite environment: the seed the CI matrix varies.
+
+The CI ``chaos`` job runs this whole suite once per seed in its
+matrix, exported as ``BIVOC_CHAOS_SEED``; locally the suite runs at
+the default seed, and any CI failure reproduces with
+
+    BIVOC_CHAOS_SEED=<seed> python -m pytest tests/faults
+    bivoc chaos --seed <seed> --plan-only   # the schedule it ran
+"""
+
+import os
+
+#: The seed used when the environment does not choose one.
+DEFAULT_CHAOS_SEED = 11
+
+
+def chaos_seed():
+    """The fault-plan seed this suite runs under."""
+    return int(os.environ.get("BIVOC_CHAOS_SEED", DEFAULT_CHAOS_SEED))

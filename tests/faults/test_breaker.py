@@ -1,0 +1,167 @@
+"""Circuit breakers: state machine transitions under a fake clock."""
+
+import pytest
+
+from repro.faults import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerBoard,
+    BreakerOpen,
+    CircuitBreaker,
+)
+from repro.obs import MetricsRegistry, activated
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(clock, threshold=3, cooldown=5.0, probes=1):
+    return CircuitBreaker(
+        "unit", failure_threshold=threshold, cooldown=cooldown,
+        half_open_probes=probes, clock=clock,
+    )
+
+
+def trip(breaker, failures):
+    for _ in range(failures):
+        breaker.allow()
+        breaker.record_failure()
+
+
+class TestValidation:
+    def test_knobs_validated(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker("b", failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker("b", cooldown=0)
+        with pytest.raises(ValueError, match="half_open_probes"):
+            CircuitBreaker("b", half_open_probes=0)
+
+
+class TestTransitions:
+    def test_closed_admits_and_success_resets_streak(self):
+        breaker = make_breaker(FakeClock(), threshold=3)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        breaker.allow()
+        breaker.record_success()  # streak broken
+        trip(breaker, 2)
+        assert breaker.state == STATE_CLOSED  # 2 < threshold again
+
+    def test_threshold_failures_open(self):
+        breaker = make_breaker(FakeClock(), threshold=3)
+        trip(breaker, 3)
+        assert breaker.state == STATE_OPEN
+
+    def test_open_rejects_with_remaining_cooldown(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, cooldown=5.0)
+        trip(breaker, 3)
+        clock.advance(2.0)
+        with pytest.raises(BreakerOpen) as info:
+            breaker.allow()
+        assert info.value.name == "unit"
+        assert info.value.retry_after == pytest.approx(3.0)
+
+    def test_cooldown_elapse_goes_half_open(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, cooldown=5.0)
+        trip(breaker, 3)
+        clock.advance(5.0)
+        breaker.allow()  # the probe is admitted
+        assert breaker.state == STATE_HALF_OPEN
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, cooldown=5.0)
+        trip(breaker, 3)
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        breaker.allow()  # and traffic flows again
+
+    def test_probe_failure_reopens_for_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, cooldown=5.0)
+        trip(breaker, 3)
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        clock.advance(4.9)  # fresh cooldown: not elapsed yet
+        with pytest.raises(BreakerOpen):
+            breaker.allow()
+
+    def test_half_open_admits_only_probe_quota(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, cooldown=5.0, probes=1)
+        trip(breaker, 3)
+        clock.advance(5.0)
+        breaker.allow()  # the one probe slot
+        with pytest.raises(BreakerOpen):
+            breaker.allow()  # second concurrent call rejected
+
+    def test_record_ignored_releases_probe_without_outcome(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, cooldown=5.0, probes=1)
+        trip(breaker, 3)
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record_ignored()  # e.g. the probe was a 400
+        assert breaker.state == STATE_HALF_OPEN  # no verdict either way
+        breaker.allow()  # slot is free for a real probe
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+
+    def test_force_open_and_reset(self):
+        breaker = make_breaker(FakeClock())
+        breaker.force_open()
+        assert breaker.state == STATE_OPEN
+        breaker.reset()
+        assert breaker.state == STATE_CLOSED
+        breaker.allow()
+
+
+class TestObservability:
+    def test_counters_and_gauge_written(self):
+        metrics = MetricsRegistry()
+        clock = FakeClock()
+        with activated(None, metrics):
+            breaker = make_breaker(clock, cooldown=5.0)
+            trip(breaker, 3)
+            with pytest.raises(BreakerOpen):
+                breaker.allow()
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["breaker.opened.unit"] == 1
+        assert snapshot["counters"]["breaker.rejected.unit"] == 1
+        assert snapshot["gauges"]["breaker.state.unit"] == 2
+
+
+class TestBoard:
+    def test_get_or_create_is_stable(self):
+        board = BreakerBoard(clock=FakeClock())
+        assert board.breaker("cube") is board.breaker("cube")
+        assert board.breaker("cube") is not board.breaker("trends")
+
+    def test_kinds_are_isolated(self):
+        clock = FakeClock()
+        board = BreakerBoard(failure_threshold=2, clock=clock)
+        trip(board.breaker("cube"), 2)
+        assert board.breaker("cube").state == STATE_OPEN
+        board.breaker("trends").allow()  # untouched kind still admits
+        assert board.states() == {
+            "cube": STATE_OPEN, "trends": STATE_CLOSED
+        }

@@ -1,0 +1,228 @@
+"""Fault plans: deterministic schedules, JSON round trips, arming."""
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectedIOError,
+    InjectedTimeout,
+    NULL_INJECTOR,
+    default_chaos_plan,
+    fault_point,
+    get_injector,
+    injecting,
+)
+
+from tests.faults.chaosenv import chaos_seed
+
+
+def _fire_log(injector, point, hits):
+    """True/False per hit: did the point fire?"""
+    log = []
+    for _ in range(hits):
+        try:
+            injector.fault_point(point)
+            log.append(False)
+        except InjectedFault:
+            log.append(True)
+    return log
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(point="p", kind="explode")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(point="p", probability=1.5)
+
+    def test_negative_schedule_fields_rejected(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(point="p", times=-1)
+        with pytest.raises(ValueError, match="after"):
+            FaultSpec(point="p", after=-2)
+
+    def test_duplicate_points_rejected(self):
+        plan = FaultPlan(
+            seed=1,
+            specs=(FaultSpec(point="p"), FaultSpec(point="p")),
+        )
+        with pytest.raises(ValueError, match="twice"):
+            plan.injector()
+
+
+class TestDeterminism:
+    def test_same_plan_same_firing_sequence(self):
+        plan = default_chaos_plan(chaos_seed())
+        points = [spec.point for spec in plan.specs]
+        logs = []
+        for _ in range(2):
+            injector = plan.injector(sleep=lambda _d: None)
+            logs.append(
+                {p: _fire_log(injector, p, 40) for p in points
+                 if plan.specs[points.index(p)].kind != "corrupt"}
+            )
+        assert logs[0] == logs[1]
+
+    def test_different_seeds_differ_somewhere(self):
+        spec = dict(point="p", kind="io", probability=0.5, times=None)
+        log_a = _fire_log(
+            FaultPlan(seed=1, specs=(FaultSpec(**spec),)).injector(),
+            "p", 64,
+        )
+        log_b = _fire_log(
+            FaultPlan(seed=2, specs=(FaultSpec(**spec),)).injector(),
+            "p", 64,
+        )
+        assert log_a != log_b
+
+    def test_json_round_trip_preserves_schedule(self):
+        plan = default_chaos_plan(chaos_seed())
+        clone = FaultPlan.from_json_dict(plan.to_json_dict())
+        assert clone == plan
+        point = plan.specs[0].point
+        assert _fire_log(plan.injector(), point, 30) == _fire_log(
+            clone.injector(), point, 30
+        )
+
+
+class TestSchedules:
+    def test_after_skips_warmup_hits(self):
+        plan = FaultPlan(
+            seed=3, specs=(FaultSpec(point="p", after=3),)
+        )
+        assert _fire_log(plan.injector(), "p", 5) == [
+            False, False, False, True, True
+        ]
+
+    def test_times_caps_total_firings(self):
+        plan = FaultPlan(
+            seed=3, specs=(FaultSpec(point="p", times=2),)
+        )
+        assert sum(_fire_log(plan.injector(), "p", 10)) == 2
+
+    def test_kind_maps_to_exception_class(self):
+        for kind, exc_class in (
+            ("io", InjectedIOError),
+            ("timeout", InjectedTimeout),
+            ("fatal", InjectedFault),
+        ):
+            plan = FaultPlan(
+                seed=3, specs=(FaultSpec(point="p", kind=kind),)
+            )
+            with pytest.raises(exc_class) as info:
+                plan.injector().fault_point("p")
+            assert info.value.point == "p"
+            assert info.value.hit == 1
+
+    def test_io_and_timeout_are_retryable_shapes(self):
+        assert issubclass(InjectedIOError, OSError)
+        assert issubclass(InjectedTimeout, TimeoutError)
+        assert not issubclass(InjectedFault, (OSError, TimeoutError))
+
+    def test_delay_faults_use_injected_sleep(self):
+        slept = []
+        plan = FaultPlan(
+            seed=3,
+            specs=(FaultSpec(point="p", kind="delay", delay=0.25),),
+        )
+        injector = plan.injector(sleep=slept.append)
+        injector.fault_point("p")  # must not raise
+        assert slept == [0.25]
+
+    def test_unarmed_point_never_fires(self):
+        injector = default_chaos_plan(chaos_seed()).injector()
+        for _ in range(50):
+            injector.fault_point("point.nobody.armed")
+
+
+class TestCorruption:
+    def _plan(self):
+        return FaultPlan(
+            seed=9,
+            specs=(FaultSpec(point="bytes", kind="corrupt", times=1),),
+        )
+
+    def test_flips_exactly_one_byte(self):
+        data = bytes(range(64))
+        corrupted = self._plan().injector().corrupt("bytes", data)
+        assert corrupted != data
+        assert len(corrupted) == len(data)
+        diffs = [
+            i for i, (a, b) in enumerate(zip(data, corrupted)) if a != b
+        ]
+        assert len(diffs) == 1
+        assert corrupted[diffs[0]] == data[diffs[0]] ^ 0xFF
+
+    def test_corruption_is_deterministic(self):
+        data = b"x" * 128
+        assert self._plan().injector().corrupt("bytes", data) == (
+            self._plan().injector().corrupt("bytes", data)
+        )
+
+    def test_corrupt_spec_ignores_fault_point_hits(self):
+        injector = self._plan().injector()
+        for _ in range(5):
+            injector.fault_point("bytes")  # never raises
+        # The schedule did not burn its one firing on those hits.
+        assert injector.corrupt("bytes", b"payload") != b"payload"
+
+    def test_error_spec_ignores_corrupt_hits(self):
+        plan = FaultPlan(
+            seed=9, specs=(FaultSpec(point="p", kind="io", times=1),)
+        )
+        injector = plan.injector()
+        assert injector.corrupt("p", b"payload") == b"payload"
+        with pytest.raises(InjectedIOError):
+            injector.fault_point("p")
+
+    def test_counts_reports_hits_and_firings(self):
+        injector = self._plan().injector()
+        injector.corrupt("bytes", b"data")
+        injector.corrupt("bytes", b"data")
+        assert injector.counts() == {
+            "bytes": {"hits": 2, "fired": 1}
+        }
+
+
+class TestAmbientSlot:
+    def test_default_is_null_injector(self):
+        assert get_injector() is NULL_INJECTOR
+        fault_point("anything")  # no-op, never raises
+        assert NULL_INJECTOR.corrupt("anything", b"d") == b"d"
+
+    def test_injecting_swaps_and_restores(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec(point="p"),))
+        injector = plan.injector()
+        with injecting(injector) as active:
+            assert active is injector
+            assert get_injector() is injector
+            with pytest.raises(InjectedIOError):
+                fault_point("p")
+        assert get_injector() is NULL_INJECTOR
+
+    def test_restores_even_when_fault_escapes(self):
+        plan = FaultPlan(seed=1, specs=(FaultSpec(point="p"),))
+        with pytest.raises(InjectedIOError):
+            with injecting(plan.injector()):
+                fault_point("p")
+        assert get_injector() is NULL_INJECTOR
+
+    def test_nested_injecting_restores_outer(self):
+        inner = FaultPlan(seed=1).injector()
+        outer = FaultPlan(seed=2).injector()
+        with injecting(outer):
+            with injecting(inner):
+                assert get_injector() is inner
+            assert get_injector() is outer
+
+    def test_injector_type_satisfies_null_protocol(self):
+        # The two injectors expose the same surface, so production
+        # call sites never branch on which one is active.
+        for name in ("fault_point", "corrupt"):
+            assert callable(getattr(NULL_INJECTOR, name))
+            assert callable(getattr(FaultInjector(FaultPlan(seed=0)), name))

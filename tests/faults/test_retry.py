@@ -1,0 +1,217 @@
+"""Retry policies and deadlines: classification, jitter, budgets."""
+
+import pytest
+
+from repro.faults import (
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    call_with_retry,
+)
+from repro.obs import MetricsRegistry, Tracer, activated
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class Flaky:
+    """Fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures, exc=OSError("transient"), value="ok"):
+        self.failures = failures
+        self.exc = exc
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return self.value
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="base_delay"):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError, match="max_delay"):
+            RetryPolicy(base_delay=0.5, max_delay=0.1)
+
+    def test_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(OSError("disk"))
+        assert policy.is_retryable(TimeoutError("slow"))
+        assert policy.is_retryable(ConnectionError("reset"))
+        assert not policy.is_retryable(ValueError("bad input"))
+        assert not policy.is_retryable(KeyError("missing"))
+
+    def test_deadline_exceeded_never_retryable(self):
+        # DeadlineExceeded IS a TimeoutError, but retrying an
+        # exhausted budget burns budget: it must be carved out.
+        policy = RetryPolicy()
+        assert not policy.is_retryable(DeadlineExceeded("op", 1.0))
+
+    def test_custom_retryable_tuple(self):
+        policy = RetryPolicy(retryable=(KeyError,))
+        assert policy.is_retryable(KeyError("k"))
+        assert not policy.is_retryable(OSError("io"))
+
+    def test_jitter_is_seeded_and_reproducible(self):
+        policy_a = RetryPolicy(seed=5)
+        policy_b = RetryPolicy(seed=5)
+        seq_a = [policy_a.next_delay(0.05) for _ in range(8)]
+        seq_b = [policy_b.next_delay(0.05) for _ in range(8)]
+        assert seq_a == seq_b
+        assert seq_a != [RetryPolicy(seed=6).next_delay(0.05)
+                         for _ in range(8)]
+
+    def test_decorrelated_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.2, seed=3)
+        previous = policy.base_delay
+        for _ in range(50):
+            delay = policy.next_delay(previous)
+            assert policy.base_delay <= delay <= policy.max_delay
+            assert delay <= max(policy.base_delay, previous * 3.0)
+            previous = delay
+
+    def test_zero_base_delay_stays_zero(self):
+        policy = RetryPolicy(base_delay=0.0, max_delay=0.0)
+        assert policy.next_delay(0.0) == 0.0
+
+
+class TestDeadline:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="budget"):
+            Deadline(0)
+
+    def test_elapsed_remaining_expired(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert deadline.remaining() == 1.0
+        clock.advance(0.4)
+        assert deadline.elapsed() == pytest.approx(0.4)
+        assert deadline.remaining() == pytest.approx(0.6)
+        assert not deadline.expired()
+        clock.advance(0.6)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_with_op_name(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(250, clock=clock, op="query.cube")
+        deadline.check()
+        clock.advance(0.3)
+        with pytest.raises(DeadlineExceeded, match="query.cube"):
+            deadline.check()
+
+
+class TestCallWithRetry:
+    def _sleeps(self):
+        slept = []
+        return slept, slept.append
+
+    def test_absorbs_transient_failures(self):
+        flaky = Flaky(failures=2)
+        slept, sleep = self._sleeps()
+        policy = RetryPolicy(max_attempts=4, seed=1)
+        assert call_with_retry(flaky, policy, sleep=sleep) == "ok"
+        assert flaky.calls == 3
+        assert len(slept) == 2
+
+    def test_gives_up_after_max_attempts(self):
+        flaky = Flaky(failures=10)
+        policy = RetryPolicy(max_attempts=3, seed=1)
+        with pytest.raises(OSError, match="transient"):
+            call_with_retry(flaky, policy, sleep=lambda _d: None)
+        assert flaky.calls == 3
+
+    def test_non_retryable_propagates_immediately(self):
+        flaky = Flaky(failures=5, exc=ValueError("systematic"))
+        policy = RetryPolicy(max_attempts=5, seed=1)
+        with pytest.raises(ValueError, match="systematic"):
+            call_with_retry(flaky, policy, sleep=lambda _d: None)
+        assert flaky.calls == 1
+
+    def test_deadline_checked_before_each_attempt(self):
+        clock = FakeClock()
+        flaky = Flaky(failures=10)
+        policy = RetryPolicy(max_attempts=10, base_delay=0.2, seed=1)
+        deadline = Deadline(0.5, clock=clock, op="op")
+
+        def sleep(delay):
+            clock.advance(delay)
+
+        with pytest.raises(DeadlineExceeded):
+            call_with_retry(
+                flaky, policy, deadline=deadline, sleep=sleep, op="op"
+            )
+        assert flaky.calls < 10  # budget, not attempts, ended the loop
+
+    def test_backoff_clamped_to_remaining_budget(self):
+        # A 10s backoff must not blow a 2s budget: the sleep is
+        # clamped to the remaining time, so the caller hears about the
+        # exhausted deadline *at* the deadline edge, not 8s late.
+        clock = FakeClock()
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=10.0, max_delay=10.0, seed=1
+        )
+        deadline = Deadline(2.0, clock=clock)
+
+        def sleep(delay):
+            slept.append(delay)
+            clock.advance(delay)
+
+        with pytest.raises(DeadlineExceeded):
+            call_with_retry(
+                Flaky(failures=5), policy, deadline=deadline,
+                sleep=sleep,
+            )
+        assert slept == [2.0]  # one clamped sleep, then the edge
+        assert clock.now == 2.0
+
+    def test_on_retry_hook_observes_each_retry(self):
+        seen = []
+        call_with_retry(
+            Flaky(failures=2),
+            RetryPolicy(max_attempts=4, seed=1),
+            sleep=lambda _d: None,
+            on_retry=lambda attempt, exc, delay: seen.append(
+                (attempt, type(exc).__name__)
+            ),
+        )
+        assert seen == [(1, "OSError"), (2, "OSError")]
+
+    def test_retry_observability_is_write_only(self):
+        # Same flaky shape traced and untraced: same outcome, and the
+        # traced run records spans + counters.
+        policy_kwargs = dict(max_attempts=4, seed=7)
+        untraced = call_with_retry(
+            Flaky(failures=2), RetryPolicy(**policy_kwargs),
+            sleep=lambda _d: None, op="unit",
+        )
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        with activated(tracer, metrics):
+            traced = call_with_retry(
+                Flaky(failures=2), RetryPolicy(**policy_kwargs),
+                sleep=lambda _d: None, op="unit",
+            )
+        assert traced == untraced
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["retry.attempts.unit"] == 2
+        spans = [s for s in tracer.finished()
+                 if s.name == "retry:unit"]
+        assert len(spans) == 2

@@ -103,6 +103,9 @@ def test_serve_answers_and_shuts_down_gracefully(serve_args):
         thread.join(timeout=60)
     assert not thread.is_alive()
     assert box["code"] == 0
+    # A clean drain removes the ready file: a stale address must not
+    # outlive the server that wrote it (supervisors poll this path).
+    assert not ready.exists()
 
 
 def test_serve_warm_starts_from_checkpoint(serve_args, tmp_path):
@@ -121,7 +124,9 @@ def test_serve_warm_starts_from_checkpoint(serve_args, tmp_path):
     assert box["code"] == 0
     assert checkpoint.exists()
 
-    ready.unlink()
+    # The drained first run already removed its own ready file, so the
+    # second run's _await_ready cannot read a stale address.
+    assert not ready.exists()
     thread, box = _serve_in_thread(list(argv))
     info = _await_ready(ready)
     base = f"http://{info['host']}:{info['port']}"

@@ -114,6 +114,69 @@ class TestErrorMapping:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 400
 
+    def test_invalid_json_body_is_structured(self, engine, server):
+        """The 400 body carries both prose and a machine code."""
+        request = urllib.request.Request(
+            f"http://{server.host}:{server.port}/query",
+            data=b"{ torn",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        body = json.loads(excinfo.value.read())
+        assert body["code"] == "invalid-json"
+        assert body["error"]
+
+    def test_empty_body_is_400_with_code(self, engine, server):
+        """A bodyless POST answers a coded 400, not a parse crash."""
+        request = urllib.request.Request(
+            f"http://{server.host}:{server.port}/query",
+            data=b"",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["code"] == "empty-body"
+
+    def test_unknown_kind_body_carries_code(self, engine, server):
+        """Spec rejections are branchable without parsing prose."""
+        status, body = _post(server, "/query", {"kind": "nope"})
+        assert status == 400
+        assert body["code"] == "bad-request"
+
+    def test_oversized_body_is_413(self, engine, server):
+        """A body past the 1 MiB cap is refused before being read.
+
+        The server answers from the declared Content-Length without
+        consuming the payload, so the upload may be cut off mid-write
+        — the client must still find the 413 waiting.
+        """
+        import http.client
+
+        payload = json.dumps(
+            {"kind": "status", "pad": "x" * (1 << 20)}
+        ).encode("utf-8")
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=10
+        )
+        try:
+            connection.putrequest("POST", "/query")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", str(len(payload)))
+            connection.endheaders()
+            try:
+                connection.send(payload)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # refused mid-upload; the 413 is already queued
+            response = connection.getresponse()
+            assert response.status == 413
+            assert json.loads(response.read())["code"] == (
+                "body-too-large"
+            )
+        finally:
+            connection.close()
+
     def test_unknown_route_is_404(self, engine, server):
         """Unrouted paths answer 404 on both verbs."""
         assert _get(server, "/nope")[0] == 404

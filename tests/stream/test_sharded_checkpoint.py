@@ -83,9 +83,9 @@ class TestShardedIndexState:
 
 
 class TestVersioning:
-    def test_current_version_is_two_and_one_still_reads(self):
-        assert CHECKPOINT_VERSION == 2
-        assert SUPPORTED_CHECKPOINT_VERSIONS == (1, 2)
+    def test_current_version_is_three_and_old_still_read(self):
+        assert CHECKPOINT_VERSION == 3
+        assert SUPPORTED_CHECKPOINT_VERSIONS == (1, 2, 3)
 
     def test_v1_payload_loads(self, tmp_path):
         path = tmp_path / "ck.json"
@@ -193,6 +193,7 @@ class TestShardedConsumer:
         payload = json.loads(path.read_text())
         assert "layout" not in payload["index"]
         payload["version"] = 1  # exactly what an old build wrote
+        payload.pop("sha256", None)  # old builds carried no stamp
         path.write_text(json.dumps(payload))
 
         upgraded = _build(3, path)
