@@ -10,6 +10,7 @@ regenerated without writing code:
     python -m repro stream              # incremental streaming consumer
     python -m repro serve               # HTTP query serving over a stream
     python -m repro chaos               # seeded fault-injection drill
+    python -m repro prop                # seeded differential property checks
     python -m repro lint                # static-analysis guardrails
     python -m repro effects             # stage purity / effect checker
     python -m repro trace tables        # any command, traced (repro.obs)
@@ -30,10 +31,19 @@ def _add_common(parser):
 
 def _add_engine_options(parser):
     """Pipeline-engine knobs shared by the staged commands."""
+    from repro.exec import BACKEND_KINDS
+
     parser.add_argument(
         "--workers", type=int, default=0,
-        help="thread workers for pure pipeline stages "
+        help="workers for pure pipeline stages "
              "(0 = serial; parallel output is bit-identical)",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKEND_KINDS, default="thread",
+        help="execution backend behind --workers: 'thread' shares the "
+             "GIL, 'process' escapes it via a ProcessPoolExecutor, "
+             "'serial' forces inline; every backend's output is "
+             "bit-identical (default: thread)",
     )
     parser.add_argument(
         "--stage-stats", action="store_true",
@@ -76,6 +86,7 @@ def cmd_tables(args):
             use_asr=args.asr,
             link_mode="content",
             workers=args.workers,
+            backend=args.backend,
             shards=args.shards or 0,
         ),
     )
@@ -187,7 +198,7 @@ def cmd_churn(args):
     )
     result = run_churn_study(
         corpus, channel=args.channel, workers=args.workers,
-        shards=args.shards,
+        shards=args.shards, backend=args.backend,
     )
     if args.stage_stats:
         print(result.stage_report.render_text())
@@ -245,7 +256,8 @@ def _build_carrental_stream(args):
     )
     system = BIVoCSystem(
         BIVoCConfig(
-            use_asr=False, link_mode="content", workers=args.workers
+            use_asr=False, link_mode="content", workers=args.workers,
+            backend=args.backend,
         )
     )
     stages = system.build_call_stages(
@@ -286,14 +298,12 @@ def _build_carrental_stream(args):
 
 def _build_telecom_stream(args):
     """Stream wiring for the telecom feed: source, stages, window."""
-    from repro.annotation.domains import CHURN_DRIVER_SURFACES
-    from repro.annotation.matcher import AnnotationEngine
-    from repro.annotation.dictionary import (
-        DictionaryEntry,
-        DomainDictionary,
-    )
     from repro.cleaning.stage import CleaningStage
-    from repro.engine import Document, FunctionStage
+    from repro.core.usecases.churn import (
+        StreamAnnotateStage,
+        churn_driver_engine,
+    )
+    from repro.engine import Document
     from repro.mining.stage import ConceptIndexStage
     from repro.stream import AssocSpec, MemorySource, WindowedAnalytics
     from repro.synth.telecom import TelecomConfig, generate_telecom
@@ -304,23 +314,12 @@ def _build_telecom_stream(args):
         )
     )
     # One shared "churn driver" category so windowed trend/association
-    # snapshots can rank the drivers against each other.
-    dictionary = DomainDictionary()
-    for driver, surfaces in CHURN_DRIVER_SURFACES.items():
-        for surface in surfaces:
-            dictionary.add(
-                DictionaryEntry(surface, driver, "churn driver")
-            )
-    engine = AnnotationEngine(dictionary=dictionary)
+    # snapshots can rank the drivers against each other.  The annotate
+    # stage is a module-level class (not a lambda FunctionStage) so it
+    # pickles into process-backend workers.
     stages = [
         CleaningStage(),
-        FunctionStage(
-            "annotate",
-            lambda d: d.put(
-                "annotated", engine.annotate(d.get("cleaned_text") or "")
-            ),
-            pure=True,
-        ),
+        StreamAnnotateStage(churn_driver_engine()),
         ConceptIndexStage(
             on_duplicate="replace", shards=args.shards or 0
         ),
@@ -365,7 +364,7 @@ def cmd_stream(args):
     checkpointer = (
         Checkpointer(args.checkpoint) if args.checkpoint else None
     )
-    consumer = StreamConsumer(
+    with StreamConsumer(
         source,
         stages,
         window=window,
@@ -373,13 +372,14 @@ def cmd_stream(args):
         batch_docs=args.batch_docs,
         checkpoint_interval=args.checkpoint_interval,
         workers=args.workers,
-    )
-    if checkpointer is not None and consumer.restore():
-        print(
-            f"resumed from checkpoint at offset "
-            f"{consumer.committed_offset}"
-        )
-    report = consumer.run(max_batches=args.max_batches)
+        backend=args.backend,
+    ) as consumer:
+        if checkpointer is not None and consumer.restore():
+            print(
+                f"resumed from checkpoint at offset "
+                f"{consumer.committed_offset}"
+            )
+        report = consumer.run(max_batches=args.max_batches)
     if args.stage_stats:
         print(consumer.stage_report().render_text())
         print()
@@ -449,6 +449,7 @@ def cmd_serve(args):
         batch_docs=args.batch_docs,
         checkpoint_interval=args.checkpoint_interval,
         workers=args.workers,
+        backend=args.backend,
         epochs=epochs,
     )
     if checkpointer is not None and consumer.restore():
@@ -459,6 +460,7 @@ def cmd_serve(args):
     engine = QueryEngine(
         epochs,
         workers=args.query_workers,
+        backend=args.backend if args.query_workers > 1 else None,
         cache=QueryCache(
             capacity=args.cache_capacity, ttl=args.cache_ttl
         ),
@@ -516,6 +518,7 @@ def cmd_serve(args):
         server.stop()
         ingest.join()
         engine.close()
+        consumer.close()
         if restore_term:
             signal.signal(signal.SIGTERM, previous_term)
         # The ready-file advertises a live endpoint; leaving it behind
@@ -574,10 +577,11 @@ def cmd_chaos(args):
             batch_docs=args.batch_docs,
             checkpoint_interval=2,
             workers=args.workers,
+            backend=args.backend,
         )
 
-    reference = build_consumer(None)
-    reference.run(checkpoint_at_end=False)
+    with build_consumer(None) as reference:
+        reference.run(checkpoint_at_end=False)
     expected = index_to_state(reference.index)
 
     retry = RetryPolicy(
@@ -593,28 +597,36 @@ def cmd_chaos(args):
                     ck_path, retry=retry, sleep=lambda _delay: None
                 )
                 consumer = build_consumer(checkpointer)
+                # close() per (re)start: a crashed consumer must not
+                # leak its warm worker pool into the next incarnation.
                 try:
-                    consumer.restore()
-                except CheckpointCorrupt:
-                    # Every copy corrupted: cold-start, the last
-                    # resort (at-least-once delivery makes it safe).
-                    checkpointer.clear()
-                    continue
-                try:
-                    consumer.run()
-                    break
-                except InjectedFault:
-                    restarts += 1
-                    if restarts > 50:
-                        print(
-                            "chaos: runaway restart loop (plan below)",
-                            file=sys.stderr,
-                        )
-                        print(
-                            json.dumps(plan.to_json_dict(), indent=2),
-                            file=sys.stderr,
-                        )
-                        return 1
+                    try:
+                        consumer.restore()
+                    except CheckpointCorrupt:
+                        # Every copy corrupted: cold-start, the last
+                        # resort (at-least-once delivery makes it safe).
+                        checkpointer.clear()
+                        continue
+                    try:
+                        consumer.run()
+                        break
+                    except InjectedFault:
+                        restarts += 1
+                        if restarts > 50:
+                            print(
+                                "chaos: runaway restart loop "
+                                "(plan below)",
+                                file=sys.stderr,
+                            )
+                            print(
+                                json.dumps(
+                                    plan.to_json_dict(), indent=2
+                                ),
+                                file=sys.stderr,
+                            )
+                            return 1
+                finally:
+                    consumer.close()
 
     fired = {
         name: counts["fired"]
@@ -636,6 +648,25 @@ def cmd_chaos(args):
     )
     print(json.dumps(plan.to_json_dict(), indent=2), file=sys.stderr)
     return 1
+
+
+def cmd_prop(args):
+    """Replay the seeded differential property harness."""
+    from repro.prop import check_equivalences, describe_case
+
+    failures = 0
+    for seed in range(args.seed, args.seed + max(1, args.count)):
+        if args.verbose:
+            print(f"seed {seed}: {describe_case(seed)}")
+        try:
+            check_equivalences(seed)
+        except AssertionError as exc:
+            failures += 1
+            print(f"seed {seed}: FAIL", file=sys.stderr)
+            print(str(exc), file=sys.stderr)
+        else:
+            print(f"seed {seed}: all equivalences hold")
+    return 1 if failures else 0
 
 
 def cmd_trace(args):
@@ -788,6 +819,8 @@ def cmd_effects(args):
 
 def build_parser():
     """Build the argparse parser for all subcommands."""
+    from repro.exec import BACKEND_KINDS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="BIVoC (ICDE 2009) reproduction toolkit",
@@ -995,11 +1028,47 @@ def build_parser():
                        help="carrental: number of days")
     chaos.add_argument("--batch-docs", type=int, default=16,
                        help="documents per ingestion micro-batch")
-    chaos.add_argument("--workers", type=int, default=0,
-                       help=argparse.SUPPRESS)
+    chaos.add_argument(
+        "--workers", type=int, default=0,
+        help="workers for pure pipeline stages during the drill "
+             "(0 = serial)",
+    )
+    chaos.add_argument(
+        "--backend", choices=BACKEND_KINDS, default="thread",
+        help="execution backend behind --workers (the crash/resume "
+             "contract holds on every backend)",
+    )
     chaos.add_argument("--window", type=int, default=3,
                        help=argparse.SUPPRESS)
     chaos.set_defaults(func=cmd_chaos)
+
+    prop = sub.add_parser(
+        "prop",
+        help="replay seeded differential property checks",
+        description=(
+            "Generates a random corpus/config from --seed (doc "
+            "counts, channels, shard counts, batch sizes, worker "
+            "counts, backends) and asserts every equivalence the "
+            "repo guarantees on it: sharded == single-index, every "
+            "backend == serial, stream crash/resume == uninterrupted, "
+            "traced == untraced. The tests/prop suite runs 25 seeds "
+            "of exactly this oracle in CI; a failing seed there "
+            "prints the matching 'bivoc prop --seed N' line."
+        ),
+    )
+    prop.add_argument(
+        "--seed", type=int, default=0,
+        help="first property seed to replay",
+    )
+    prop.add_argument(
+        "--count", type=int, default=1,
+        help="number of consecutive seeds to run (default: 1)",
+    )
+    prop.add_argument(
+        "--verbose", action="store_true",
+        help="print each seed's generated case before checking it",
+    )
+    prop.set_defaults(func=cmd_prop)
 
     lint = sub.add_parser(
         "lint",

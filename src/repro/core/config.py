@@ -2,6 +2,8 @@
 
 from dataclasses import dataclass
 
+from repro.exec import BACKEND_KINDS
+
 
 @dataclass(frozen=True)
 class BIVoCConfig:
@@ -32,9 +34,14 @@ class BIVoCConfig:
     two_pass_top_n: int = 5
     # Engine execution knobs: documents flow through the stage graph in
     # batches of ``batch_size``; ``workers`` > 1 maps pure stages across
-    # a thread pool (bit-identical to serial — see repro.engine.runner).
+    # the selected execution backend (bit-identical to serial on every
+    # backend — see repro.engine.runner and repro.exec).  ``backend``
+    # names the fan-out flavour ("serial" / "thread" / "process"); it
+    # only engages when ``workers`` > 1, and "serial" forces inline
+    # execution regardless of workers.
     batch_size: int = 64
     workers: int = 0
+    backend: str = "thread"
     # Concept-index layout: 0 keeps the single in-memory index, a
     # positive count hash-partitions it into that many shards and the
     # mining analytics run per-shard partials merged exactly
@@ -51,5 +58,10 @@ class BIVoCConfig:
             raise ValueError("batch_size must be >= 1")
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
+        if self.backend not in BACKEND_KINDS:
+            raise ValueError(
+                f"backend must be one of {list(BACKEND_KINDS)}, "
+                f"got {self.backend!r}"
+            )
         if self.shards < 0:
             raise ValueError("shards must be >= 0")

@@ -441,12 +441,16 @@ class BIVoCSystem:
             index_stage or ConceptIndexStage(shards=config.shards),
         ]
 
-    def process_call_center(self, corpus, pool=None):
+    def process_call_center(self, corpus, pool=None, backend=None):
         """Run the full pipeline over a car-rental corpus.
 
-        ``pool`` injects an external executor into the runner (see
+        ``pool`` injects an external executor into the runner and
+        ``backend`` an execution backend (see
         :class:`~repro.engine.PipelineRunner`); callers that follow
-        the run with sharded analytics share one pool across both.
+        the run with sharded analytics share one executor across both.
+        Either injection overrides the config's ``workers``/``backend``
+        knobs — they are mutually exclusive with them, never silently
+        preferred.
         """
         stages = self.build_call_stages(corpus)
         index_stage = stages[-1]
@@ -459,13 +463,19 @@ class BIVoCSystem:
             )
             for transcript in corpus.transcripts
         ]
-        runner = PipelineRunner(
+        if pool is None and backend is None:
+            backend = self.config.backend
+            workers = self.config.workers
+        else:
+            workers = 0
+        with PipelineRunner(
             stages,
             batch_size=self.config.batch_size,
-            workers=self.config.workers,
+            workers=workers,
             pool=pool,
-        )
-        result = runner.run(documents)
+            backend=backend,
+        ) as runner:
+            result = runner.run(documents)
 
         processed = []
         link_attempts = 0

@@ -13,11 +13,11 @@ Two drivers:
   control group.
 """
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 
 from repro.core.config import BIVoCConfig
 from repro.core.pipeline import BIVoCSystem
+from repro.exec import make_backend
 from repro.mining.assoc2d import associate
 from repro.synth.carrental import (
     CarRentalConfig,
@@ -54,27 +54,29 @@ _OUTCOMES = ["reservation", "unbooked"]
 def run_insight_analysis(corpus, config=None):
     """Run the BIVoC pipeline and build the paper's tables.
 
-    With ``config.workers > 1`` one thread pool serves both the
-    engine's parallel stages and the sharded analytics' per-shard
-    partials (the algebra's order-preserving fan-out keeps every
-    table bit-identical to the serial run).
+    With ``config.workers > 1`` one execution backend of the
+    configured kind (``config.backend``: thread pool by default,
+    process pool for GIL-free fan-out) serves both the engine's
+    parallel stages and the sharded analytics' per-shard partials (the
+    order-preserving fan-out keeps every table bit-identical to the
+    serial run on any backend).
     """
     config = config or BIVoCConfig()
     system = BIVoCSystem(config=config)
-    pool = (
-        ThreadPoolExecutor(max_workers=config.workers)
+    backend = (
+        make_backend(config.backend, workers=config.workers)
         if config.workers > 1
         else None
     )
     try:
-        analysis = system.process_call_center(corpus, pool=pool)
+        analysis = system.process_call_center(corpus, backend=backend)
         index = analysis.index
         intent_table = associate(
             index,
             ("field", "detected_intent"),
             ("field", "call_type"),
             col_values=_OUTCOMES,
-            pool=pool,
+            backend=backend,
         )
         utterance_tables = {
             "value_selling": associate(
@@ -82,23 +84,23 @@ def run_insight_analysis(corpus, config=None):
                 ("field", "agent_value_selling"),
                 ("field", "call_type"),
                 col_values=_OUTCOMES,
-                pool=pool,
+                backend=backend,
             ),
             "discount": associate(
                 index,
                 ("field", "agent_discount"),
                 ("field", "call_type"),
                 col_values=_OUTCOMES,
-                pool=pool,
+                backend=backend,
             ),
         }
         location_vehicle_table = associate(
             index, ("concept", "place"), ("concept", "vehicle type"),
-            pool=pool,
+            backend=backend,
         )
     finally:
-        if pool is not None:
-            pool.shutdown(wait=True)
+        if backend is not None:
+            backend.close()
     return AgentProductivityStudy(
         analysis=analysis,
         intent_table=intent_table,

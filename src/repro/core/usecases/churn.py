@@ -147,6 +147,59 @@ class DriverAnnotateStage(MapStage):
         document.put("timestamp", document.require("message").month)
 
 
+def churn_driver_engine():
+    """The shared churn-driver :class:`AnnotationEngine`.
+
+    One "churn driver" category over ``CHURN_DRIVER_SURFACES``, so
+    trend and association analytics can rank the drivers against each
+    other; shared by the batch churn graph and the telecom stream
+    wiring in the CLI.
+    """
+    from repro.annotation.domains import CHURN_DRIVER_SURFACES
+    from repro.annotation.dictionary import (
+        DictionaryEntry,
+        DomainDictionary,
+    )
+    from repro.annotation.matcher import AnnotationEngine
+
+    dictionary = DomainDictionary()
+    for driver, surfaces in CHURN_DRIVER_SURFACES.items():
+        for surface in surfaces:
+            dictionary.add(
+                DictionaryEntry(surface, driver, "churn driver")
+            )
+    return AnnotationEngine(dictionary=dictionary)
+
+
+class StreamAnnotateStage(MapStage):
+    """Annotate streamed cleaned messages with churn-driver concepts.
+
+    The streaming sibling of :class:`DriverAnnotateStage`: the stream
+    source stages ``index_fields`` (and any time bucket) on its
+    documents up front, so this hook writes only the annotation.  A
+    module-level class — not a lambda ``FunctionStage`` — so the stage
+    pickles into process-backend workers.
+    """
+
+    name = "annotate"
+
+    def __init__(self, engine):
+        """``engine`` is the churn-driver AnnotationEngine."""
+        self.engine = engine
+
+    def process_document(self, document):  # bivoc: effects[mutates-param]
+        """Write the annotated artifact.
+
+        Declared for ``bivoc effects``: ``AnnotationEngine.annotate``
+        builds a fresh AnnotatedDocument from read-only dictionaries,
+        so the hook only writes the document.
+        """
+        document.put(
+            "annotated",
+            self.engine.annotate(document.get("cleaned_text") or ""),
+        )
+
+
 def build_driver_index_stages(shards=0):
     """The opt-in churn-driver indexing tail of the churn graph.
 
@@ -157,23 +210,10 @@ def build_driver_index_stages(shards=0):
     driver x channel association) run over the churn corpus through
     the partial-aggregate algebra.
     """
-    from repro.annotation.domains import CHURN_DRIVER_SURFACES
-    from repro.annotation.dictionary import (
-        DictionaryEntry,
-        DomainDictionary,
-    )
-    from repro.annotation.matcher import AnnotationEngine
     from repro.mining.stage import ConceptIndexStage
 
-    dictionary = DomainDictionary()
-    for driver, surfaces in CHURN_DRIVER_SURFACES.items():
-        for surface in surfaces:
-            dictionary.add(
-                DictionaryEntry(surface, driver, "churn driver")
-            )
-    engine = AnnotationEngine(dictionary=dictionary)
     return [
-        DriverAnnotateStage(engine),
+        DriverAnnotateStage(churn_driver_engine()),
         ConceptIndexStage(shards=shards),
     ]
 
@@ -303,13 +343,16 @@ def _channelled_messages(corpus, channel):
 def run_churn_study(corpus, channel="email", split_month=None,
                     classifier=None, undersample_ratio=6.0,
                     threshold=0.5, spell_correct=False,
-                    batch_size=64, workers=0, shards=None):
+                    batch_size=64, workers=0, shards=None,
+                    backend=None):
     """Run the churn study over one channel of a telecom corpus.
 
     ``split_month`` separates training history from the evaluation
-    month (defaults to the corpus's last month).  ``batch_size`` and
-    ``workers`` are the engine execution knobs (parallel execution of
-    pure stages is bit-identical to serial).
+    month (defaults to the corpus's last month).  ``batch_size``,
+    ``workers`` and ``backend`` are the engine execution knobs
+    (parallel execution of pure stages is bit-identical to serial on
+    every backend; ``backend`` is a kind name sized by ``workers``, or
+    a ready :class:`~repro.exec.ExecBackend` instance).
 
     ``shards`` opts into the churn-driver concept index
     (:func:`build_driver_index_stages`): ``None`` (the default) skips
@@ -338,10 +381,10 @@ def run_churn_study(corpus, channel="email", split_month=None,
         )
         for index, (message_channel, message) in enumerate(channelled)
     ]
-    runner = PipelineRunner(
-        stages, batch_size=batch_size, workers=workers
-    )
-    result = runner.run(documents)
+    with PipelineRunner(
+        stages, batch_size=batch_size, workers=workers, backend=backend
+    ) as runner:
+        result = runner.run(documents)
 
     prepared = result.documents
     linked = [

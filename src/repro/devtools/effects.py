@@ -115,6 +115,15 @@ KNOWN_EXTERNAL_PREFIXES = (
     ("abc.", frozenset()),
     ("typing.", frozenset()),
     ("threading.", frozenset()),  # Lock() construction is benign
+    # Executor construction/submission (repro.exec backends) moves
+    # work, not data: the backends' order-preserving map keeps results
+    # bit-identical to serial, so pool plumbing itself is effect-free
+    # for purity purposes.
+    ("concurrent.futures.", frozenset()),
+    ("multiprocessing.", frozenset()),
+    # Pickling serializes to bytes in memory; no file or socket moves.
+    ("pickle.", frozenset()),
+    ("queue.", frozenset()),
     ("contextlib.", frozenset()),
     ("hashlib.", frozenset()),
     ("struct.", frozenset()),

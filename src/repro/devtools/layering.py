@@ -6,14 +6,15 @@ testable and replaceable:
 
     util                          (rank 0: imports nothing from repro)
     obs                           (rank 1: tracing + metrics substrate)
-    engine store faults           (rank 2: engine; warehouse; resilience)
-    synth                         (rank 3: generators fill the store)
-    asr cleaning linking annotation   (rank 4: channel engines)
-    mining churn                  (rank 5: analysis layer)
-    core devtools stream          (rank 6: facade / tooling / streaming)
-    serve                         (rank 7: query serving over streams)
-    cli                           (rank 8: entry points)
-    __main__                      (rank 9)
+    exec                          (rank 2: execution backends)
+    engine store faults           (rank 3: engine; warehouse; resilience)
+    synth                         (rank 4: generators fill the store)
+    asr cleaning linking annotation   (rank 5: channel engines)
+    mining churn                  (rank 6: analysis layer)
+    core devtools stream          (rank 7: facade / tooling / streaming)
+    serve prop                    (rank 8: serving; differential harness)
+    cli                           (rank 9: entry points)
+    __main__                      (rank 10)
 
 A module may import from strictly lower-ranked subsystems and from its
 own subsystem; same-rank cross-package imports (``asr`` -> ``cleaning``)
@@ -35,32 +36,42 @@ DEFAULT_LAYERS = {
     # bump counters, so the tracer/metrics substrate must be
     # importable from rank 2 upward while itself importing nothing.
     "obs": 1,
-    "engine": 2,
-    "store": 2,
+    # Execution backends (serial / thread / process fan-out) sit just
+    # above observability: the engine, the mining algebra and the
+    # serving layer all map work through them, while the backends
+    # themselves only record write-only metrics.
+    "exec": 2,
+    "engine": 3,
+    "store": 3,
     # The resilience substrate (fault injection, retries, breakers)
     # must be importable by everything that does I/O or serves —
     # stream, serve, cli — while itself needing only the RNG helpers
     # and write-only observability, so it sits with the engine.
-    "faults": 2,
-    "synth": 3,
-    "asr": 4,
-    "cleaning": 4,
-    "linking": 4,
-    "annotation": 4,
-    "mining": 5,
-    "churn": 5,
-    "core": 6,
-    "devtools": 6,
-    # The streaming consumer drives engine stage graphs (rank 2) and
-    # mirrors the mining analyses (rank 5), so it sits with the
+    "faults": 3,
+    "synth": 4,
+    "asr": 5,
+    "cleaning": 5,
+    "linking": 5,
+    "annotation": 5,
+    "mining": 6,
+    "churn": 6,
+    "core": 7,
+    "devtools": 7,
+    # The streaming consumer drives engine stage graphs (rank 3) and
+    # mirrors the mining analyses (rank 6), so it sits with the
     # facades; same-rank isolation keeps it independent of ``core``.
-    "stream": 6,
+    "stream": 7,
     # Serving answers queries over the stream layer's epoch snapshots
     # with the mining algebra, so it sits above both and below the CLI
     # entry points that host it.
-    "serve": 7,
-    "cli": 8,
-    "__main__": 9,
+    "serve": 8,
+    # The seeded differential-testing harness drives the engine, the
+    # mining analytics and the stream consumer end to end; it shares
+    # serve's rank (no cross-import either way) so the CLI can host
+    # both.
+    "prop": 8,
+    "cli": 9,
+    "__main__": 10,
 }
 
 

@@ -9,12 +9,26 @@
   for the whole corpus);
 * per stage, the runner counts documents in / out / discarded and the
   stage's wall time, collected into a :class:`PipelineReport`;
-* with ``workers > 1``, batches of *pure* stages (see
-  :class:`~repro.engine.stage.Stage.pure`) are mapped across a thread
-  pool with an order-preserving map; impure stages always run serially.
-  Because pure stages process documents independently and
-  deterministically, parallel execution is bit-identical to serial
-  execution — the determinism guarantee every paper artifact relies on.
+* batches of *pure* stages (see
+  :class:`~repro.engine.stage.Stage.pure`) are mapped across an
+  execution backend (see :mod:`repro.exec`) with an order-preserving
+  map; impure stages always run serially.  Because pure stages process
+  documents independently and deterministically, parallel execution is
+  bit-identical to serial execution on every backend — the determinism
+  guarantee every paper artifact relies on.
+
+The backend is resolved once at construction (``workers > 1`` builds
+the historical thread pool; ``backend=`` selects serial / thread /
+process by name or injects a ready instance; ``pool=`` adapts an
+external executor) and warm-reused across runs — worker spawn is paid
+once per runner, not once per run.  Close the runner (or use it as a
+context manager) to release an owned backend.
+
+On backends that pickle tasks across a process boundary, each batch
+ships inside a module-level :class:`_StageTask` envelope instead of a
+span-opening closure; per-batch child spans are skipped there (the
+parent tracer is unreachable from a worker process), which cannot
+change results because observability is write-only.
 
 Wall-time measurement is instrumentation only: it is reported, never
 fed back into document flow, and the clock is injectable so tests (and
@@ -33,10 +47,27 @@ bit-identical in outputs.
 """
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.exec import resolve_backend
 from repro.obs import get_metrics, get_tracer
+
+
+class _StageTask:
+    """Picklable envelope running one stage over one batch.
+
+    Defined at module level (spawn-safe) and holding only the stage, so
+    it crosses process boundaries whenever the stage itself pickles —
+    which every pure stage must, to run on the process backend.
+    """
+
+    def __init__(self, stage):
+        """``stage`` is the Stage instance to apply per batch."""
+        self.stage = stage
+
+    def __call__(self, batch):
+        """One batch through the stage (same output contract)."""
+        return self.stage.process(batch)
 
 
 @dataclass
@@ -147,14 +178,24 @@ class PipelineRunner:
     """Executes a stage list over a document corpus.
 
     ``batch_size`` bounds the unit of work handed to each stage (and to
-    each worker thread); ``workers`` > 1 enables the parallel executor
-    for pure stages.  ``clock`` is the timing source for per-stage wall
-    time (defaults to the monotonic performance counter); it is used
-    for reporting only and never influences the documents.
+    each worker); ``workers`` > 1 enables the historical thread pool
+    for pure stages, while ``backend`` selects an execution backend by
+    kind name (``"serial"`` / ``"thread"`` / ``"process"``, sized by
+    ``workers``) or injects a ready
+    :class:`~repro.exec.ExecBackend` instance.  ``clock`` is the timing
+    source for per-stage wall time (defaults to the monotonic
+    performance counter); it is used for reporting only and never
+    influences the documents.
+
+    Executor knobs are mutually exclusive, matching
+    :class:`~repro.serve.engine.QueryEngine`: ``pool`` with
+    ``workers > 1``, ``pool`` with ``backend``, and a ready backend
+    instance with ``workers > 1`` all raise ``ValueError`` — two
+    requested executors never silently shadow each other.
     """
 
     def __init__(self, stages, batch_size=64, workers=0, clock=None,
-                 tracer=None, metrics=None, pool=None):
+                 tracer=None, metrics=None, pool=None, backend=None):
         """``stages`` is an ordered list of Stage instances.
 
         ``tracer``/``metrics`` override the ambient observability
@@ -165,8 +206,11 @@ class PipelineRunner:
         ``pool`` supplies an external executor for parallel stages:
         the runner then never creates (or shuts down) its own, so one
         pool can serve many runs — and the sharded analytics that
-        follow them.  Without it, each :meth:`run` creates one pool
-        and reuses it across all parallel stages of that run.
+        follow them.  ``backend`` (kind name or instance) is the
+        general form of the same knob.  The resolved backend is
+        created once here and warm-reused by every :meth:`run`; call
+        :meth:`close` (or use the runner as a context manager) to
+        release it when owned.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -184,26 +228,36 @@ class PipelineRunner:
         self._clock = clock if clock is not None else time.perf_counter
         self._tracer = tracer
         self._metrics = metrics
-        self._pool = pool
+        self._backend, self._owned_backend = resolve_backend(
+            pool=pool, backend=backend, workers=workers
+        )
+
+    def close(self):
+        """Release the owned backend's workers (idempotent)."""
+        if self._owned_backend and self._backend is not None:
+            self._backend.close()
+
+    def __enter__(self):
+        """Context manager: the runner itself."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        """Context-manager exit always closes the owned backend."""
+        self.close()
+        return False
 
     def run(self, documents):
         """Run every stage over ``documents``; returns a result with
         surviving documents in corpus order plus the stage report.
 
-        One thread pool serves every parallel stage of the run: the
-        external ``pool`` when one was injected, otherwise a pool
-        created here once (not per stage — executor construction and
-        teardown is pure overhead between stages) and torn down when
-        the run completes.  Parallel output stays bit-identical to
-        serial either way (order-preserving map).
+        The runner's warm backend serves every parallel stage of every
+        run; parallel output stays bit-identical to serial on all
+        backends (order-preserving map, pure stages only).
         """
-        if self._pool is not None or self.workers <= 1:
-            return self._run(documents, self._pool)
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            return self._run(documents, pool)
+        return self._run(documents, self._backend)
 
-    def _run(self, documents, pool):
-        """The run body, executing parallel stages on ``pool``."""
+    def _run(self, documents, backend):
+        """The run body, executing parallel stages on ``backend``."""
         tracer = self._tracer if self._tracer is not None else get_tracer()
         metrics = (
             self._metrics if self._metrics is not None else get_metrics()
@@ -218,7 +272,9 @@ class PipelineRunner:
             tags={"docs_in": len(live), "stages": len(self.stages)},
         ) as run_span:
             for stage in self.stages:
-                live, stats = self._run_stage(stage, live, tracer, pool)
+                live, stats = self._run_stage(
+                    stage, live, tracer, backend
+                )
                 report.stages.append(stats)
                 discarded_here = [doc for doc in live if doc.discarded]
                 if discarded_here:
@@ -241,16 +297,17 @@ class PipelineRunner:
             documents=live, discarded=all_discarded, report=report
         )
 
-    def _run_stage(self, stage, live, tracer, pool):
+    def _run_stage(self, stage, live, tracer, backend):
         """Run one stage over all live documents, batched.
 
-        ``pool`` is the run's shared executor (None when the run is
-        serial); pure stages with more than one batch map across it.
+        ``backend`` is the runner's warm executor (None when the
+        runner is serial); pure stages with more than one batch map
+        across it.
         """
         batches = _batched(live, self.batch_size)
         use_parallel = (
-            pool is not None
-            and self.workers > 1
+            backend is not None
+            and backend.can_fan_out()
             and stage.pure
             and len(batches) > 1
         )
@@ -260,14 +317,17 @@ class PipelineRunner:
             batches=len(batches),
             parallel=use_parallel,
         )
+        tags = {
+            "docs_in": len(live),
+            "batches": len(batches),
+            "parallel": use_parallel,
+        }
+        if use_parallel:
+            tags["backend"] = backend.kind
         with tracer.span(
             f"stage:{stage.stage_name}",
             category="engine",
-            tags={
-                "docs_in": len(live),
-                "batches": len(batches),
-                "parallel": use_parallel,
-            },
+            tags=tags,
         ) as stage_span:
 
             def process(index, batch):
@@ -282,13 +342,28 @@ class PipelineRunner:
                     return stage.process(batch)
 
             started = self._clock()
-            if use_parallel:
-                # Order-preserving map: executor.map yields results in
+            if use_parallel and backend.requires_pickling:
+                # Across a process boundary the batch travels inside a
+                # picklable envelope; per-batch child spans are skipped
+                # (the parent tracer is unreachable from a worker), and
+                # because observability is write-only, skipping them
+                # cannot change any document.  Order preservation keeps
+                # output identical to serial.
+                out_batches = backend.map(
+                    _StageTask(stage),
+                    batches,
+                    label=f"stage:{stage.stage_name}",
+                )
+            elif use_parallel:
+                # Order-preserving map: the backend yields results in
                 # submission order, so output order (and therefore
                 # every downstream computation) matches serial
                 # execution exactly.
-                out_batches = list(
-                    pool.map(process, range(len(batches)), batches)
+                out_batches = backend.map(
+                    process,
+                    range(len(batches)),
+                    batches,
+                    label=f"stage:{stage.stage_name}",
                 )
             else:
                 out_batches = [

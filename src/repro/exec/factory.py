@@ -1,0 +1,91 @@
+"""Backend factories shared by the engine, the algebra and serving.
+
+Lives above both :mod:`repro.exec.backend` (the protocol and the
+in-process implementations) and :mod:`repro.exec.procpool` (the
+multiprocess implementation) so the module graph stays acyclic:
+:func:`make_backend` needs every concrete backend, and the concrete
+backends must not know about the factory.
+"""
+
+from repro.exec.backend import (
+    BACKEND_KINDS,
+    ExecBackend,
+    PoolBackend,
+    SerialBackend,
+    ThreadBackend,
+)
+from repro.exec.procpool import ProcessBackend
+
+
+def make_backend(kind, workers=0, chunk_size=None, mp_context=None):
+    """Build a backend by name (:data:`~repro.exec.BACKEND_KINDS`).
+
+    ``workers`` sizes the thread/process pools (values below 1 degrade
+    to inline execution); ``chunk_size`` / ``mp_context`` are process-
+    backend knobs, rejected for the others.
+    """
+    if kind not in BACKEND_KINDS:
+        raise ValueError(
+            f"unknown backend {kind!r}; choose from {list(BACKEND_KINDS)}"
+        )
+    if kind != "process" and (
+        chunk_size is not None or mp_context is not None
+    ):
+        raise ValueError(
+            "chunk_size / mp_context are process-backend knobs; "
+            f"the {kind!r} backend does not accept them"
+        )
+    if kind == "serial":
+        return SerialBackend()
+    if kind == "thread":
+        return ThreadBackend(max(1, workers))
+    return ProcessBackend(
+        max(1, workers), chunk_size=chunk_size, mp_context=mp_context
+    )
+
+
+def resolve_backend(pool=None, backend=None, workers=0):
+    """The ``(backend, owned)`` pair for one caller's knob triple.
+
+    The shared resolution rule of the runner, the algebra and the
+    query engine: ``pool`` wraps into a :class:`PoolBackend`;
+    ``backend`` may be a kind name (combined with ``workers``) or a
+    ready :class:`~repro.exec.ExecBackend` instance; bare
+    ``workers > 1`` builds the historical thread pool.  Returns
+    ``(None, False)`` when everything stays serial — callers then skip
+    fan-out entirely.
+
+    ``owned`` is True when the caller constructed the backend here and
+    must :meth:`~repro.exec.ExecBackend.close` it; an injected
+    instance (and the executor under a ``pool``) stays the injector's
+    to manage.
+
+    Ambiguous knob pairs are rejected uniformly for every caller
+    (the runner, the algebra, the query engine): ``pool`` with
+    ``workers > 1``, ``pool`` with ``backend``, and a ready backend
+    instance with ``workers > 1`` all raise ``ValueError`` — there is
+    no silent precedence between two requested executors.
+    """
+    if pool is not None and backend is not None:
+        raise ValueError("pass either pool or backend, not both")
+    if pool is not None:
+        if workers > 1:
+            raise ValueError("pass either pool or workers, not both")
+        return PoolBackend(pool), True
+    if backend is None:
+        if workers > 1:
+            return ThreadBackend(workers), True
+        return None, False
+    if isinstance(backend, str):
+        return make_backend(backend, workers=workers), True
+    if isinstance(backend, ExecBackend):
+        if workers > 1:
+            raise ValueError(
+                "pass either a ready backend instance or workers, "
+                "not both (size the backend at construction)"
+            )
+        return backend, False
+    raise ValueError(
+        f"backend must be one of {list(BACKEND_KINDS)} or an "
+        f"ExecBackend instance, got {backend!r}"
+    )

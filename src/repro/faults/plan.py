@@ -57,6 +57,17 @@ class InjectedFault(RuntimeError):
         self.point = point
         self.hit = hit
 
+    def __reduce__(self):
+        """Pickle as ``(type, (point, hit))``.
+
+        The default exception reduction replays ``args`` — the single
+        formatted message — into a two-argument ``__init__`` and
+        breaks.  Faults must pickle so one injected in a process-pool
+        worker crosses back to the parent as itself, traceback
+        chained, exactly like a thread-backend failure.
+        """
+        return type(self), (self.point, self.hit)
+
 
 class InjectedIOError(InjectedFault, OSError):
     """An injected transient I/O failure (retryable by default)."""

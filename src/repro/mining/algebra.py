@@ -15,12 +15,21 @@ the unsharded code path.  That is the monoid contract
 :func:`compute` executes.
 
 ``compute`` runs the partials serially by default, or order-preserved
-across a caller-supplied thread pool (the engine's run pool); because
+across an execution backend (see :mod:`repro.exec`) — a caller-
+supplied pool, a thread backend, or the multiprocess backend.  Because
 ``merge`` folds the partials left-to-right in shard order either way,
-parallel execution is bit-identical to serial.  Each analytic run
-opens an ``analytic:<name>`` span with per-shard ``analytic:partial``
-children and one ``analytic:merge`` child, and reports shard-count and
-skew gauges — write-only observability, exactly like the engine's.
+parallel execution is bit-identical to serial on every backend.  On
+the process backend the *partial states* cross the boundary, never the
+finalized results: states are integers only (exactly picklable, no
+float representation to disturb) and ``merge``/``finalize`` run in the
+parent, so the float derivation happens once, in one process, in the
+same order as serial.  Each analytic run opens an ``analytic:<name>``
+span with per-shard ``analytic:partial`` children and one
+``analytic:merge`` child, and reports shard-count and skew gauges —
+write-only observability, exactly like the engine's.  (Partial child
+spans are skipped on process backends, where the parent tracer is
+unreachable from a worker; write-only observability means that cannot
+change any result.)
 
 Aggregates double as ``bivoc effects`` subjects: the base class
 declares ``pure = True`` and aliases the engine's ``process`` entry to
@@ -29,7 +38,26 @@ aggregate and verifies its partial chain is free of shared-state
 writes — the property that makes the thread-pool fan-out safe.
 """
 
+from repro.exec import resolve_backend
 from repro.obs import get_metrics, get_tracer
+
+
+class _PartialTask:
+    """Picklable envelope computing one shard's partial state.
+
+    Defined at module level (spawn-safe) and holding only the
+    aggregate, so it crosses process boundaries whenever the aggregate
+    pickles; the returned state is integers only, so the result
+    round-trips exactly.
+    """
+
+    def __init__(self, aggregate):
+        """``aggregate`` is the PartialAggregate to apply per shard."""
+        self.aggregate = aggregate
+
+    def __call__(self, shard):
+        """One shard's partial state."""
+        return self.aggregate.partial(shard)
 
 
 def iter_shards(index):
@@ -109,14 +137,20 @@ class PartialAggregate:
         return self.partial(shard)
 
 
-def compute(aggregate, index, pool=None, tracer=None, metrics=None):
+def compute(aggregate, index, pool=None, backend=None, tracer=None,
+            metrics=None):
     """Execute one aggregate over an index through the algebra.
 
-    Partials run per shard — serially, or order-preserved on ``pool``
-    (any Executor; typically the engine run's thread pool) when the
-    index has more than one shard — then merge left-to-right in shard
-    order from :meth:`PartialAggregate.identity`, so the fold order
-    (and therefore the result) never depends on scheduling.
+    Partials run per shard — serially, or order-preserved on an
+    execution backend (``pool`` wraps any Executor, typically the
+    engine run's pool; ``backend`` is a kind name or ready
+    :class:`~repro.exec.ExecBackend`) when the index has more than one
+    shard — then merge left-to-right in shard order from
+    :meth:`PartialAggregate.identity`, so the fold order (and
+    therefore the result) never depends on scheduling.  On backends
+    that pickle across a process boundary, the integer partial
+    *states* travel back and ``merge``/``finalize`` run here, in the
+    parent (see the module docstring).
 
     ``tracer``/``metrics`` default to the ambient observability
     collectors; everything recorded is write-only and never feeds back
@@ -124,6 +158,7 @@ def compute(aggregate, index, pool=None, tracer=None, metrics=None):
     """
     tracer = tracer if tracer is not None else get_tracer()
     metrics = metrics if metrics is not None else get_metrics()
+    exec_backend, owned = resolve_backend(pool=pool, backend=backend)
     shards = iter_shards(index)
     with tracer.span(
         f"analytic:{aggregate.analytic}",
@@ -141,17 +176,38 @@ def compute(aggregate, index, pool=None, tracer=None, metrics=None):
             ):
                 return aggregate.partial(shard)
 
-        if pool is not None and len(shards) > 1:
-            # Order-preserving map: results come back in shard order,
-            # so the merge fold below is identical to the serial path.
-            partials = list(
-                pool.map(run_partial, range(len(shards)), shards)
-            )
-        else:
-            partials = [
-                run_partial(number, shard)
-                for number, shard in enumerate(shards)
-            ]
+        fan_out = (
+            exec_backend is not None
+            and exec_backend.can_fan_out()
+            and len(shards) > 1
+        )
+        try:
+            if fan_out and exec_backend.requires_pickling:
+                # Ship the envelope, get integer states back in shard
+                # order; merge and finalize stay in this process.
+                partials = exec_backend.map(
+                    _PartialTask(aggregate),
+                    shards,
+                    label=f"analytic:{aggregate.analytic}",
+                )
+            elif fan_out:
+                # Order-preserving map: results come back in shard
+                # order, so the merge fold below is identical to the
+                # serial path.
+                partials = exec_backend.map(
+                    run_partial,
+                    range(len(shards)),
+                    shards,
+                    label=f"analytic:{aggregate.analytic}",
+                )
+            else:
+                partials = [
+                    run_partial(number, shard)
+                    for number, shard in enumerate(shards)
+                ]
+        finally:
+            if owned and exec_backend is not None:
+                exec_backend.close()
         with tracer.span(
             "analytic:merge",
             category="mining",

@@ -207,11 +207,15 @@ class ConceptCubeAggregate(PartialAggregate):
         return ConceptCube(index, self.dimensions, cells=state)
 
 
-def concept_cube(index, dimensions, pool=None):
+def concept_cube(index, dimensions, pool=None, backend=None):
     """Materialise a :class:`ConceptCube` through the algebra.
 
-    Per shard on a sharded index (optionally across ``pool``), as one
-    degenerate partial on a single index — the resulting cube is
-    bit-identical to ``ConceptCube(index, dimensions)`` either way.
+    Per shard on a sharded index (optionally across ``pool`` or an
+    execution ``backend``), as one degenerate partial on a single
+    index — the resulting cube is bit-identical to
+    ``ConceptCube(index, dimensions)`` either way.
     """
-    return compute(ConceptCubeAggregate(dimensions), index, pool=pool)
+    return compute(
+        ConceptCubeAggregate(dimensions), index, pool=pool,
+        backend=backend,
+    )

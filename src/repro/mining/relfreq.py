@@ -135,7 +135,7 @@ class RelativeFrequencyAggregate(PartialAggregate):
 
 
 def relative_frequency(index, focus_keys, candidate_dimension,
-                       min_focus_count=1, pool=None):
+                       min_focus_count=1, pool=None, backend=None):
     """Rank the concepts of a dimension by relative frequency.
 
     ``focus_keys`` select the focus subset (documents carrying *all* of
@@ -144,8 +144,9 @@ def relative_frequency(index, focus_keys, candidate_dimension,
     are ranked by how over-represented they are inside the subset.
 
     Runs through the partial-aggregate algebra: per shard on a sharded
-    index (optionally across ``pool``), as one degenerate partial on a
-    single index — bit-identical either way.
+    index (optionally across ``pool`` or an execution ``backend``), as
+    one degenerate partial on a single index — bit-identical either
+    way.
 
     Returns :class:`RelevancyResult` objects, most over-represented
     first (ties broken by key, so the order is deterministic).
@@ -153,4 +154,4 @@ def relative_frequency(index, focus_keys, candidate_dimension,
     aggregate = RelativeFrequencyAggregate(
         focus_keys, candidate_dimension, min_focus_count=min_focus_count
     )
-    return compute(aggregate, index, pool=pool)
+    return compute(aggregate, index, pool=pool, backend=backend)

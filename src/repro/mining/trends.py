@@ -132,7 +132,7 @@ class EmergingConceptsAggregate(PartialAggregate):
         return results
 
 
-def trend_series(index, key, buckets=None, pool=None):
+def trend_series(index, key, buckets=None, pool=None, backend=None):
     """Occurrences of ``key`` per time bucket.
 
     Documents indexed without a timestamp are skipped.  Returns a list
@@ -143,16 +143,17 @@ def trend_series(index, key, buckets=None, pool=None):
     periods are reported as zeros rather than silently dropped.
 
     Runs through the partial-aggregate algebra (per shard on a sharded
-    index, optionally across ``pool``) — bit-identical to the
-    single-index computation.
+    index, optionally across ``pool`` or an execution ``backend``) —
+    bit-identical to the single-index computation.
     """
     return compute(
-        TrendSeriesAggregate(key, buckets=buckets), index, pool=pool
+        TrendSeriesAggregate(key, buckets=buckets), index, pool=pool,
+        backend=backend,
     )
 
 
 def emerging_concepts(index, dimension, buckets=None, min_total=3,
-                      pool=None):
+                      pool=None, backend=None):
     """Concepts of a dimension ranked by rising trend.
 
     Returns ``(key, slope, total)`` tuples, steepest rise first —
@@ -161,13 +162,13 @@ def emerging_concepts(index, dimension, buckets=None, min_total=3,
     occurrences are dropped (their slopes are noise).
 
     Runs through the partial-aggregate algebra (per shard on a sharded
-    index, optionally across ``pool``) — bit-identical to the
-    single-index computation.
+    index, optionally across ``pool`` or an execution ``backend``) —
+    bit-identical to the single-index computation.
     """
     aggregate = EmergingConceptsAggregate(
         dimension, buckets=buckets, min_total=min_total
     )
-    return compute(aggregate, index, pool=pool)
+    return compute(aggregate, index, pool=pool, backend=backend)
 
 
 def trend_slope(series):

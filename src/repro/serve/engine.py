@@ -39,10 +39,10 @@ engine returns the same values as a bare one.
 """
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from threading import Lock
 
+from repro.exec import resolve_backend
 from repro.faults import BreakerOpen, Deadline, call_with_retry, fault_point
 from repro.obs import get_metrics, get_tracer
 from repro.serve.queries import CACHEABLE_KINDS, QueryError, QuerySpec, plan_query
@@ -77,10 +77,15 @@ class QueryEngine:
 
     ``epochs`` is the :class:`~repro.stream.epoch.EpochStore` the
     ingesting consumer publishes into.  ``workers`` > 1 hoists one
-    owned :class:`~concurrent.futures.ThreadPoolExecutor` reused by
-    every query (per-query pools would pay thread spawn on the hot
-    path); alternatively ``pool`` injects a shared external executor,
-    which the engine does not own and will not shut down.  ``cache``
+    owned execution backend reused by every query (per-query pools
+    would pay worker spawn on the hot path); ``backend`` selects its
+    flavour by kind name (``"serial"`` / ``"thread"`` / ``"process"``)
+    or injects a ready :class:`~repro.exec.ExecBackend`; alternatively
+    ``pool`` injects a shared external executor, which the engine does
+    not own and will not shut down.  The knobs are mutually exclusive
+    (``pool`` with ``workers > 1``, ``pool`` with ``backend``, and a
+    backend instance with ``workers > 1`` all raise ``ValueError``,
+    matching :class:`~repro.engine.PipelineRunner`).  ``cache``
     is an optional :class:`~repro.serve.cache.QueryCache`; the engine
     evicts entries below the current epoch whenever it observes an
     advance.  ``clock`` injects the latency time source (defaults to
@@ -98,12 +103,10 @@ class QueryEngine:
     of which carries its own lock.
     """
 
-    def __init__(self, epochs, pool=None, workers=0, cache=None,
-                 clock=None, retry=None, retry_sleep=None,
+    def __init__(self, epochs, pool=None, workers=0, backend=None,
+                 cache=None, clock=None, retry=None, retry_sleep=None,
                  deadline_ms=None, breakers=None):
         """See the class docstring for the knobs."""
-        if pool is not None and workers > 1:
-            raise ValueError("pass either pool or workers, not both")
         if deadline_ms is not None and deadline_ms <= 0:
             raise ValueError(
                 f"deadline_ms must be positive, got {deadline_ms}"
@@ -115,14 +118,9 @@ class QueryEngine:
         self.breakers = breakers
         self._retry_sleep = retry_sleep
         self._clock = clock if clock is not None else time.perf_counter
-        self._owned_pool = None
-        if pool is None and workers > 1:
-            pool = ThreadPoolExecutor(
-                max_workers=workers,
-                thread_name_prefix="bivoc-query",
-            )
-            self._owned_pool = pool
-        self._pool = pool
+        self._backend, self._owned_backend = resolve_backend(
+            pool=pool, backend=backend, workers=workers
+        )
         self._purge_lock = Lock()
         self._purged_below = None  # highest epoch we evicted below
         self._last_good_lock = Lock()
@@ -208,7 +206,7 @@ class QueryEngine:
                 def compute():
                     fault_point("query.execute")
                     return plan_query(
-                        spec, snapshot.index, pool=self._pool
+                        spec, snapshot.index, backend=self._backend
                     )
 
                 if self.retry is not None:
@@ -286,10 +284,18 @@ class QueryEngine:
         body["cache"] = (
             None if self.cache is None else self.cache.stats()
         )
+        # Width of the engine-owned fan-out only: an injected pool (or
+        # backend instance) belongs to the caller and reports 0 here,
+        # matching the historical owned-pool semantics.
         body["workers"] = (
-            self._owned_pool._max_workers
-            if self._owned_pool is not None
+            self._backend.effective_workers()
+            if self._owned_backend
+            and self._backend is not None
+            and self._backend.kind != "pool"
             else 0
+        )
+        body["backend"] = (
+            self._backend.kind if self._backend is not None else "serial"
         )
         body["breakers"] = (
             None if self.breakers is None else self.breakers.states()
@@ -297,17 +303,16 @@ class QueryEngine:
         return body
 
     def close(self):
-        """Shut down the owned pool (no-op for injected pools)."""
-        if self._owned_pool is not None:
-            self._owned_pool.shutdown(wait=True)
-            self._owned_pool = None
-            self._pool = None
+        """Shut down the owned backend (no-op for injected executors)."""
+        if self._owned_backend and self._backend is not None:
+            self._backend.close()
+            self._backend = None
 
     def __enter__(self):
         """Context manager: the engine itself."""
         return self
 
     def __exit__(self, exc_type, exc_value, traceback):
-        """Context manager exit: close the owned pool."""
+        """Context manager exit: close the owned backend."""
         self.close()
         return False

@@ -137,9 +137,17 @@ class StreamConsumer:
 
     def __init__(self, source, stages, window=None, checkpointer=None,
                  batch_docs=32, queue_capacity=4, checkpoint_interval=4,
-                 runner_batch_size=64, workers=0, clock=None,
-                 failpoint=None, tracer=None, metrics=None, epochs=None):
+                 runner_batch_size=64, workers=0, backend=None,
+                 clock=None, failpoint=None, tracer=None, metrics=None,
+                 epochs=None):
         """Wire the consumer; raises on an unsafe index stage.
+
+        ``workers`` / ``backend`` are the embedded runner's execution
+        knobs (see :class:`~repro.engine.PipelineRunner`): pure stages
+        fan out across the resolved backend, bit-identical to serial,
+        and the backend stays warm across micro-batches.  Call
+        :meth:`close` (or use the consumer as a context manager) to
+        release its workers.
 
         ``tracer``/``metrics`` override the ambient observability
         collectors (``None`` resolves the ambient slot per step, so an
@@ -189,7 +197,8 @@ class StreamConsumer:
         self.epochs = epochs
         self._runner = PipelineRunner(
             stages, batch_size=runner_batch_size, workers=workers,
-            clock=self._clock, tracer=tracer, metrics=metrics,
+            backend=backend, clock=self._clock, tracer=tracer,
+            metrics=metrics,
         )
         self._queue = deque()
         self._committed_offset = -1
@@ -360,6 +369,24 @@ class StreamConsumer:
         ):
             self.checkpoint()
         return self.report
+
+    def close(self):
+        """Release the embedded runner's backend workers (idempotent).
+
+        Matters for chaos-style restart loops, which build a fresh
+        consumer per restart: without closing, every incarnation would
+        strand a warm pool.
+        """
+        self._runner.close()
+
+    def __enter__(self):
+        """Context manager: the consumer itself."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        """Context-manager exit always closes the runner's backend."""
+        self.close()
+        return False
 
     def _fire(self, event):
         """Hit the event's fault point, then the legacy test hook.

@@ -1,16 +1,21 @@
-"""The runner's shared thread pool: one executor per run, reusable.
+"""The runner's warm execution backend: resolved once, reused per run.
 
-Guards the pool-hoisting refactor: a parallel run constructs exactly
-one :class:`ThreadPoolExecutor` no matter how many parallel stages it
-executes (previously one per stage), an injected external pool is
-reused across runs and never shut down by the runner, and parallel
-output stays bit-identical to serial in every configuration.
+Guards the backend refactor: a parallel runner constructs exactly one
+executor no matter how many parallel stages or runs it executes (the
+backend is resolved at construction and warm-reused), an injected
+external pool is wrapped and never shut down by the runner, executor
+knobs are mutually exclusive (the validation drift between the runner
+and the query engine is fixed — both raise now), and parallel output
+stays bit-identical to serial in every configuration.
 """
 
 from concurrent.futures import ThreadPoolExecutor
 
+import pytest
+
 from repro.engine import Document, MapStage, PipelineRunner
-import repro.engine.runner as runner_module
+from repro.exec import ThreadBackend
+import repro.exec.backend as backend_module
 
 
 class Square(MapStage):
@@ -62,66 +67,107 @@ class CountingExecutor(ThreadPoolExecutor):
         super().shutdown(*args, **kwargs)
 
 
-def _reset_counts():
+@pytest.fixture
+def counting(monkeypatch):
+    """Patch the thread backend's executor class and reset counters."""
     CountingExecutor.created = 0
     CountingExecutor.closed = 0
+    monkeypatch.setattr(
+        backend_module, "ThreadPoolExecutor", CountingExecutor
+    )
+    return CountingExecutor
 
 
-class TestOneExecutorPerRun:
-    def test_single_pool_spans_all_stages(self, monkeypatch):
-        _reset_counts()
-        monkeypatch.setattr(
-            runner_module, "ThreadPoolExecutor", CountingExecutor
-        )
-        runner = PipelineRunner(
+class TestOneExecutorPerRunner:
+    def test_single_pool_spans_all_stages(self, counting):
+        with PipelineRunner(
             [Square(), Offset(), Offset2()], batch_size=4, workers=3
-        )
-        result = runner.run(_docs(32))
-        # Three parallel stages, one executor — and it was torn down.
-        assert CountingExecutor.created == 1
-        assert CountingExecutor.closed == 1
-        assert all(s.parallel for s in result.report.stages)
+        ) as runner:
+            result = runner.run(_docs(32))
+            # Three parallel stages, one executor.
+            assert counting.created == 1
+            assert counting.closed == 0
+            assert all(s.parallel for s in result.report.stages)
+        # Context exit released the owned backend.
+        assert counting.closed == 1
 
-    def test_each_run_gets_a_fresh_pool(self, monkeypatch):
-        _reset_counts()
-        monkeypatch.setattr(
-            runner_module, "ThreadPoolExecutor", CountingExecutor
-        )
-        runner = PipelineRunner([Square()], batch_size=4, workers=2)
-        runner.run(_docs(16))
-        runner.run(_docs(16))
-        assert CountingExecutor.created == 2
-        assert CountingExecutor.closed == 2
+    def test_runs_share_the_warm_pool(self, counting):
+        with PipelineRunner(
+            [Square()], batch_size=4, workers=2
+        ) as runner:
+            runner.run(_docs(16))
+            runner.run(_docs(16))
+            # Warm-reuse: the second run did not respawn workers.
+            assert counting.created == 1
+        assert counting.closed == 1
 
-    def test_serial_run_builds_no_pool(self, monkeypatch):
-        _reset_counts()
-        monkeypatch.setattr(
-            runner_module, "ThreadPoolExecutor", CountingExecutor
-        )
+    def test_serial_run_builds_no_pool(self, counting):
         runner = PipelineRunner([Square(), Offset()], batch_size=4)
         result = runner.run(_docs(16))
-        assert CountingExecutor.created == 0
+        runner.close()
+        assert counting.created == 0
+        assert not any(s.parallel for s in result.report.stages)
+
+    def test_workers_one_builds_no_pool(self, counting):
+        with PipelineRunner(
+            [Square()], batch_size=4, workers=1
+        ) as runner:
+            result = runner.run(_docs(16))
+        assert counting.created == 0
         assert not any(s.parallel for s in result.report.stages)
 
 
 class TestExternalPool:
-    def test_injected_pool_is_used_and_kept_open(self, monkeypatch):
-        _reset_counts()
-        monkeypatch.setattr(
-            runner_module, "ThreadPoolExecutor", CountingExecutor
-        )
+    def test_injected_pool_is_used_and_kept_open(self, counting):
         with ThreadPoolExecutor(max_workers=3) as pool:
             runner = PipelineRunner(
-                [Square(), Offset()], batch_size=4, workers=3, pool=pool
+                [Square(), Offset()], batch_size=4, pool=pool
             )
             first = runner.run(_docs(24))
             second = runner.run(_docs(24))
+            runner.close()
             # The runner built no pool of its own and left the
-            # injected one usable between runs.
-            assert CountingExecutor.created == 0
+            # injected one usable between runs — and after close().
+            assert counting.created == 0
             assert all(s.parallel for s in first.report.stages)
             assert pool.submit(lambda: 41 + 1).result() == 42
         assert _values(first) == _values(second)
+
+
+class TestExclusiveExecutorKnobs:
+    """One rule for every constructor: two executors never compete.
+
+    Historically the runner silently preferred an injected ``pool``
+    over ``workers`` while :class:`~repro.serve.engine.QueryEngine`
+    raised — the drift is fixed by sharing one resolver, so both now
+    raise the same error.
+    """
+
+    def test_pool_with_workers_raises(self):
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            with pytest.raises(ValueError, match="either pool or workers"):
+                PipelineRunner([Square()], workers=3, pool=pool)
+
+    def test_pool_with_backend_raises(self):
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            with pytest.raises(ValueError, match="either pool or backend"):
+                PipelineRunner([Square()], pool=pool, backend="thread")
+
+    def test_backend_instance_with_workers_raises(self):
+        backend = ThreadBackend(2)
+        try:
+            with pytest.raises(ValueError, match="backend instance"):
+                PipelineRunner([Square()], workers=3, backend=backend)
+        finally:
+            backend.close()
+
+    def test_query_engine_raises_the_same_way(self):
+        from repro.serve.engine import QueryEngine
+        from repro.stream.epoch import EpochStore
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            with pytest.raises(ValueError, match="either pool or workers"):
+                QueryEngine(EpochStore(), pool=pool, workers=3)
 
 
 class TestBitIdentity:
@@ -130,12 +176,13 @@ class TestBitIdentity:
         serial = PipelineRunner(
             [Square(), Offset()], batch_size=4
         ).run(_docs(40))
-        hoisted = PipelineRunner(
+        with PipelineRunner(
             stages, batch_size=4, workers=4
-        ).run(_docs(40))
+        ) as hoisted_runner:
+            hoisted = hoisted_runner.run(_docs(40))
         with ThreadPoolExecutor(max_workers=4) as pool:
             injected = PipelineRunner(
-                [Square(), Offset()], batch_size=4, workers=4, pool=pool
+                [Square(), Offset()], batch_size=4, pool=pool
             ).run(_docs(40))
         assert _values(hoisted) == _values(serial)
         assert _values(injected) == _values(serial)

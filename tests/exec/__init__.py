@@ -1,0 +1,1 @@
+"""Execution-backend tests: protocol, factories, process edge paths."""

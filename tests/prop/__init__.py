@@ -1,0 +1,1 @@
+"""Seeded property-based differential tests (repro.prop harness)."""
